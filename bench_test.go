@@ -1,0 +1,252 @@
+// Package procmig's top-level benchmarks regenerate every figure of the
+// paper's evaluation (§6) plus the DESIGN.md ablations. The interesting
+// output is the simulated-time metrics attached to each benchmark
+// (sim_* and ratio_* via -bench); wall-clock ns/op only says how fast the
+// simulator itself runs. Run:
+//
+//	go test -bench=. -benchmem
+//
+// EXPERIMENTS.md records the paper-vs-measured comparison; cmd/migbench
+// prints the same numbers as tables.
+package procmig
+
+import (
+	"testing"
+
+	"procmig/internal/cluster"
+	"procmig/internal/experiments"
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+	"procmig/internal/vm/asm"
+)
+
+func reportSeconds(b *testing.B, name string, d sim.Duration) {
+	b.ReportMetric(float64(d)/1e6, name+"_s")
+}
+
+// BenchmarkFig1SyscallOverhead regenerates Figure 1: the system-CPU
+// overhead of the modified open/close and chdir calls (paper: 1.44×,
+// 1.36×).
+func BenchmarkFig1SyscallOverhead(b *testing.B) {
+	var r *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.OpenCloseOverhead(), "ratio_openclose")
+	b.ReportMetric(r.ChdirOverhead(), "ratio_chdir")
+	reportSeconds(b, "sim_openclose_tracked", r.OpenCloseTracked)
+	reportSeconds(b, "sim_chdir_tracked", r.ChdirTracked)
+}
+
+// BenchmarkFig2Dump regenerates Figure 2: SIGQUIT vs SIGDUMP vs dumpproc
+// (paper: SIGDUMP ≈3× both; dumpproc ≈4× CPU, ≈6× real).
+func BenchmarkFig2Dump(b *testing.B) {
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.DumpCPURatio(), "ratio_sigdump_cpu")
+	b.ReportMetric(r.DumpRealRatio(), "ratio_sigdump_real")
+	b.ReportMetric(r.DumpprocCPURatio(), "ratio_dumpproc_cpu")
+	b.ReportMetric(r.DumpprocRealRatio(), "ratio_dumpproc_real")
+	reportSeconds(b, "sim_sigquit_real", r.QuitReal)
+	reportSeconds(b, "sim_sigdump_real", r.DumpReal)
+	reportSeconds(b, "sim_dumpproc_real", r.DumpprocReal)
+}
+
+// BenchmarkFig3Restart regenerates Figure 3: execve vs rest_proc vs the
+// restart command (paper: rest_proc slightly >1; restart ≈5× CPU, ≈6×
+// real).
+func BenchmarkFig3Restart(b *testing.B) {
+	var r *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RestProcCPURatio(), "ratio_restproc_cpu")
+	b.ReportMetric(r.RestartCPURatio(), "ratio_restart_cpu")
+	b.ReportMetric(r.RestartRealRatio(), "ratio_restart_real")
+	reportSeconds(b, "sim_execve_real", r.ExecveReal)
+	reportSeconds(b, "sim_restart_real", r.RestartReal)
+}
+
+// BenchmarkFig4Migrate regenerates Figure 4: migrate vs dumpproc+restart
+// for the four locality cases (paper: up to ≈10×, almost half a minute,
+// for remote→remote).
+func BenchmarkFig4Migrate(b *testing.B) {
+	var cases []*experiments.Fig4Case
+	for i := 0; i < b.N; i++ {
+		var err error
+		cases, err = experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := map[string]string{"L→L": "LL", "L→R": "LR", "R→L": "RL", "R→R": "RR"}
+	for _, fc := range cases {
+		b.ReportMetric(fc.Ratio(), "ratio_"+names[fc.Name])
+		reportSeconds(b, "sim_migrate_"+names[fc.Name], fc.MigrateReal)
+	}
+}
+
+// BenchmarkAblationNameStorage regenerates A1: dynamic vs MAXPATHLEN
+// fixed pathname storage in the kernel (§5.1's design argument).
+func BenchmarkAblationNameStorage(b *testing.B) {
+	var r *experiments.A1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.A1NameStorage()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.DynamicPeak), "dynamic_bytes")
+	b.ReportMetric(float64(r.FixedPeak), "fixed_bytes")
+	b.ReportMetric(r.SavingFactor, "ratio_fixed_vs_dynamic")
+}
+
+// BenchmarkAblationMigd regenerates A2: rsh-based migrate vs the §6.4
+// migration daemon on the remote→remote case.
+func BenchmarkAblationMigd(b *testing.B) {
+	var r *experiments.A2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.A2Migd()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Speedup, "ratio_speedup")
+	reportSeconds(b, "sim_rsh_migrate", r.RshMigrate)
+	reportSeconds(b, "sim_migd_migrate", r.FastMigrate)
+}
+
+// BenchmarkAblationPollInterval regenerates A3: dumpproc's sleep policy.
+func BenchmarkAblationPollInterval(b *testing.B) {
+	var pts []*experiments.A3Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.A3PollInterval()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	labels := map[string]string{
+		"250ms": "250ms", "500ms": "500ms", "1s (paper)": "1s",
+		"2s": "2s", "250ms+backoff": "backoff",
+	}
+	for _, p := range pts {
+		reportSeconds(b, "sim_poll_"+labels[p.Label], p.Real)
+	}
+}
+
+// BenchmarkAblationCheckpoint regenerates A4: checkpoint frequency vs
+// job-runtime overhead (§8).
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	var pts []*experiments.A4Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.A4Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, p := range pts {
+		b.ReportMetric(p.Overhead, "overhead_cfg"+string(rune('1'+i)))
+	}
+}
+
+// BenchmarkAblationLoadBalance regenerates A5: batch makespan with and
+// without the §8 load balancer.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	var r *experiments.A5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.A5LoadBalance()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Improvement, "improvement")
+	b.ReportMetric(float64(r.Migrations), "migrations")
+	reportSeconds(b, "sim_unbalanced", r.Unbalanced)
+	reportSeconds(b, "sim_balanced", r.Balanced)
+}
+
+// --- simulator micro-benchmarks (real wall time) -----------------------------
+
+// BenchmarkVMExecution measures raw interpreter speed (simulated
+// instructions per wall-clock second matter for large experiments).
+func BenchmarkVMExecution(b *testing.B) {
+	exe := asm.MustAssemble(`
+start:  movi r0, 0
+loop:   addi r0, 1
+        cmpi r0, 1000000000
+        jlt  loop
+        halt
+`)
+	cpu := vm.New(exe.Text, exe.Data, vm.ISA1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cpu.Step() != vm.StepOK {
+			b.Fatal("vm stopped")
+		}
+	}
+}
+
+// BenchmarkAssembler measures assembling the paper's test program.
+func BenchmarkAssembler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(cluster.TestProgramSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterBoot measures building a full three-machine cluster
+// (filesystems, NFS cross-mounts, daemons, programs).
+func BenchmarkClusterBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.NewSimple("alpha", "beta", "gamma")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c
+	}
+}
+
+// BenchmarkEndToEndMigration measures the wall-clock cost of simulating
+// one complete remote migration (the TestMigrateRemote scenario).
+func BenchmarkEndToEndMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.MeasureOneMigration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionSocketMigration measures E3: the freeze window and
+// datagram survival of the socket-migration extension (§9 future work).
+func BenchmarkExtensionSocketMigration(b *testing.B) {
+	var r *experiments.E3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.E3SocketMigration()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.ReceivedWith)/float64(r.Sent), "delivery_ratio")
+	reportSeconds(b, "sim_freeze", r.Freeze)
+}

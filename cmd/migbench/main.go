@@ -1,0 +1,183 @@
+// Command migbench regenerates the paper's evaluation (§6) and prints
+// each figure as a table, paper value beside measured value, plus the
+// DESIGN.md ablations.
+//
+// Usage:
+//
+//	migbench            # everything
+//	migbench -fig 2     # one figure
+//	migbench -ablations # only the ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"procmig/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "run only this figure (1-4)")
+	ablations := flag.Bool("ablations", false, "run only the ablations")
+	flag.Parse()
+
+	all := *fig == 0 && !*ablations
+	var err error
+	switch {
+	case *fig == 1 || all:
+		err = fig1()
+	}
+	check(err)
+	if *fig == 2 || all {
+		check(fig2())
+	}
+	if *fig == 3 || all {
+		check(fig3())
+	}
+	if *fig == 4 || all {
+		check(fig4())
+	}
+	if *ablations || all {
+		check(runAblations())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migbench:", err)
+		os.Exit(1)
+	}
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(title)
+	for range title {
+		fmt.Print("-")
+	}
+	fmt.Println()
+}
+
+func fig1() error {
+	r, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	header("Figure 1 — performance of modified system calls (normalized to unmodified kernel)")
+	fmt.Printf("%-28s %8s %10s %14s %14s\n", "system call", "paper", "measured", "base (sim)", "tracked (sim)")
+	fmt.Printf("%-28s %8.2f %10.2f %14v %14v\n",
+		"open()/close() ×100", 1.44, r.OpenCloseOverhead(), r.OpenCloseBase, r.OpenCloseTracked)
+	fmt.Printf("%-28s %8.2f %10.2f %14v %14v\n",
+		"chdir() ×100 sets of 3", 1.36, r.ChdirOverhead(), r.ChdirBase, r.ChdirTracked)
+	return nil
+}
+
+func fig2() error {
+	r, err := experiments.Fig2()
+	if err != nil {
+		return err
+	}
+	header("Figure 2 — killing the test program: SIGQUIT vs SIGDUMP vs dumpproc (normalized to SIGQUIT)")
+	fmt.Printf("%-12s %12s %12s %12s %12s %14s %14s\n",
+		"method", "paper cpu", "meas cpu", "paper real", "meas real", "cpu (sim)", "real (sim)")
+	fmt.Printf("%-12s %12.1f %12.2f %12.1f %12.2f %14v %14v\n",
+		"SIGQUIT", 1.0, 1.0, 1.0, 1.0, r.QuitCPU, r.QuitReal)
+	fmt.Printf("%-12s %12s %12.2f %12s %12.2f %14v %14v\n",
+		"SIGDUMP", "≈3", r.DumpCPURatio(), "≈3", r.DumpRealRatio(), r.DumpCPU, r.DumpReal)
+	fmt.Printf("%-12s %12s %12.2f %12s %12.2f %14v %14v\n",
+		"dumpproc", "≈4", r.DumpprocCPURatio(), "≈6", r.DumpprocRealRatio(), r.DumpprocCPU, r.DumpprocReal)
+	return nil
+}
+
+func fig3() error {
+	r, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	header("Figure 3 — restarting: execve vs rest_proc vs restart (normalized to execve)")
+	fmt.Printf("%-12s %12s %12s %12s %12s %14s %14s\n",
+		"method", "paper cpu", "meas cpu", "paper real", "meas real", "cpu (sim)", "real (sim)")
+	fmt.Printf("%-12s %12.1f %12.2f %12.1f %12.2f %14v %14v\n",
+		"execve()", 1.0, 1.0, 1.0, 1.0, r.ExecveCPU, r.ExecveReal)
+	fmt.Printf("%-12s %12s %12.2f %12s %12.2f %14v %14v\n",
+		"rest_proc()", ">1", r.RestProcCPURatio(), ">1", r.RestProcRealRatio(), r.RestProcCPU, r.RestProcReal)
+	fmt.Printf("%-12s %12s %12.2f %12s %12.2f %14v %14v\n",
+		"restart", "≈5", r.RestartCPURatio(), "≈6", r.RestartRealRatio(), r.RestartCPU, r.RestartReal)
+	return nil
+}
+
+func fig4() error {
+	cases, err := experiments.Fig4()
+	if err != nil {
+		return err
+	}
+	header("Figure 4 — migrate vs dumpproc+restart run separately (real time, normalized)")
+	fmt.Printf("%-8s %12s %10s %16s %18s\n", "case", "paper", "measured", "migrate (sim)", "separate (sim)")
+	paper := map[string]string{"L→L": "≈1", "L→R": "mid", "R→L": "mid", "R→R": "up to ≈10"}
+	for _, fc := range cases {
+		fmt.Printf("%-8s %12s %10.2f %16v %18v\n",
+			fc.Name, paper[fc.Name], fc.Ratio(), fc.MigrateReal, fc.SeparateReal)
+	}
+	fmt.Println("(L/R are relative to the machine migrate is typed on; the R→R case is the")
+	fmt.Println(" paper's \"almost half a minute\" scenario, dominated by rsh connection setup)")
+	return nil
+}
+
+func runAblations() error {
+	a1, err := experiments.A1NameStorage()
+	if err != nil {
+		return err
+	}
+	header("A1 — kernel memory for tracked pathnames: dynamic vs fixed MAXPATHLEN buffers (§5.1)")
+	fmt.Printf("%d open files, mean name %.1f bytes: dynamic %d B, fixed %d B (%.0f× more)\n",
+		a1.Files, a1.MeanNameLen, a1.DynamicPeak, a1.FixedPeak, a1.SavingFactor)
+
+	a2, err := experiments.A2Migd()
+	if err != nil {
+		return err
+	}
+	header("A2 — rsh-based migrate vs the §6.4 migration daemon (remote→remote)")
+	fmt.Printf("rsh migrate %v; migd fmigrate %v; speedup %.1f×\n",
+		a2.RshMigrate, a2.FastMigrate, a2.Speedup)
+
+	a3, err := experiments.A3PollInterval()
+	if err != nil {
+		return err
+	}
+	header("A3 — dumpproc poll policy (paper: sleep 1 s between attempts)")
+	fmt.Printf("%-16s %12s %12s\n", "policy", "real (sim)", "cpu (sim)")
+	for _, p := range a3 {
+		fmt.Printf("%-16s %12v %12v\n", p.Label, p.Real, p.CPU)
+	}
+
+	a4, err := experiments.A4Checkpoint()
+	if err != nil {
+		return err
+	}
+	header("A4 — checkpointing overhead on a ~40 s CPU job (§8)")
+	for _, p := range a4 {
+		fmt.Printf("%-20s plain %v → checkpointed %v (overhead %.1f%%)\n",
+			p.Label, p.Plain, p.Ckpted, p.Overhead*100)
+	}
+
+	a5, err := experiments.A5LoadBalance()
+	if err != nil {
+		return err
+	}
+	header("A5 — load balancing 4 CPU jobs across 2 machines (§8)")
+	fmt.Printf("unbalanced makespan %v; balanced %v (%d migrations, %.0f%% improvement)\n",
+		a5.Unbalanced, a5.Balanced, a5.Migrations, a5.Improvement*100)
+
+	e3, err := experiments.E3SocketMigration()
+	if err != nil {
+		return err
+	}
+	header("E3 — socket migration (§9 future work): datagram server migrated mid-stream")
+	fmt.Printf("extension on:  %d/%d datagrams delivered; freeze window %v\n",
+		e3.ReceivedWith, e3.Sent, e3.Freeze)
+	if e3.BrokenWithout {
+		fmt.Println("extension off: server loses its socket and fails (the paper's §7 behaviour)")
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+// Command migsim boots a simulated cluster and executes a script of
+// commands against it — the closest thing to sitting at a 1987 Sun
+// terminal this repository offers. The script comes from stdin or from a
+// file argument; see -help for the command set.
+//
+// Example session (also examples/quickstart):
+//
+//	migsim -hosts brick,schooner <<'EOF'
+//	run brick /bin/counter
+//	sleep 2
+//	type brick hello
+//	sleep 2
+//	migrate schooner $1 brick schooner
+//	sleep 2
+//	type schooner world
+//	sleep 2
+//	eof schooner
+//	tty brick
+//	tty schooner
+//	EOF
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"procmig/internal/cluster"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+)
+
+const usage = `script commands (one per line, # comments):
+  run <host> <path> [args...]   spawn a program; its pid becomes $1, $2, ...
+  type <host> <text>            type a line on the host's console (newline added)
+  eof <host>                    type end-of-file on the console
+  sleep <seconds>               advance virtual time
+  ps <host>                     print the process table
+  kill <host> <pid> [signal#]   send a signal (default SIGTERM)
+  dumpproc <host> <pid>         run dumpproc on the host and wait
+  restart <host> <pid> <from>   run restart on the host and wait
+  migrate <host> <pid> <from> <to>   run migrate on the host and wait
+  cat <host> <path>             print a file
+  tty <host>                    print the console transcript so far
+  trace <host> on|off           toggle the ktrace-style kernel event log
+  tracelog <host>               print the kernel event log
+  time                          print the virtual clock
+Pids: $N refers to the pid of the N-th 'run'.`
+
+func main() {
+	hostsFlag := flag.String("hosts", "brick,schooner", "comma-separated host names")
+	sun3Flag := flag.String("sun3", "", "comma-separated hosts that are Sun-3s (ISA2)")
+	spoof := flag.Bool("spoof", false, "enable the §7 pid/hostname spoofing extension")
+	limit := flag.Int("limit", 3600, "virtual-time limit in seconds")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: migsim [flags] [script]\n%s\n\nflags:\n", usage)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	sun3 := map[string]bool{}
+	for _, h := range strings.Split(*sun3Flag, ",") {
+		if h != "" {
+			sun3[h] = true
+		}
+	}
+	var hosts []cluster.HostSpec
+	for _, h := range strings.Split(*hostsFlag, ",") {
+		isa := vm.ISA1
+		if sun3[h] {
+			isa = vm.ISA2
+		}
+		hosts = append(hosts, cluster.HostSpec{Name: h, ISA: isa})
+	}
+	c, err := cluster.New(cluster.Options{
+		Hosts:  hosts,
+		Config: kernel.Config{TrackNames: true, PidSpoof: *spoof},
+	})
+	fatal(err)
+	fatal(c.InstallVM("/bin/counter", cluster.TestProgramSrc))
+	fatal(c.InstallVM("/bin/hog", cluster.HogSrc))
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		fatal(err)
+		defer f.Close()
+		in = f
+	}
+	var script [][]string
+	scanner := bufio.NewScanner(in)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		script = append(script, strings.Fields(line))
+	}
+	fatal(scanner.Err())
+
+	s := &session{c: c}
+	c.Eng.Go("migsim-driver", func(tk *sim.Task) {
+		for _, cmd := range script {
+			if err := s.exec(tk, cmd); err != nil {
+				fmt.Fprintf(os.Stderr, "migsim: %s: %v\n", strings.Join(cmd, " "), err)
+				return
+			}
+		}
+	})
+	if err := c.RunUntil(sim.Time(sim.Duration(*limit) * sim.Second)); err != nil {
+		if _, stalled := err.(*sim.StallError); !stalled {
+			fatal(err)
+		}
+		// Blocked processes at the end of the script are normal.
+	}
+}
+
+// ts renders the virtual clock for log prefixes.
+func ts(tk *sim.Task) string { return sim.Duration(tk.Now()).String() }
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migsim:", err)
+		os.Exit(1)
+	}
+}
+
+type session struct {
+	c    *cluster.Cluster
+	pids []int
+}
+
+// pid resolves a "$N" reference or a literal pid.
+func (s *session) pid(arg string) (int, error) {
+	if strings.HasPrefix(arg, "$") {
+		n, err := strconv.Atoi(arg[1:])
+		if err != nil || n < 1 || n > len(s.pids) {
+			return 0, fmt.Errorf("bad pid reference %q", arg)
+		}
+		return s.pids[n-1], nil
+	}
+	return strconv.Atoi(arg)
+}
+
+func (s *session) runAndWait(tk *sim.Task, host, path string, args ...string) error {
+	p, err := s.c.Spawn(host, nil, cluster.DefaultUser, path, args...)
+	if err != nil {
+		return err
+	}
+	status, migrated := p.AwaitExitOrMigrated(tk)
+	if migrated {
+		fmt.Printf("[%v] %s: %s restarted the process as pid %d\n", ts(tk), host, path, p.PID)
+		return nil
+	}
+	fmt.Printf("[%v] %s: %s exited %d\n", ts(tk), host, path, status)
+	return nil
+}
+
+func (s *session) exec(tk *sim.Task, cmd []string) error {
+	need := func(n int) error {
+		if len(cmd) < n+1 {
+			return fmt.Errorf("wants %d argument(s)", n)
+		}
+		return nil
+	}
+	switch cmd[0] {
+	case "run":
+		if err := need(2); err != nil {
+			return err
+		}
+		p, err := s.c.Spawn(cmd[1], nil, cluster.DefaultUser, cmd[2], cmd[3:]...)
+		if err != nil {
+			return err
+		}
+		s.pids = append(s.pids, p.PID)
+		fmt.Printf("[%v] %s: started %s as pid %d ($%d)\n", ts(tk), cmd[1], cmd[2], p.PID, len(s.pids))
+		tk.Yield()
+	case "type":
+		if err := need(2); err != nil {
+			return err
+		}
+		s.c.Console(cmd[1]).Type(strings.Join(cmd[2:], " ") + "\n")
+		tk.Yield()
+	case "eof":
+		if err := need(1); err != nil {
+			return err
+		}
+		s.c.Console(cmd[1]).TypeEOF()
+		tk.Yield()
+	case "sleep":
+		if err := need(1); err != nil {
+			return err
+		}
+		sec, err := strconv.ParseFloat(cmd[1], 64)
+		if err != nil {
+			return err
+		}
+		if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+			return fmt.Errorf("bad duration %q", cmd[1])
+		}
+		tk.Sleep(sim.Duration(sec * float64(sim.Second)))
+	case "ps":
+		if err := need(1); err != nil {
+			return err
+		}
+		m := s.c.Machine(cmd[1])
+		if m == nil {
+			return fmt.Errorf("no host %q", cmd[1])
+		}
+		fmt.Printf("[%v] %s: %5s %5s %5s %-9s %10s %10s  %s\n",
+			ts(tk), cmd[1], "PID", "PPID", "UID", "STATE", "UTIME", "STIME", "CMD")
+		for _, pi := range m.PS() {
+			fmt.Printf("%*s %5d %5d %5d %-9s %10v %10v  %s\n",
+				len(fmt.Sprintf("[%v] %s:", ts(tk), cmd[1])), "",
+				pi.PID, pi.PPID, pi.UID, pi.State, pi.UTime, pi.STime, pi.Cmd)
+		}
+	case "kill":
+		if err := need(2); err != nil {
+			return err
+		}
+		pid, err := s.pid(cmd[2])
+		if err != nil {
+			return err
+		}
+		sig := kernel.SIGTERM
+		if len(cmd) > 3 {
+			n, err := strconv.Atoi(cmd[3])
+			if err != nil {
+				return err
+			}
+			sig = kernel.Signal(n)
+		}
+		if e := s.c.Machine(cmd[1]).Kill(kernel.Creds{}, pid, sig); e != 0 {
+			return e
+		}
+		tk.Yield()
+	case "dumpproc":
+		if err := need(2); err != nil {
+			return err
+		}
+		pid, err := s.pid(cmd[2])
+		if err != nil {
+			return err
+		}
+		return s.runAndWait(tk, cmd[1], "/bin/dumpproc", "-p", fmt.Sprint(pid))
+	case "restart":
+		if err := need(3); err != nil {
+			return err
+		}
+		pid, err := s.pid(cmd[2])
+		if err != nil {
+			return err
+		}
+		return s.runAndWait(tk, cmd[1], "/bin/restart", "-p", fmt.Sprint(pid), "-h", cmd[3])
+	case "migrate":
+		if err := need(4); err != nil {
+			return err
+		}
+		pid, err := s.pid(cmd[2])
+		if err != nil {
+			return err
+		}
+		return s.runAndWait(tk, cmd[1], "/bin/migrate",
+			"-p", fmt.Sprint(pid), "-f", cmd[3], "-t", cmd[4])
+	case "cat":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := s.c.Machine(cmd[1]).NS().ReadFile(cmd[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%v] %s:%s:\n%s", ts(tk), cmd[1], cmd[2], data)
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			fmt.Println()
+		}
+	case "tty":
+		if err := need(1); err != nil {
+			return err
+		}
+		fmt.Printf("[%v] %s console:\n%s", ts(tk), cmd[1], s.c.Console(cmd[1]).Output())
+	case "trace":
+		if err := need(2); err != nil {
+			return err
+		}
+		m := s.c.Machine(cmd[1])
+		if m == nil {
+			return fmt.Errorf("no host %q", cmd[1])
+		}
+		m.SetTracing(cmd[2] == "on")
+	case "tracelog":
+		if err := need(1); err != nil {
+			return err
+		}
+		m := s.c.Machine(cmd[1])
+		if m == nil {
+			return fmt.Errorf("no host %q", cmd[1])
+		}
+		fmt.Printf("[%v] %s kernel trace:\n", ts(tk), cmd[1])
+		for _, e := range m.TraceLog() {
+			fmt.Println("  " + e.String())
+		}
+	case "time":
+		fmt.Printf("virtual time: %v\n", ts(tk))
+	default:
+		return fmt.Errorf("unknown command (see -help)")
+	}
+	return nil
+}

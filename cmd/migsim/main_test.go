@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"procmig/internal/cluster"
+	"procmig/internal/sim"
+)
+
+// runScript executes a migsim script against a fresh two-machine cluster
+// and returns the cluster for inspection.
+func runScript(t *testing.T, script [][]string) (*cluster.Cluster, *session) {
+	t.Helper()
+	c, err := cluster.NewSimple("brick", "schooner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallVM("/bin/counter", cluster.TestProgramSrc); err != nil {
+		t.Fatal(err)
+	}
+	s := &session{c: c}
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		for _, cmd := range script {
+			if err := s.exec(tk, cmd); err != nil {
+				t.Errorf("%v: %v", cmd, err)
+				return
+			}
+		}
+	})
+	if err := c.RunUntil(sim.Time(600 * sim.Second)); err != nil {
+		if _, stalled := err.(*sim.StallError); !stalled {
+			t.Fatal(err)
+		}
+	}
+	return c, s
+}
+
+func TestScriptMigration(t *testing.T) {
+	c, s := runScript(t, [][]string{
+		{"run", "brick", "/bin/counter"},
+		{"sleep", "2"},
+		{"type", "brick", "hello"},
+		{"sleep", "2"},
+		{"migrate", "schooner", "$1", "brick", "schooner"},
+		{"sleep", "2"},
+		{"type", "schooner", "world"},
+		{"sleep", "2"},
+		{"eof", "schooner"},
+		{"time"},
+	})
+	if len(s.pids) != 1 {
+		t.Fatalf("pids = %v", s.pids)
+	}
+	out, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil || string(out) != "hello\nworld\n" {
+		t.Fatalf("out = %q err = %v", out, err)
+	}
+	if !strings.Contains(c.Console("schooner").Output(), "R3 D3 S3") {
+		t.Fatalf("schooner console = %q", c.Console("schooner").Output())
+	}
+}
+
+func TestScriptPsKillCat(t *testing.T) {
+	c, _ := runScript(t, [][]string{
+		{"run", "brick", "/bin/counter"},
+		{"sleep", "1"},
+		{"ps", "brick"},
+		{"kill", "brick", "$1", "9"},
+		{"sleep", "1"},
+		{"tty", "brick"},
+	})
+	if n := len(c.Machine("brick").Procs()); n != 0 {
+		t.Fatalf("%d procs left after kill", n)
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	c, err := cluster.NewSimple("brick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &session{c: c}
+	bad := [][]string{
+		{"frobnicate"},
+		{"run", "brick"},       // missing path
+		{"kill", "brick", "x"}, // bad pid
+		{"ps", "ghost"},        // unknown host
+		{"sleep", "NaN"},
+	}
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		for _, cmd := range bad {
+			if err := s.exec(tk, cmd); err == nil {
+				t.Errorf("%v: expected an error", cmd)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPidReferences(t *testing.T) {
+	s := &session{pids: []int{101, 202}}
+	if pid, err := s.pid("$2"); err != nil || pid != 202 {
+		t.Fatalf("$2 = %d, %v", pid, err)
+	}
+	if pid, err := s.pid("77"); err != nil || pid != 77 {
+		t.Fatalf("77 = %d, %v", pid, err)
+	}
+	for _, bad := range []string{"$0", "$3", "$x", "abc"} {
+		if _, err := s.pid(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

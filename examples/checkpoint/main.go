@@ -1,0 +1,89 @@
+// Checkpoint: the paper's §8 checkpointing application. A long-running
+// program is snapshotted periodically with SIGDUMP (and immediately
+// resumed); when the machine "crashes", the program is rewound to its
+// last checkpoint — including consistent copies of its open files.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"procmig/internal/cluster"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+)
+
+func main() {
+	c, err := cluster.NewSimple("brick")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.InstallVM("/bin/counter", cluster.TestProgramSrc); err != nil {
+		log.Fatal(err)
+	}
+	term := c.Console("brick")
+	user := cluster.DefaultUser
+	m := c.Machine("brick")
+
+	c.Eng.Go("operator", func(tk *sim.Task) {
+		now := func() sim.Duration { return sim.Duration(tk.Now()) }
+		p, _ := c.Spawn("brick", nil, user, "/bin/counter")
+		fmt.Printf("[%v] long-running job started as pid %d\n", now(), p.PID)
+		tk.Sleep(2 * sim.Second)
+		term.Type("work item 1\n")
+
+		// Snapshot every 5 virtual seconds, twice, into /home/snaps.
+		cp, _ := c.Spawn("brick", nil, user, "/bin/ckpt",
+			"-p", fmt.Sprint(p.PID), "-i", "5", "-n", "2", "-d", "/home/snaps")
+		tk.Sleep(7 * sim.Second)
+		term.Type("work item 2\n") // lands after checkpoint 1
+		if status := cp.AwaitExit(tk); status != 0 {
+			log.Fatalf("ckpt exited %d", status)
+		}
+		fmt.Printf("[%v] two checkpoints stored under /home/snaps\n", now())
+
+		// More progress after the last checkpoint...
+		tk.Sleep(time1)
+		term.Type("work item 3 (will be lost)\n")
+		tk.Sleep(2 * sim.Second)
+
+		// ... and then the crash: kill every incarnation of the job.
+		fmt.Printf("[%v] CRASH — killing the job\n", now())
+		for _, pi := range m.PS() {
+			if strings.Contains(pi.Cmd, "a.out") {
+				m.Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
+			}
+		}
+		tk.Sleep(time1)
+
+		// Rewind to checkpoint 1.
+		fmt.Printf("[%v] restoring from checkpoint 1\n", now())
+		rs, _ := c.Spawn("brick", nil, user, "/bin/ckptrestore", "-d", "/home/snaps", "-n", "1")
+		if status := rs.AwaitExit(tk); status != 0 {
+			log.Fatalf("ckptrestore exited %d", status)
+		}
+		tk.Sleep(2 * sim.Second)
+		term.Type("work item 2, replayed\n")
+		tk.Sleep(2 * sim.Second)
+		term.TypeEOF()
+	})
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n--- terminal transcript ---")
+	fmt.Print(term.Output())
+	out, err := m.NS().ReadFile("/home/out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- the job's output file after restore ---")
+	fmt.Print(string(out))
+	fmt.Println("\nItems 2 and 3 written after the checkpoint are gone; the restored run")
+	fmt.Println("resumed from the checkpoint's consistent view and replayed from there.")
+}
+
+const time1 = sim.Second

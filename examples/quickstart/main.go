@@ -1,0 +1,77 @@
+// Quickstart: boot two simulated Sun workstations, run the paper's
+// three-counter test program on one, migrate it to the other while it is
+// blocked reading from the terminal, and watch all three counters (a
+// register, a static variable and a stack variable) continue on the new
+// machine while the output file keeps growing over NFS.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"procmig/internal/cluster"
+	"procmig/internal/sim"
+)
+
+func main() {
+	c, err := cluster.NewSimple("brick", "schooner")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.InstallVM("/bin/counter", cluster.TestProgramSrc); err != nil {
+		log.Fatal(err)
+	}
+	brick := c.Console("brick")
+	schooner := c.Console("schooner")
+
+	c.Eng.Go("user", func(tk *sim.Task) {
+		// Start the test program on brick and feed it one line.
+		p, err := c.Spawn("brick", nil, cluster.DefaultUser, "/bin/counter")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%v] started counter on brick as pid %d\n", sim.Duration(tk.Now()), p.PID)
+		tk.Sleep(2 * sim.Second)
+		brick.Type("first line\n")
+		tk.Sleep(2 * sim.Second)
+
+		// migrate -p <pid> -f brick -t schooner, typed on schooner so the
+		// terminal follows the user (§4.2's recommendation).
+		fmt.Printf("[%v] migrating pid %d from brick to schooner...\n", sim.Duration(tk.Now()), p.PID)
+		mig, err := c.Spawn("schooner", nil, cluster.DefaultUser, "/bin/migrate",
+			"-p", fmt.Sprint(p.PID), "-f", "brick", "-t", "schooner")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if status := mig.AwaitExit(tk); status != 0 {
+			log.Fatalf("migrate exited %d", status)
+		}
+		fmt.Printf("[%v] migrate finished\n", sim.Duration(tk.Now()))
+
+		// The process now reads from schooner's terminal.
+		tk.Sleep(2 * sim.Second)
+		schooner.Type("second line\n")
+		tk.Sleep(2 * sim.Second)
+		schooner.TypeEOF() // ^D: the program exits
+	})
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n--- brick console (before migration) ---")
+	fmt.Print(brick.Output())
+	fmt.Println("--- schooner console (after migration) ---")
+	fmt.Print(schooner.Output())
+
+	out, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- the output file on brick (appended across the migration via NFS) ---")
+	fmt.Print(string(out))
+
+	fmt.Println("\nNote R3 D3 S3 on schooner: the register, data-segment and stack")
+	fmt.Println("counters all continued from where brick left off.")
+}

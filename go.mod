@@ -1,0 +1,3 @@
+module procmig
+
+go 1.22

@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"fmt"
+
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+)
+
+// MigrateProc migrates pid from src to dst by orchestrating dumpproc and
+// restart directly through the kernel (as the daemon-based application the
+// paper recommends for load balancing would — §6.4, §8). It runs with
+// superuser credentials and returns the process's new pid on dst.
+func MigrateProc(t *sim.Task, src, dst *kernel.Machine, pid int) (int, error) {
+	root := kernel.Creds{}
+	runOn := func(m *kernel.Machine, isRestart bool, path string, args ...string) (*kernel.Proc, int, error) {
+		pty := tty.NewNetworkPTY(m.Engine(), m.Name+":balancer-pty")
+		stdio := m.NewTerminalFile(kernel.NewTTYDevice(pty))
+		p, err := m.Spawn(kernel.SpawnSpec{
+			Path:       path,
+			Args:       append([]string{path}, args...),
+			Creds:      root,
+			CWD:        "/",
+			TTY:        pty,
+			InheritFDs: []*kernel.File{stdio, stdio, stdio},
+		})
+		if err != nil {
+			return nil, -1, err
+		}
+		if isRestart {
+			status, migrated := p.AwaitExitOrMigrated(t)
+			if !migrated {
+				return p, status, fmt.Errorf("restart exited %d: %s", status, pty.Output())
+			}
+			return p, 0, nil
+		}
+		status := p.AwaitExit(t)
+		if status != 0 {
+			return p, status, fmt.Errorf("%s exited %d: %s", path, status, pty.Output())
+		}
+		return p, 0, nil
+	}
+
+	if _, _, err := runOn(src, false, "/bin/dumpproc", "-p", fmt.Sprint(pid)); err != nil {
+		return 0, err
+	}
+	rp, _, err := runOn(dst, true, "/bin/restart", "-p", fmt.Sprint(pid), "-h", src.Name)
+	if err != nil {
+		return 0, err
+	}
+	return rp.PID, nil
+}
+
+// MigrationEvent records one balancer decision.
+type MigrationEvent struct {
+	At   sim.Time
+	PID  int
+	New  int
+	From string
+	To   string
+}
+
+// Balancer implements the §8 load-balancing application: move CPU-bound
+// jobs from busy machines to idle ones. "Candidates for migration can be
+// best selected from the processes that have been running for more than a
+// certain amount of time", so the overhead of moving them pays off.
+type Balancer struct {
+	Machines []*kernel.Machine
+	Period   sim.Duration // how often load is sampled
+	MinAge   sim.Duration // minimum runtime before a process is a candidate
+	// MinImbalance is the smallest (busiest − idlest) run-queue
+	// difference worth acting on; 2 means the move strictly helps.
+	MinImbalance int
+
+	Events []MigrationEvent
+}
+
+// candidate picks the migratable process on m: a VM process old enough
+// and mostly CPU-bound.
+func (b *Balancer) candidate(m *kernel.Machine, now sim.Time) *kernel.Proc {
+	var best *kernel.Proc
+	for _, p := range m.Procs() {
+		if p.State != kernel.ProcRunning || p.VM == nil {
+			continue
+		}
+		age := sim.Duration(now - p.StartedAt)
+		if age < b.MinAge {
+			continue
+		}
+		// CPU-bound: the process has been computing for most of its fair
+		// share of the (contended) CPU. A process blocked on a terminal
+		// has UTime near zero and is rejected.
+		share := age / sim.Duration(m.Load()+1)
+		if p.UTime*2 < share {
+			continue
+		}
+		if best == nil || p.UTime > best.UTime {
+			best = p
+		}
+	}
+	return best
+}
+
+// Step samples load once and performs at most one migration. It reports
+// whether it migrated anything.
+func (b *Balancer) Step(t *sim.Task) bool {
+	if len(b.Machines) < 2 {
+		return false
+	}
+	busiest, idlest := b.Machines[0], b.Machines[0]
+	for _, m := range b.Machines[1:] {
+		if m.Load() > busiest.Load() {
+			busiest = m
+		}
+		if m.Load() < idlest.Load() {
+			idlest = m
+		}
+	}
+	min := b.MinImbalance
+	if min <= 0 {
+		min = 2
+	}
+	if busiest == idlest || busiest.Load()-idlest.Load() < min {
+		return false
+	}
+	p := b.candidate(busiest, t.Now())
+	if p == nil {
+		return false
+	}
+	pid := p.PID
+	newPid, err := MigrateProc(t, busiest, idlest, pid)
+	if err != nil {
+		return false
+	}
+	b.Events = append(b.Events, MigrationEvent{
+		At: t.Now(), PID: pid, New: newPid, From: busiest.Name, To: idlest.Name,
+	})
+	return true
+}
+
+// Run samples every Period until the stop condition reports true (checked
+// after each step). Typical stop conditions: all jobs finished, or a
+// simulated-time budget elapsed.
+func (b *Balancer) Run(t *sim.Task, stop func() bool) {
+	for !stop() {
+		t.Sleep(b.Period)
+		b.Step(t)
+	}
+}

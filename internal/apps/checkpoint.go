@@ -1,0 +1,212 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"procmig/internal/core"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+)
+
+// Checkpoint application (§8): "we may write an application to take
+// periodic snapshots of [a long-running program] and save those snapshots
+// by moving them to a directory managed by the application ... which would
+// then allow us to restart a program at its n-th checkpoint. The
+// application should also make copies of all files that were open when
+// the process was checkpointed."
+//
+// ckpt -p pid -i intervalSeconds -n count -d dir
+//
+//	Take count snapshots of pid, interval seconds apart, into dir/ckpt<i>/.
+//	Each snapshot kills the process with SIGDUMP (via dumpproc) and
+//	immediately restarts it locally; the process continues under a new
+//	pid, which ckpt tracks. Exit 0 once all snapshots are stored.
+//
+// ckptrestore -d dir -n i
+//
+//	Restore the program from its i-th checkpoint: copy the dump files
+//	back to /usr/tmp, put back the saved copies of the files that were
+//	open at snapshot time, and run restart.
+const (
+	ProgCkpt        = "ckpt"
+	ProgCkptRestore = "ckptrestore"
+)
+
+// CheckpointPrograms returns the checkpoint commands for registration.
+func CheckpointPrograms() map[string]kernel.HostedProg {
+	return map[string]kernel.HostedProg{
+		ProgCkpt:        CkptMain,
+		ProgCkptRestore: CkptRestoreMain,
+	}
+}
+
+// snapshotDir names the directory of the i-th checkpoint.
+func snapshotDir(dir string, n int) string {
+	return fmt.Sprintf("%s/ckpt%d", dir, n)
+}
+
+// copyFile copies src to dst through the syscall interface.
+func copyFile(sys *kernel.Sys, src, dst string) bool {
+	data, e := core.ReadAll(sys, src)
+	if e != 0 {
+		return false
+	}
+	return core.WriteAll(sys, dst, data, 0o600) == 0
+}
+
+func runAndWait(sys *kernel.Sys, path string, args ...string) int {
+	pid, e := sys.Spawn(path, append([]string{path}, args...), nil)
+	if e != 0 {
+		return -1
+	}
+	for {
+		rp, status, e := sys.Wait()
+		if e != 0 {
+			return -1
+		}
+		if rp == pid {
+			return status >> 8
+		}
+	}
+}
+
+// CkptMain implements the ckpt command.
+func CkptMain(sys *kernel.Sys, args []string) int {
+	flags := parseFlags(args[1:])
+	pid, err1 := strconv.Atoi(flags["p"])
+	interval, err2 := strconv.Atoi(flags["i"])
+	count, err3 := strconv.Atoi(flags["n"])
+	dir := flags["d"]
+	if err1 != nil || err2 != nil || err3 != nil || dir == "" || pid <= 0 || count <= 0 {
+		sys.Write(2, []byte("usage: ckpt -p pid -i intervalSec -n count -d dir\n"))
+		return 2
+	}
+	sys.Mkdir(dir, 0o700)
+
+	cur := pid
+	for snap := 1; snap <= count; snap++ {
+		sys.Sleep(sim.Duration(interval) * sim.Second)
+
+		// Snapshot: SIGDUMP via dumpproc (the process dies)...
+		if st := runAndWait(sys, "/bin/dumpproc", "-p", fmt.Sprint(cur)); st != 0 {
+			sys.Write(2, []byte("ckpt: dumpproc failed\n"))
+			return 1
+		}
+		sdir := snapshotDir(dir, snap)
+		if e := sys.Mkdir(sdir, 0o700); e != 0 {
+			sys.Write(2, []byte("ckpt: mkdir "+sdir+": "+e.Error()+"\n"))
+			return 1
+		}
+		aoutP, filesP, stackP := core.DumpPaths("", cur)
+		if !copyFile(sys, aoutP, sdir+"/a.out") ||
+			!copyFile(sys, filesP, sdir+"/files") ||
+			!copyFile(sys, stackP, sdir+"/stack") {
+			sys.Write(2, []byte("ckpt: saving dump files failed\n"))
+			return 1
+		}
+
+		// Copy every open file so later modifications cannot corrupt the
+		// checkpoint's view. META records the pid and the fd→path map.
+		meta := fmt.Sprintf("pid %d\n", cur)
+		filesRaw, e := core.ReadAll(sys, filesP)
+		if e != 0 {
+			return 1
+		}
+		ff, derr := core.DecodeFiles(filesRaw)
+		if derr != nil {
+			return 1
+		}
+		for fd, ent := range ff.FDs {
+			if ent.Kind != core.FDFile || strings.HasSuffix(ent.Path, "/dev/tty") {
+				continue
+			}
+			if copyFile(sys, ent.Path, fmt.Sprintf("%s/fd%d", sdir, fd)) {
+				meta += fmt.Sprintf("fd %d %s\n", fd, ent.Path)
+			}
+		}
+		if core.WriteAll(sys, sdir+"/META", []byte(meta), 0o600) != 0 {
+			return 1
+		}
+
+		// ...and resume it right away with a local restart. The restarted
+		// process is our child under a new pid.
+		newPid, e := sys.Spawn("/bin/restart",
+			[]string{"restart", "-p", fmt.Sprint(cur)}, nil)
+		if e != 0 {
+			sys.Write(2, []byte("ckpt: restart spawn failed\n"))
+			return 1
+		}
+		if st, e := sys.WaitRestarted(newPid); e != 0 || st != 0 {
+			sys.Write(2, []byte("ckpt: restart failed\n"))
+			return 1
+		}
+		cur = newPid
+	}
+	return 0
+}
+
+// CkptRestoreMain implements the ckptrestore command.
+func CkptRestoreMain(sys *kernel.Sys, args []string) int {
+	flags := parseFlags(args[1:])
+	n, err := strconv.Atoi(flags["n"])
+	dir := flags["d"]
+	if err != nil || dir == "" || n <= 0 {
+		sys.Write(2, []byte("usage: ckptrestore -d dir -n checkpoint\n"))
+		return 2
+	}
+	sdir := snapshotDir(dir, n)
+	metaRaw, e := core.ReadAll(sys, sdir+"/META")
+	if e != 0 {
+		sys.Write(2, []byte("ckptrestore: no checkpoint "+fmt.Sprint(n)+"\n"))
+		return 1
+	}
+	pid := 0
+	type fdcopy struct {
+		fd   int
+		path string
+	}
+	var copies []fdcopy
+	for _, line := range strings.Split(string(metaRaw), "\n") {
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 2 && fields[0] == "pid":
+			pid, _ = strconv.Atoi(fields[1])
+		case len(fields) == 3 && fields[0] == "fd":
+			fd, _ := strconv.Atoi(fields[1])
+			copies = append(copies, fdcopy{fd: fd, path: fields[2]})
+		}
+	}
+	if pid == 0 {
+		sys.Write(2, []byte("ckptrestore: corrupt META\n"))
+		return 1
+	}
+
+	// Put the dump files back under the original pid's names.
+	aoutP, filesP, stackP := core.DumpPaths("", pid)
+	if !copyFile(sys, sdir+"/a.out", aoutP) ||
+		!copyFile(sys, sdir+"/files", filesP) ||
+		!copyFile(sys, sdir+"/stack", stackP) {
+		sys.Write(2, []byte("ckptrestore: restoring dump files failed\n"))
+		return 1
+	}
+	// Restore the open files' contents as of the checkpoint, presenting a
+	// consistent view to the restarted program.
+	for _, fc := range copies {
+		if !copyFile(sys, fmt.Sprintf("%s/fd%d", sdir, fc.fd), fc.path) {
+			sys.Write(2, []byte("ckptrestore: restoring "+fc.path+" failed\n"))
+			return 1
+		}
+	}
+
+	newPid, e := sys.Spawn("/bin/restart", []string{"restart", "-p", fmt.Sprint(pid)}, nil)
+	if e != 0 {
+		return 1
+	}
+	if st, e := sys.WaitRestarted(newPid); e != 0 || st != 0 {
+		sys.Write(2, []byte("ckptrestore: restart failed\n"))
+		return 1
+	}
+	return 0
+}

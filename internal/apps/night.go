@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+)
+
+// NightScheduler implements the paper's second §8 application: CPU hogs
+// with large expected running times are confined to one machine during
+// the day, when users want the workstations, and spread evenly across the
+// network at night, when the load is low.
+type NightScheduler struct {
+	Home     *kernel.Machine   // where hogs live during the day
+	Machines []*kernel.Machine // the whole network (includes Home)
+
+	// Jobs tracks the hogs by their current (machine, pid); Add registers
+	// them, and migrations keep the entries up to date.
+	jobs []*nightJob
+
+	Events []MigrationEvent
+}
+
+type nightJob struct {
+	m   *kernel.Machine
+	pid int
+}
+
+// Add registers a running CPU hog to be managed.
+func (ns *NightScheduler) Add(m *kernel.Machine, pid int) {
+	ns.jobs = append(ns.jobs, &nightJob{m: m, pid: pid})
+}
+
+// Running reports how many managed jobs are still alive.
+func (ns *NightScheduler) Running() int {
+	alive := 0
+	for _, j := range ns.jobs {
+		if p, ok := j.m.FindProc(j.pid); ok && p.State == kernel.ProcRunning {
+			alive++
+		}
+	}
+	return alive
+}
+
+// Placement reports how many live jobs run on each machine.
+func (ns *NightScheduler) Placement() map[string]int {
+	out := map[string]int{}
+	for _, j := range ns.jobs {
+		if p, ok := j.m.FindProc(j.pid); ok && p.State == kernel.ProcRunning {
+			out[j.m.Name]++
+		}
+	}
+	return out
+}
+
+func (ns *NightScheduler) moveJob(t *sim.Task, j *nightJob, dst *kernel.Machine) {
+	if j.m == dst {
+		return
+	}
+	if p, ok := j.m.FindProc(j.pid); !ok || p.State != kernel.ProcRunning {
+		return
+	}
+	newPid, err := MigrateProc(t, j.m, dst, j.pid)
+	if err != nil {
+		return
+	}
+	ns.Events = append(ns.Events, MigrationEvent{
+		At: t.Now(), PID: j.pid, New: newPid, From: j.m.Name, To: dst.Name,
+	})
+	j.m = dst
+	j.pid = newPid
+}
+
+// Nightfall spreads the managed jobs round-robin across all machines.
+func (ns *NightScheduler) Nightfall(t *sim.Task) {
+	i := 0
+	for _, j := range ns.jobs {
+		if p, ok := j.m.FindProc(j.pid); !ok || p.State != kernel.ProcRunning {
+			continue
+		}
+		ns.moveJob(t, j, ns.Machines[i%len(ns.Machines)])
+		i++
+	}
+}
+
+// Daybreak brings every managed job back to the home machine.
+func (ns *NightScheduler) Daybreak(t *sim.Task) {
+	for _, j := range ns.jobs {
+		ns.moveJob(t, j, ns.Home)
+	}
+}

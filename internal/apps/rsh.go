@@ -1,0 +1,221 @@
+// Package apps implements the applications around the migration
+// mechanism: the rsh facility migrate leans on (§4.1), the migration
+// daemon the paper proposes as rsh's replacement (§6.4), and the §8
+// applications — checkpointing and load balancing.
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+)
+
+// Service ports.
+const (
+	RshPort  = 514
+	MigdPort = 515
+)
+
+// Era-appropriate costs. rsh's connection setup (reserved-port allocation,
+// name service lookups, rshd fork and .rhosts validation) dominated its
+// latency on 1987 Suns; the paper reports migrate paying "as much as ten
+// times more" than dumpproc+restart because of it (§6.4). These are vars
+// so the ablation benchmarks can sweep them.
+var (
+	RshConnectCost  sim.Duration = 11 * sim.Second
+	RshdSetupCost   sim.Duration = 1500 * sim.Millisecond
+	MigdRequestCost sim.Duration = 120 * sim.Millisecond
+)
+
+// remoteReq asks a daemon to run a command as a user.
+type remoteReq struct {
+	UID, GID int
+	Cmd      string // program name under /bin
+	Args     []string
+}
+
+// remoteResp reports the command's exit status and terminal output.
+type remoteResp struct {
+	Status int
+	Output string
+	Err    string
+}
+
+func encode(v any) []byte {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		panic("apps: encode: " + err.Error())
+	}
+	return b.Bytes()
+}
+
+func decode(raw []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(v)
+}
+
+// runRemoteCommand executes one daemon request on machine m: spawn the
+// program on a network pty and wait for it.
+func runRemoteCommand(t *sim.Task, m *kernel.Machine, req *remoteReq) *remoteResp {
+	pty := tty.NewNetworkPTY(m.Engine(), "net-pty")
+	creds := kernel.Creds{UID: req.UID, GID: req.GID, EUID: req.UID, EGID: req.GID}
+	stdio := m.NewTerminalFile(kernel.NewTTYDevice(pty))
+	p, err := m.Spawn(kernel.SpawnSpec{
+		Path:       "/bin/" + req.Cmd,
+		Args:       append([]string{req.Cmd}, req.Args...),
+		Creds:      creds,
+		CWD:        "/",
+		TTY:        pty,
+		InheritFDs: []*kernel.File{stdio, stdio, stdio},
+	})
+	if err != nil {
+		return &remoteResp{Status: -1, Err: err.Error()}
+	}
+	// A restart command that succeeds does not exit — it becomes the
+	// migrated process; treat that as successful completion.
+	status, _ := p.AwaitExitOrMigrated(t)
+	return &remoteResp{Status: status, Output: pty.Output()}
+}
+
+// StartRshd registers the remote-shell daemon for machine m on its
+// network host.
+func StartRshd(m *kernel.Machine, host *netsim.Host) error {
+	return host.Listen(RshPort, func(t *sim.Task, raw []byte) []byte {
+		var req remoteReq
+		if err := decode(raw, &req); err != nil {
+			return encode(&remoteResp{Status: -1, Err: "bad request"})
+		}
+		if t != nil {
+			t.Sleep(RshdSetupCost) // fork, .rhosts validation, pty setup
+		}
+		return encode(runRemoteCommand(t, m, &req))
+	})
+}
+
+// NewRsh builds the rsh client program for a machine attached to the
+// network at host. Usage: rsh host command [args...].
+func NewRsh(host *netsim.Host) kernel.HostedProg {
+	return func(sys *kernel.Sys, args []string) int {
+		if len(args) < 3 {
+			sys.Write(2, []byte("usage: rsh host command [args...]\n"))
+			return 2
+		}
+		// Connection establishment: the expensive part.
+		sys.Sleep(RshConnectCost)
+		req := &remoteReq{UID: sys.Getuid(), GID: sys.Proc().Creds.GID, Cmd: args[2], Args: args[3:]}
+		raw, err := host.Call(nil, args[1], RshPort, encode(req))
+		if err != nil {
+			sys.Write(2, []byte("rsh: "+args[1]+": "+err.Error()+"\n"))
+			return 1
+		}
+		var resp remoteResp
+		if err := decode(raw, &resp); err != nil {
+			return 1
+		}
+		if resp.Output != "" {
+			sys.Write(1, []byte(resp.Output))
+		}
+		if resp.Err != "" {
+			sys.Write(2, []byte("rsh: "+resp.Err+"\n"))
+		}
+		return resp.Status
+	}
+}
+
+// StartMigd registers the migration daemon the paper proposes in §6.4:
+// "instead of using rsh to start processes remotely, applications will
+// simply send messages to the daemon, who will start the processes on
+// their behalf" — a well-known port, no per-invocation connection setup.
+func StartMigd(m *kernel.Machine, host *netsim.Host) error {
+	return host.Listen(MigdPort, func(t *sim.Task, raw []byte) []byte {
+		var req remoteReq
+		if err := decode(raw, &req); err != nil {
+			return encode(&remoteResp{Status: -1, Err: "bad request"})
+		}
+		if t != nil {
+			t.Sleep(MigdRequestCost)
+		}
+		return encode(runRemoteCommand(t, m, &req))
+	})
+}
+
+// NewFastMigrate builds the improved migrate that talks to migd instead
+// of shelling out through rsh. Usage: fmigrate -p pid [-f from] [-t to].
+func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
+	return func(sys *kernel.Sys, args []string) int {
+		flags := parseFlags(args[1:])
+		pidStr := flags["p"]
+		if pidStr == "" {
+			sys.Write(2, []byte("usage: fmigrate -p pid [-f fromhost] [-t tohost]\n"))
+			return 2
+		}
+		local := sys.Gethostname()
+		from, to := flags["f"], flags["t"]
+		if from == "" {
+			from = local
+		}
+		if to == "" {
+			to = local
+		}
+		runOn := func(target, cmd string, cargs ...string) int {
+			if target == local {
+				pid, e := sys.Spawn("/bin/"+cmd, append([]string{cmd}, cargs...), nil)
+				if e != 0 {
+					return -1
+				}
+				if cmd == "restart" {
+					status, e := sys.WaitRestarted(pid)
+					if e != 0 {
+						return -1
+					}
+					return status
+				}
+				for {
+					rp, status, e := sys.Wait()
+					if e != 0 {
+						return -1
+					}
+					if rp == pid {
+						return status >> 8
+					}
+				}
+			}
+			req := &remoteReq{UID: sys.Getuid(), GID: sys.Proc().Creds.GID, Cmd: cmd, Args: cargs}
+			raw, err := host.Call(nil, target, MigdPort, encode(req))
+			if err != nil {
+				return -1
+			}
+			var resp remoteResp
+			if decode(raw, &resp) != nil {
+				return -1
+			}
+			return resp.Status
+		}
+		if st := runOn(from, "dumpproc", "-p", pidStr); st != 0 {
+			sys.Write(2, []byte("fmigrate: dumpproc failed\n"))
+			return 1
+		}
+		if st := runOn(to, "restart", "-p", pidStr, "-h", from); st != 0 {
+			sys.Write(2, []byte("fmigrate: restart failed\n"))
+			return 1
+		}
+		return 0
+	}
+}
+
+// parseFlags parses "-x value" options (duplicated from core to keep the
+// packages independent).
+func parseFlags(args []string) map[string]string {
+	out := map[string]string{}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) > 1 && a[0] == '-' && i+1 < len(args) {
+			out[a[1:]] = args[i+1]
+			i++
+		}
+	}
+	return out
+}

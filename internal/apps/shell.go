@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"procmig/internal/kernel"
+)
+
+// ProgShell is a small login shell, so the paper's user interactions
+// (§4.2) can be typed at a simulated terminal verbatim. It supports
+// /bin command lookup, absolute paths, `&` backgrounding, and the
+// builtins cd, pwd, jobs and exit. Commands that overlay themselves via
+// rest_proc (restart) are treated as complete once migrated, like
+// everywhere else.
+const ProgShell = "sh"
+
+// ShellPrograms returns the shell for registration.
+func ShellPrograms() map[string]kernel.HostedProg {
+	return map[string]kernel.HostedProg{ProgShell: ShellMain}
+}
+
+// ShellMain implements the shell.
+func ShellMain(sys *kernel.Sys, args []string) int {
+	type job struct {
+		pid int
+		cmd string
+	}
+	var jobs []job
+	print := func(s string) { sys.Write(1, []byte(s)) }
+
+	readLine := func() (string, bool) {
+		var line []byte
+		for {
+			chunk, e := sys.Read(0, 256)
+			if e != 0 {
+				return "", false // interrupted or error: give up cleanly
+			}
+			if len(chunk) == 0 {
+				return string(line), false // EOF
+			}
+			line = append(line, chunk...)
+			if line[len(line)-1] == '\n' {
+				return strings.TrimRight(string(line), "\n"), true
+			}
+		}
+	}
+
+	// reapBackground collects finished background jobs, non-blockingly:
+	// a zombie child is reaped by Wait without blocking only if one
+	// exists, so check the process table first.
+	reapBackground := func() {
+		for {
+			reaped := false
+			for i, j := range jobs {
+				p, ok := sys.Machine().FindProc(j.pid)
+				if ok && p.State == kernel.ProcRunning {
+					continue
+				}
+				// Zombie (or gone): reap it.
+				if ok {
+					pid, status, e := sys.Wait()
+					if e != 0 {
+						break
+					}
+					print(fmt.Sprintf("[%s done, status %d]\n", j.cmd, status>>8))
+					_ = pid
+				}
+				jobs = append(jobs[:i], jobs[i+1:]...)
+				reaped = true
+				break
+			}
+			if !reaped {
+				return
+			}
+		}
+	}
+
+	for {
+		reapBackground()
+		print("$ ")
+		line, more := readLine()
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			if !more {
+				return 0
+			}
+			continue
+		}
+		background := false
+		if fields[len(fields)-1] == "&" {
+			background = true
+			fields = fields[:len(fields)-1]
+		}
+		if len(fields) == 0 {
+			continue
+		}
+
+		switch fields[0] {
+		case "exit":
+			return 0
+		case "cd":
+			dir := "/"
+			if len(fields) > 1 {
+				dir = fields[1]
+			}
+			if e := sys.Chdir(dir); e != 0 {
+				print("cd: " + dir + ": " + e.Error() + "\n")
+			}
+			continue
+		case "pwd":
+			print(sys.Getcwd() + "\n")
+			continue
+		case "jobs":
+			for _, j := range jobs {
+				print(fmt.Sprintf("[%d] %s\n", j.pid, j.cmd))
+			}
+			continue
+		}
+
+		path := fields[0]
+		if !strings.Contains(path, "/") {
+			path = "/bin/" + path
+		}
+		// Exec failures happen in the child; check for the executable up
+		// front so the user gets "command not found" at the prompt.
+		if _, e := sys.Stat(path); e != 0 {
+			print(fields[0] + ": " + e.Error() + "\n")
+			continue
+		}
+		pid, e := sys.Spawn(path, fields, nil)
+		if e != 0 {
+			print(fields[0] + ": " + e.Error() + "\n")
+			continue
+		}
+		if background {
+			jobs = append(jobs, job{pid: pid, cmd: fields[0]})
+			print(fmt.Sprintf("[%d]\n", pid))
+			continue
+		}
+		// Foreground: wait for the child to exit. For a successful
+		// restart that means waiting for the overlaid program itself —
+		// the user interacts with it and gets the prompt back when it
+		// finishes, exactly as at a real shell.
+		status := 0
+		for {
+			rp, st, e := sys.Wait()
+			if e != 0 {
+				status = -1
+				break
+			}
+			if rp == pid {
+				status = st >> 8
+				break
+			}
+		}
+		if status > 0 {
+			print(fmt.Sprintf("[status %d]\n", status))
+		}
+		if !more {
+			return 0
+		}
+	}
+}

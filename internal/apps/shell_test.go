@@ -1,0 +1,138 @@
+package apps_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmig/internal/cluster"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+)
+
+func startShell(t *testing.T, c *cluster.Cluster, host string, term *tty.Terminal) *kernel.Proc {
+	t.Helper()
+	p, err := c.Spawn(host, term, user, "/bin/sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestShellBuiltinsAndCommands(t *testing.T) {
+	c := boot(t, "brick")
+	term := c.Console("brick")
+	c.Eng.Go("user", func(tk *sim.Task) {
+		sh := startShell(t, c, "brick", term)
+		type_ := func(s string) {
+			term.Type(s + "\n")
+			tk.Sleep(sim.Second)
+		}
+		tk.Sleep(sim.Second)
+		type_("pwd")
+		type_("cd /usr/tmp")
+		type_("pwd")
+		type_("cd /no/such/dir")
+		type_("nosuchprogram")
+		type_("ps")
+		type_("exit")
+		if st := sh.AwaitExit(tk); st != 0 {
+			t.Errorf("shell exit = %d", st)
+		}
+	})
+	run(t, c)
+	out := term.Output()
+	for _, want := range []string{"/home\n", "/usr/tmp\n", "cd: /no/such/dir:", "nosuchprogram:", "COMMAND"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shell transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellBackgroundJobs(t *testing.T) {
+	c := boot(t, "brick")
+	if err := c.InstallVM("/bin/job", cluster.FiniteHogSrc); err != nil {
+		t.Fatal(err)
+	}
+	term := c.Console("brick")
+	c.Eng.Go("user", func(tk *sim.Task) {
+		sh := startShell(t, c, "brick", term)
+		tk.Sleep(sim.Second)
+		term.Type("job &\n")
+		tk.Sleep(sim.Second)
+		term.Type("jobs\n")
+		tk.Sleep(40 * sim.Second) // job (~33s) finishes in the background
+		term.Type("jobs\n")       // triggers the reap + "[job done]"
+		tk.Sleep(sim.Second)
+		term.Type("exit\n")
+		sh.AwaitExit(tk)
+	})
+	run(t, c)
+	out := term.Output()
+	if !strings.Contains(out, "] job\n") {
+		t.Fatalf("jobs listing missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[job done, status 0]") {
+		t.Fatalf("background completion not reported:\n%s", out)
+	}
+}
+
+// TestPaperSection42Verbatim types the paper's §4.2 example at two
+// simulated shells: determine the pid with ps, "dumpproc -p <pid>" on a
+// terminal on brick, then "restart -p <pid> -h brick" on a terminal on
+// schooner; the program continues there.
+func TestPaperSection42Verbatim(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/counter", cluster.TestProgramSrc); err != nil {
+		t.Fatal(err)
+	}
+	brickTTY := c.Console("brick")
+	schoonerTTY := c.Console("schooner")
+
+	var counter *kernel.Proc
+	c.Eng.Go("user", func(tk *sim.Task) {
+		// The program whose pid "we have determined using the UNIX ps
+		// command" — here we just start it and note the pid.
+		counter, _ = c.Spawn("brick", brickTTY, user, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+
+		// A shell on a second terminal on brick.
+		brickSh, _, err := c.NewTerminal("brick", "ttyb1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sh1 := startShell(t, c, "brick", brickSh)
+		tk.Sleep(sim.Second)
+		brickSh.Type(fmt.Sprintf("dumpproc -p %d\n", counter.PID))
+		tk.Sleep(5 * sim.Second)
+		brickSh.Type("exit\n")
+		sh1.AwaitExit(tk)
+
+		// A shell on a terminal on schooner.
+		sh2 := startShell(t, c, "schooner", schoonerTTY)
+		tk.Sleep(sim.Second)
+		schoonerTTY.Type(fmt.Sprintf("restart -p %d -h brick\n", counter.PID))
+		tk.Sleep(2 * sim.Second)
+		// The restarted program now owns the terminal (the shell waits
+		// for it). Interact, then end it; the prompt comes back.
+		schoonerTTY.Type("typed on schooner\n")
+		tk.Sleep(2 * sim.Second)
+		schoonerTTY.TypeEOF() // program exits; shell sees EOF next and exits
+		sh2.AwaitExit(tk)
+	})
+	run(t, c)
+
+	out := schoonerTTY.Output()
+	if !strings.Contains(out, "R2 D2 S2") {
+		t.Fatalf("program did not continue on schooner:\n%s", out)
+	}
+	data, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil || string(data) != "typed on schooner\n" {
+		t.Fatalf("output file = %q err = %v", data, err)
+	}
+	if counter.KilledBy != kernel.SIGDUMP {
+		t.Fatalf("victim killed by %v", counter.KilledBy)
+	}
+}

@@ -1,0 +1,783 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmig/internal/cluster"
+	"procmig/internal/core"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+	"procmig/internal/vm"
+)
+
+var user = cluster.DefaultUser
+
+func boot(t *testing.T, names ...string) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.NewSimple(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallVM("/bin/counter", cluster.TestProgramSrc); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func run(t *testing.T, c *cluster.Cluster) {
+	t.Helper()
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spawnOK(t *testing.T, c *cluster.Cluster, host string, term *tty.Terminal, path string, args ...string) *kernel.Proc {
+	t.Helper()
+	p, err := c.Spawn(host, term, user, path, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDumpRestartLocal dumps the paper's test program mid-read and
+// restarts it on the same machine: all three counters must continue, the
+// output file must keep its offset, and the restarted process must read
+// from the restarting user's terminal.
+func TestDumpRestartLocal(t *testing.T) {
+	c := boot(t, "brick")
+	term := c.Console("brick")
+	term2, _, err := c.NewTerminal("brick", "ttyp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var counter, dp, rp *kernel.Proc
+	var dpStatus, rpStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		counter = spawnOK(t, c, "brick", term, "/bin/counter")
+		tk.Sleep(2 * sim.Second) // prints R1 D1 S1, blocks reading
+		term.Type("alpha\n")
+		tk.Sleep(2 * sim.Second) // prints R2 D2 S2, blocks again
+
+		dp = spawnOK(t, c, "brick", term2, "/bin/dumpproc", "-p", fmt.Sprint(counter.PID))
+		dpStatus = dp.AwaitExit(tk)
+
+		rp = spawnOK(t, c, "brick", term2, "/bin/restart", "-p", fmt.Sprint(counter.PID))
+		tk.Sleep(2 * sim.Second) // restarted program re-issues the read
+		term2.Type("beta\n")
+		tk.Sleep(2 * sim.Second) // prints R3 D3 S3
+		term2.TypeEOF()
+		rpStatus = rp.AwaitExit(tk)
+	})
+	run(t, c)
+
+	if dpStatus != 0 {
+		t.Fatalf("dumpproc exit = %d (tty2: %q)", dpStatus, term2.Output())
+	}
+	if rpStatus != 0 {
+		t.Fatalf("restart/program exit = %d (tty2: %q)", rpStatus, term2.Output())
+	}
+	if counter.KilledBy != kernel.SIGDUMP {
+		t.Fatalf("original process killed by %v", counter.KilledBy)
+	}
+	out1 := term.Output()
+	if !strings.Contains(out1, "R1 D1 S1\n") || !strings.Contains(out1, "R2 D2 S2\n") {
+		t.Fatalf("first terminal output = %q", out1)
+	}
+	out2 := term2.Output()
+	if !strings.Contains(out2, "R3 D3 S3\n") {
+		t.Fatalf("restart terminal output = %q: counters did not continue", out2)
+	}
+	if strings.Contains(out2, "R1 ") {
+		t.Fatalf("restarted program started over: %q", out2)
+	}
+	// The output file kept its offset: alpha then beta, no gap, no clobber.
+	data, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "alpha\nbeta\n" {
+		t.Fatalf("output file = %q, want alpha then beta", data)
+	}
+}
+
+// TestMigrateRemote runs the full migrate command moving the test program
+// from brick to schooner, invoked on a third machine per §4.2.
+func TestMigrateRemote(t *testing.T) {
+	c := boot(t, "brick", "schooner", "brador")
+	src := c.Console("brick")
+	dstTerm, _, err := c.NewTerminal("schooner", "ttyp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var counter, mig *kernel.Proc
+	var migStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		counter = spawnOK(t, c, "brick", src, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		src.Type("one\n")
+		tk.Sleep(2 * sim.Second)
+
+		// migrate -p pid -f brick -t schooner, typed on schooner so that
+		// restart runs locally there and the terminal is preserved.
+		mig = spawnOK(t, c, "schooner", dstTerm, "/bin/migrate",
+			"-p", fmt.Sprint(counter.PID), "-f", "brick", "-t", "schooner")
+		migStatus = mig.AwaitExit(tk)
+
+		tk.Sleep(2 * sim.Second)
+		dstTerm.Type("two\n")
+		tk.Sleep(2 * sim.Second)
+		dstTerm.TypeEOF()
+	})
+	run(t, c)
+
+	if migStatus != 0 {
+		t.Fatalf("migrate exit = %d (dst tty: %q)", migStatus, dstTerm.Output())
+	}
+	if !strings.Contains(dstTerm.Output(), "R3 D3 S3\n") {
+		t.Fatalf("dst terminal = %q: counters did not continue on schooner", dstTerm.Output())
+	}
+	// The output file lives on brick and accumulated both lines via NFS.
+	data, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "one\ntwo\n" {
+		t.Fatalf("output file = %q", data)
+	}
+	// Exactly one process remains running anywhere: the migrated one died
+	// with the EOF, so actually none.
+	for _, name := range c.Names() {
+		if n := len(c.Machine(name).Procs()); n != 0 {
+			t.Fatalf("%s still has %d processes", name, n)
+		}
+	}
+}
+
+// TestDumpFilesContents checks the three files of §4.3 exist with the
+// right magics and contents after a SIGDUMP.
+func TestDumpFilesContents(t *testing.T) {
+	c := boot(t, "brick")
+	term := c.Console("brick")
+	var counter *kernel.Proc
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		counter = spawnOK(t, c, "brick", term, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", term, "/bin/dumpproc", "-p", fmt.Sprint(counter.PID))
+		dp.AwaitExit(tk)
+	})
+	run(t, c)
+
+	ns := c.Machine("brick").NS()
+	aoutPath, filesPath, stackPath := core.DumpPaths("", counter.PID)
+
+	filesRaw, err := ns.ReadFile(filesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := core.DecodeFiles(filesRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Host != "brick" {
+		t.Fatalf("host = %q", ff.Host)
+	}
+	if ff.CWD != "/n/brick/home" {
+		t.Fatalf("cwd = %q (dumpproc should have prepended /n/brick)", ff.CWD)
+	}
+	// fd 0,1,2 terminal; fd 3 the output file.
+	for fd := 0; fd <= 2; fd++ {
+		if ff.FDs[fd].Kind != core.FDFile || ff.FDs[fd].Path != "/dev/tty" {
+			t.Fatalf("fd %d = %+v", fd, ff.FDs[fd])
+		}
+	}
+	if ff.FDs[3].Kind != core.FDFile || ff.FDs[3].Path != "/n/brick/home/out" {
+		t.Fatalf("fd 3 = %+v", ff.FDs[3])
+	}
+	if ff.FDs[4].Kind != core.FDUnused {
+		t.Fatalf("fd 4 = %+v", ff.FDs[4])
+	}
+
+	stackRaw, err := ns.ReadFile(stackPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := core.DecodeStack(stackRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Creds != user {
+		t.Fatalf("creds = %+v", sf.Creds)
+	}
+	if len(sf.Stack) == 0 {
+		t.Fatal("empty stack dump")
+	}
+	if sf.Regs.R[7] != 1 {
+		t.Fatalf("register counter in dump = %d, want 1", sf.Regs.R[7])
+	}
+
+	aoutRaw, err := ns.ReadFile(aoutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aoutRaw) == 0 {
+		t.Fatal("empty a.out dump")
+	}
+	// Permissions: only the owner can read the dumps.
+	attr, err := ns.Stat(stackPath)
+	if err != nil || attr.Mode != 0o700 || attr.UID != user.UID {
+		t.Fatalf("stack dump attr = %+v err = %v", attr, err)
+	}
+}
+
+// TestDumpedAoutRunsFromBeginning verifies §4.3's observation that the
+// a.outXXXXX file is an ordinary executable: running it is like running
+// the original from the start except statics keep their dumped values.
+func TestDumpedAoutRunsFromBeginning(t *testing.T) {
+	c := boot(t, "brick")
+	term := c.Console("brick")
+	term2, _, err := c.NewTerminal("brick", "ttyp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter *kernel.Proc
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		counter = spawnOK(t, c, "brick", term, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		term.Type("x\n")
+		tk.Sleep(2 * sim.Second) // static counter now 2, blocked mid-read
+		dp := spawnOK(t, c, "brick", term, "/bin/dumpproc", "-p", fmt.Sprint(counter.PID))
+		dp.AwaitExit(tk)
+
+		// Execute the dumped a.out as an ordinary program on a fresh tty.
+		aoutPath, _, _ := core.DumpPaths("", counter.PID)
+		fresh := spawnOK(t, c, "brick", term2, aoutPath)
+		tk.Sleep(2 * sim.Second)
+		term2.TypeEOF()
+		fresh.AwaitExit(tk)
+	})
+	run(t, c)
+	// Fresh run: register counter restarts at 1 but the static variable
+	// carried its dumped value (2), so the first line is "R1 D3 S1".
+	if !strings.Contains(term2.Output(), "R1 D3 S1\n") {
+		t.Fatalf("fresh-run output = %q, want R1 D3 S1 (statics preserved)", term2.Output())
+	}
+}
+
+// TestSocketBecomesNull: a process with an open socket migrates, and the
+// socket's descriptor slot is redirected to /dev/null (§7).
+func TestSocketBecomesNull(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/sockprog", `
+; open a socket on fd 3, then loop: read stdin, write a byte to the
+; socket fd, repeat. Exits 7 if the socket write errors.
+start:  sys  socket
+        mov  r4, r0
+loop:   movi r0, 0
+        movi r1, buf
+        movi r2, 16
+        sys  read
+        cmpi r0, 0
+        jeq  done
+        mov  r0, r4
+        movi r1, buf
+        movi r2, 1
+        sys  write
+        cmpi r1, 0
+        jne  bad
+        jmp  loop
+done:   movi r0, 0
+        sys  exit
+bad:    movi r0, 7
+        sys  exit
+        .data
+buf:    .space 16
+`); err != nil {
+		t.Fatal(err)
+	}
+	src := c.Console("brick")
+	dst := c.Console("schooner")
+	var p, rp *kernel.Proc
+	var rpStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", src, "/bin/sockprog")
+		tk.Sleep(sim.Second)
+		src.Type("a\n")
+		tk.Sleep(sim.Second)
+
+		dp := spawnOK(t, c, "brick", src, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", dst, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+		tk.Sleep(2 * sim.Second)
+		dst.Type("b\n") // write now goes to /dev/null, must succeed
+		tk.Sleep(sim.Second)
+		dst.TypeEOF()
+		rpStatus = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if rpStatus != 0 {
+		t.Fatalf("restarted socket program exit = %d, want 0 (socket → /dev/null)", rpStatus)
+	}
+	if rp.KilledBy != 0 {
+		t.Fatalf("killed by %v", rp.KilledBy)
+	}
+}
+
+// TestTerminalModesPreservedLocally: a raw-mode program restarted locally
+// keeps raw mode (the paper's screen-editor scenario).
+func TestTerminalModesPreservedLocally(t *testing.T) {
+	c := boot(t, "brick")
+	if err := c.InstallVM("/bin/rawprog", rawProgSrc); err != nil {
+		t.Fatal(err)
+	}
+	term := c.Console("brick")
+	term2, _, err := c.NewTerminal("brick", "ttyp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	var rpStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", term, "/bin/rawprog")
+		tk.Sleep(sim.Second) // program sets raw mode, blocks reading
+		if term.Flags()&tty.Raw == 0 {
+			t.Error("program failed to set raw mode")
+		}
+		dp := spawnOK(t, c, "brick", term2, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "brick", term2, "/bin/restart", "-p", fmt.Sprint(p.PID))
+		tk.Sleep(sim.Second)
+		// Raw mode: a single character with no newline completes the read.
+		term2.Type("q")
+		rpStatus = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if term2.Flags()&tty.Raw == 0 {
+		t.Fatalf("restart did not restore raw mode: flags = %04x", term2.Flags())
+	}
+	if rpStatus != int('q') {
+		t.Fatalf("program exit = %d, want 'q' (%d)", rpStatus, 'q')
+	}
+}
+
+// rawProgSrc sets its terminal to raw mode, reads one byte, exits with it.
+const rawProgSrc = `
+start:  movi r0, 0
+        movi r1, 1       ; IoctlGetTTY
+        sys  ioctl
+        mov  r4, r0
+        movi r5, 4       ; tty.Raw
+        or   r4, r5
+        movi r0, 0
+        movi r1, 2       ; IoctlSetTTY
+        mov  r2, r4
+        sys  ioctl
+        movi r0, 0
+        movi r1, buf
+        movi r2, 1
+        sys  read
+        ldb  r0, r1      ; hmm: need byte at buf
+        movi r1, buf
+        ldb  r0, r1
+        sys  exit
+        .data
+buf:    .space 4
+`
+
+// TestTerminalModesLostThroughRsh: migrating a raw-mode program with the
+// rsh-based migrate cannot preserve raw mode on the destination (§4.1).
+func TestTerminalModesLostThroughRsh(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/rawprog", rawProgSrc); err != nil {
+		t.Fatal(err)
+	}
+	term := c.Console("brick")
+	var p *kernel.Proc
+	var migStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", term, "/bin/rawprog")
+		tk.Sleep(sim.Second)
+		// migrate invoked on brick: restart runs on schooner through rsh,
+		// so the restarted program ends up on a network pty that cannot
+		// hold raw mode.
+		mig := spawnOK(t, c, "brick", term, "/bin/migrate",
+			"-p", fmt.Sprint(p.PID), "-t", "schooner")
+		migStatus = mig.AwaitExit(tk)
+	})
+	// The restarted program blocks forever on its pty (nobody can type on
+	// an rsh pty after rsh returns), so the engine legitimately stalls
+	// with it blocked once everything else has finished.
+	if err := c.Eng.RunUntil(sim.Time(300 * sim.Second)); err != nil {
+		if _, ok := err.(*sim.StallError); !ok {
+			t.Fatal(err)
+		}
+	}
+	if migStatus != 0 {
+		t.Fatalf("migrate exit = %d", migStatus)
+	}
+	// The program is alive on schooner but its terminal is NOT raw.
+	procs := c.Machine("schooner").Procs()
+	if len(procs) != 1 {
+		t.Fatalf("schooner procs = %d", len(procs))
+	}
+	if procs[0].TTY.Flags()&tty.Raw != 0 {
+		t.Fatal("network pty holds raw mode; the paper's caveat is not reproduced")
+	}
+}
+
+// TestISAHeterogeneity: Sun-2 → Sun-3 migrates fine; Sun-3 → Sun-2 is
+// refused because the instruction set would not be a superset (§7).
+func TestISAHeterogeneity(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		Hosts: []cluster.HostSpec{
+			{Name: "sun2", ISA: vm.ISA1},
+			{Name: "sun3", ISA: vm.ISA2},
+		},
+		Config: kernel.Config{TrackNames: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A program using an ISA2 instruction, runnable only on sun3.
+	if err := c.InstallVM("/bin/prog2", `
+start:  movi r7, 0x01020304
+        bswap r7
+loop:   movi r0, 0
+        movi r1, buf
+        movi r2, 8
+        sys  read
+        cmpi r0, 0
+        jne  loop
+        movi r0, 0
+        sys  exit
+        .data
+buf:    .space 8
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallVM("/bin/prog1", cluster.TestProgramSrc); err != nil {
+		t.Fatal(err)
+	}
+
+	var up, down *kernel.Proc
+	var upStatus, downStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		// Upward: ISA1 program from sun2 to sun3.
+		p1 := spawnOK(t, c, "sun2", nil, "/bin/prog1")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "sun2", nil, "/bin/dumpproc", "-p", fmt.Sprint(p1.PID))
+		dp.AwaitExit(tk)
+		up = spawnOK(t, c, "sun3", nil, "/bin/restart", "-p", fmt.Sprint(p1.PID), "-h", "sun2")
+		tk.Sleep(2 * sim.Second)
+		c.Console("sun3").TypeEOF()
+		upStatus = up.AwaitExit(tk)
+
+		// Downward: ISA2 program from sun3 to sun2 must be refused.
+		p2 := spawnOK(t, c, "sun3", nil, "/bin/prog2")
+		tk.Sleep(2 * sim.Second)
+		dp2 := spawnOK(t, c, "sun3", nil, "/bin/dumpproc", "-p", fmt.Sprint(p2.PID))
+		dp2.AwaitExit(tk)
+		down = spawnOK(t, c, "sun2", nil, "/bin/restart", "-p", fmt.Sprint(p2.PID), "-h", "sun3")
+		downStatus = down.AwaitExit(tk)
+	})
+	run(t, c)
+	if upStatus != 0 {
+		t.Fatalf("sun2→sun3 migration failed: %d", upStatus)
+	}
+	if downStatus == 0 {
+		t.Fatal("sun3→sun2 migration of an ISA2 program succeeded; it must be refused")
+	}
+}
+
+// TestPidSpoofing reproduces §7's temporary-file scenario both ways: the
+// badly behaved program breaks without the extension and works with it.
+func TestPidSpoofing(t *testing.T) {
+	for _, spoof := range []bool{false, true} {
+		name := "spoof-off"
+		if spoof {
+			name = "spoof-on"
+		}
+		t.Run(name, func(t *testing.T) {
+			c, err := cluster.New(cluster.Options{
+				Hosts: []cluster.HostSpec{
+					{Name: "brick", ISA: vm.ISA1},
+					{Name: "schooner", ISA: vm.ISA1},
+				},
+				Config: kernel.Config{TrackNames: true, PidSpoof: spoof},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.InstallVM("/bin/tmpfile", cluster.TmpfileSrc); err != nil {
+				t.Fatal(err)
+			}
+			var p, rp *kernel.Proc
+			var status int
+			c.Eng.Go("driver", func(tk *sim.Task) {
+				p = spawnOK(t, c, "brick", nil, "/bin/tmpfile")
+				tk.Sleep(2 * sim.Second) // creates /usr/tmp/tNNNN, blocks on stdin
+				dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+				dp.AwaitExit(tk)
+				rp = spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+				tk.Sleep(2 * sim.Second)
+				c.Console("schooner").Type("go\n")
+				status = rp.AwaitExit(tk)
+			})
+			run(t, c)
+			if spoof && status != 0 {
+				t.Fatalf("with spoofing, tmpfile program exit = %d, want 0", status)
+			}
+			if !spoof && status != 3 {
+				t.Fatalf("without spoofing, tmpfile program exit = %d, want 3 (file not found)", status)
+			}
+		})
+	}
+}
+
+// TestWaitCaveat: a parent migrated while waiting for children gets
+// ECHILD afterwards (§7's "undefined results", made concrete).
+func TestWaitCaveat(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/waiter", cluster.WaiterSrc); err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/waiter")
+		tk.Sleep(2 * sim.Second) // parent blocked in wait, child sleeping 30s
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if status != 10 {
+		t.Fatalf("migrated waiter exit = %d, want 10 (wait must fail with ECHILD)", status)
+	}
+}
+
+// TestSecurityOnlyOwnerCanDump: another user cannot dump someone's
+// process; the superuser can.
+func TestSecurityOnlyOwnerCanDump(t *testing.T) {
+	c := boot(t, "brick")
+	other := kernel.Creds{UID: 200, GID: 20, EUID: 200, EGID: 20}
+	root := kernel.Creds{}
+	var victim *kernel.Proc
+	var otherStatus, rootStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		victim = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp1, _ := c.Spawn("brick", nil, other, "/bin/dumpproc", "-p", fmt.Sprint(victim.PID))
+		otherStatus = dp1.AwaitExit(tk)
+		dp2, _ := c.Spawn("brick", nil, root, "/bin/dumpproc", "-p", fmt.Sprint(victim.PID))
+		rootStatus = dp2.AwaitExit(tk)
+	})
+	run(t, c)
+	if otherStatus == 0 {
+		t.Fatal("another user dumped someone else's process")
+	}
+	if rootStatus != 0 {
+		t.Fatalf("root dumpproc exit = %d", rootStatus)
+	}
+}
+
+// TestSecurityOnlyOwnerCanRestart: restart as another user must fail.
+func TestSecurityOnlyOwnerCanRestart(t *testing.T) {
+	c := boot(t, "brick")
+	other := kernel.Creds{UID: 200, GID: 20, EUID: 200, EGID: 20}
+	var victim *kernel.Proc
+	var restartStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		victim = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(victim.PID))
+		dp.AwaitExit(tk)
+		rp, _ := c.Spawn("brick", nil, other, "/bin/restart", "-p", fmt.Sprint(victim.PID))
+		restartStatus = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if restartStatus == 0 {
+		t.Fatal("another user restarted someone else's process")
+	}
+}
+
+// TestUndumpProgram exercises the undump command: exe + core → new exe
+// with updated statics.
+func TestUndumpProgram(t *testing.T) {
+	c := boot(t, "brick")
+	term := c.Console("brick")
+	term2, _, err := c.NewTerminal("brick", "ttyp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *kernel.Proc
+	var undumpStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", term, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		term.Type("x\n")
+		tk.Sleep(2 * sim.Second) // statics at 2, blocked in read
+		// SIGQUIT for a classical core dump (in cwd /home).
+		c.Machine("brick").Kill(user, p.PID, kernel.SIGQUIT)
+		tk.Sleep(2 * sim.Second)
+		ud := spawnOK(t, c, "brick", term, "/bin/undump",
+			"/bin/counter", "/home/core", "/home/counter2")
+		undumpStatus = ud.AwaitExit(tk)
+		fresh := spawnOK(t, c, "brick", term2, "/home/counter2")
+		tk.Sleep(2 * sim.Second)
+		term2.TypeEOF()
+		fresh.AwaitExit(tk)
+	})
+	run(t, c)
+	if undumpStatus != 0 {
+		t.Fatalf("undump exit = %d", undumpStatus)
+	}
+	if !strings.Contains(term2.Output(), "R1 D3 S1\n") {
+		t.Fatalf("undumped run output = %q, want R1 D3 S1", term2.Output())
+	}
+}
+
+// TestFastMigrateViaMigd: the §6.4 daemon-based migrate works end to end
+// and is much faster than the rsh-based one.
+func TestFastMigrateViaMigd(t *testing.T) {
+	c := boot(t, "brick", "schooner", "brador")
+	elapsed := map[string]sim.Duration{}
+	for _, prog := range []string{"migrate", "fmigrate"} {
+		prog := prog
+		dst, _, err := c.NewTerminal("schooner", "ttyp-"+prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status int
+		c.Eng.Go("driver-"+prog, func(tk *sim.Task) {
+			p := spawnOK(t, c, "brick", nil, "/bin/counter")
+			tk.Sleep(2 * sim.Second)
+			start := tk.Now()
+			mig := spawnOK(t, c, "brador", dst, "/bin/"+prog,
+				"-p", fmt.Sprint(p.PID), "-f", "brick", "-t", "schooner")
+			status = mig.AwaitExit(tk)
+			elapsed[prog] = sim.Duration(tk.Now() - start)
+			tk.Sleep(2 * sim.Second)
+			// Kill the restarted process wherever it ended up.
+			for _, name := range c.Names() {
+				for _, pi := range c.Machine(name).PS() {
+					if strings.Contains(pi.Cmd, "a.out") || strings.Contains(pi.Cmd, "restart") {
+						c.Machine(name).Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
+					}
+				}
+			}
+		})
+		run(t, c)
+		if status != 0 {
+			t.Fatalf("%s exit = %d", prog, status)
+		}
+	}
+	if elapsed["fmigrate"]*2 >= elapsed["migrate"] {
+		t.Fatalf("fmigrate (%v) not meaningfully faster than migrate (%v)",
+			elapsed["fmigrate"], elapsed["migrate"])
+	}
+}
+
+// TestFormatRoundTrips: property-style checks on the dump file codecs.
+func TestFormatRoundTrips(t *testing.T) {
+	ff := &core.FilesFile{Host: "brick", CWD: "/n/brick/home", TTY: tty.Raw | tty.Echo}
+	ff.FDs[0] = core.FDEntry{Kind: core.FDFile, Path: "/dev/tty", Flags: 2}
+	ff.FDs[3] = core.FDEntry{Kind: core.FDFile, Path: "/n/brick/home/out", Flags: 1, Offset: 6}
+	ff.FDs[5] = core.FDEntry{Kind: core.FDSocket}
+	got, err := core.DecodeFiles(ff.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *ff {
+		t.Fatalf("files round trip: %+v vs %+v", got, ff)
+	}
+
+	sf := &core.StackFile{Creds: user, Stack: []byte{1, 2, 3, 4}, OldPID: 77}
+	sf.Regs.R[7] = 42
+	sf.Regs.PC = 0x30
+	sf.SigActions[kernel.SIGUSR1] = kernel.SigAction{Disposition: kernel.SigCatch, Handler: 0x40}
+	gs, err := core.DecodeStack(sf.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Creds != sf.Creds || gs.Regs != sf.Regs || string(gs.Stack) != string(sf.Stack) ||
+		gs.OldPID != sf.OldPID || gs.SigActions != sf.SigActions {
+		t.Fatalf("stack round trip: %+v vs %+v", gs, sf)
+	}
+
+	// Magic rejection.
+	bad := ff.Encode()
+	bad[0] ^= 0xff
+	if _, err := core.DecodeFiles(bad); err != core.ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := core.DecodeStack(ff.Encode()); err != core.ErrBadMagic {
+		t.Fatalf("stack decode of files file: err = %v, want ErrBadMagic", err)
+	}
+}
+
+// TestSignalDispositionsSurviveMigration: a caught handler address and an
+// ignored signal survive the dump/restart cycle (§4.3's signal state).
+func TestSignalDispositionsSurviveMigration(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	// Program: ignore SIGUSR2, catch SIGUSR1 (handler bumps a static and
+	// the main loop prints it), then loop on stdin.
+	if err := c.InstallVM("/bin/sigprog", `
+start:  movi r0, 31       ; SIGUSR2
+        movi r1, 1        ; ignore
+        sys  signal
+        movi r0, 30       ; SIGUSR1
+        movi r1, handler
+        sys  signal
+loop:   movi r0, 0
+        movi r1, buf
+        movi r2, 16
+        sys  read
+        cmpi r0, 0
+        jeq  done
+        ld   r3, hits
+        cmpi r3, 0
+        jeq  loop
+        movi r0, 44       ; exit 44 once a post-migration signal was caught
+        sys  exit
+done:   movi r0, 0
+        sys  exit
+handler: ld  r3, hits
+        addi r3, 1
+        st   r3, hits
+        ret
+        .data
+hits:   .word 0
+buf:    .space 16
+`); err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/sigprog")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+		tk.Sleep(2 * sim.Second)
+		m := c.Machine("schooner")
+		// Ignored signal must not kill it; caught one must run the handler.
+		m.Kill(user, rp.PID, kernel.SIGUSR2)
+		tk.Sleep(sim.Second)
+		m.Kill(user, rp.PID, kernel.SIGUSR1)
+		tk.Sleep(sim.Second)
+		c.Console("schooner").Type("poke\n")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if status != 44 {
+		t.Fatalf("exit = %d, want 44 (handler ran after migration)", status)
+	}
+}

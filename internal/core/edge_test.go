@@ -1,0 +1,424 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmig/internal/core"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+)
+
+// TestEnvironmentSurvivesMigration: the paper stores the environment in
+// the stack, so rest_proc's null-environment execve restores it for free.
+// The program saves its env pointer at startup and dereferences it only
+// after migration.
+func TestEnvironmentSurvivesMigration(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/envprog", `
+; r2=envc, r3=&env at exec. Save the pointer, block on stdin, then read
+; the first environment byte and exit with it.
+start:  st   r3, envp
+        movi r0, 0
+        movi r1, buf
+        movi r2, 16
+        sys  read
+        ld   r4, envp
+        ldb  r0, r4
+        sys  exit
+        .data
+envp:   .word 0
+buf:    .space 16
+`); err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		// Spawn with an environment whose first byte is 'T'.
+		m := c.Machine("brick")
+		term := c.Console("brick")
+		stdio := m.NewTerminalFile(kernel.NewTTYDevice(term))
+		p, _ = m.Spawn(kernel.SpawnSpec{
+			Path: "/bin/envprog", Args: []string{"envprog"},
+			Env:   []string{"TERM=sun", "HOME=/home"},
+			Creds: user, CWD: "/home", TTY: term,
+			InheritFDs: []*kernel.File{stdio, stdio, stdio},
+		})
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+		tk.Sleep(2 * sim.Second)
+		c.Console("schooner").Type("go\n")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if status != 'T' {
+		t.Fatalf("exit = %d (%q), want 'T': environment lost in migration", status, rune(status))
+	}
+}
+
+// TestFDTableGapsAndSockets: descriptor numbers must be preserved exactly
+// even with closed slots and sockets in between (§4.4's placeholder
+// dance).
+func TestFDTableGapsAndSockets(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/gaps", `
+; fd 3 = file A, fd 4 = socket, fd 5 = file B; then close fd 3 (a gap).
+start:  movi r0, pathA
+        movi r1, 0644
+        sys  creat          ; fd 3
+        sys  socket         ; fd 4
+        movi r0, pathB
+        movi r1, 0644
+        sys  creat          ; fd 5 (in r0)
+        mov  r4, r0
+        mov  r0, r4
+        movi r1, msgB
+        movi r2, 2
+        sys  write          ; offset of fd5 now 2
+        movi r0, 3
+        sys  close          ; gap at 3
+
+        movi r0, 0
+        movi r1, buf
+        movi r2, 16
+        sys  read           ; migration point
+
+        ; after restart: write again via fd 5; must land at offset 2.
+        movi r0, 5
+        movi r1, msgB2
+        movi r2, 2
+        sys  write
+        cmpi r1, 0
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 9
+        sys  exit
+        .data
+pathA:  .asciz "fileA"
+pathB:  .asciz "fileB"
+msgB:   .ascii "b1"
+msgB2:  .ascii "b2"
+buf:    .space 16
+`); err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/gaps")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+		tk.Sleep(2 * sim.Second)
+
+		// Inspect the rebuilt descriptor table before resuming.
+		if rp.FDs[3] != nil {
+			t.Errorf("fd 3 should be a closed gap, got %+v", rp.FDs[3])
+		}
+		if rp.FDs[4] == nil || rp.FDs[4].Kind != kernel.FileDevice {
+			t.Errorf("fd 4 (socket) should be the null device, got %+v", rp.FDs[4])
+		}
+		if rp.FDs[5] == nil || rp.FDs[5].Offset != 2 {
+			t.Errorf("fd 5 should be fileB at offset 2, got %+v", rp.FDs[5])
+		}
+
+		c.Console("schooner").Type("go\n")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if status != 0 {
+		t.Fatalf("program exit = %d", status)
+	}
+	data, err := c.Machine("brick").NS().ReadFile("/home/fileB")
+	if err != nil || string(data) != "b1b2" {
+		t.Fatalf("fileB = %q err = %v (offset not preserved)", data, err)
+	}
+}
+
+// TestDumpIdempotence: dumping a restarted (but not yet resumed) process
+// must reproduce the same machine state — registers, stack, data.
+func TestDumpIdempotence(t *testing.T) {
+	c := boot(t, "brick")
+	term2, _, err := c.NewTerminal("brick", "ttyp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "brick", term2, "/bin/restart", "-p", fmt.Sprint(p.PID))
+		tk.Sleep(2 * sim.Second) // restarted, blocked in the re-issued read
+		dp2 := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(rp.PID))
+		dp2.AwaitExit(tk)
+	})
+	run(t, c)
+
+	ns := c.Machine("brick").NS()
+	read := func(pid int, which string) []byte {
+		t.Helper()
+		raw, err := ns.ReadFile(fmt.Sprintf("/usr/tmp/%s%05d", which, pid))
+		if err != nil {
+			t.Fatalf("%s%05d: %v", which, pid, err)
+		}
+		return raw
+	}
+	s1, err := core.DecodeStack(read(p.PID, "stack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.DecodeStack(read(rp.PID, "stack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Regs != s2.Regs {
+		t.Errorf("registers differ across dump→restart→dump:\n%+v\n%+v", s1.Regs, s2.Regs)
+	}
+	if string(s1.Stack) != string(s2.Stack) {
+		t.Errorf("stacks differ: %d vs %d bytes", len(s1.Stack), len(s2.Stack))
+	}
+	if s1.Creds != s2.Creds {
+		t.Errorf("creds differ: %+v vs %+v", s1.Creds, s2.Creds)
+	}
+	a1 := read(p.PID, "a.out")
+	a2 := read(rp.PID, "a.out")
+	if string(a1) != string(a2) {
+		t.Error("a.out dumps differ (text+data should be identical)")
+	}
+}
+
+// TestRestartErrors: missing files, corrupt magic, wrong host.
+func TestRestartErrors(t *testing.T) {
+	c := boot(t, "brick")
+	ns := c.Machine("brick").NS()
+	var missing, corrupt int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		// No dump at all.
+		rp := spawnOK(t, c, "brick", nil, "/bin/restart", "-p", "4242")
+		missing = rp.AwaitExit(tk)
+
+		// A dump with a corrupted files file.
+		v := spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(v.PID))
+		dp.AwaitExit(tk)
+		_, filesPath, _ := core.DumpPaths("", v.PID)
+		raw, _ := ns.ReadFile(filesPath)
+		raw[0] ^= 0xff
+		if err := ns.WriteFile(filesPath, raw, 0o700, user.UID, user.GID); err != nil {
+			t.Error(err)
+		}
+		rp2 := spawnOK(t, c, "brick", nil, "/bin/restart", "-p", fmt.Sprint(v.PID))
+		corrupt = rp2.AwaitExit(tk)
+	})
+	run(t, c)
+	if missing == 0 {
+		t.Error("restart of a nonexistent dump succeeded")
+	}
+	if corrupt == 0 {
+		t.Error("restart with a corrupt magic succeeded")
+	}
+}
+
+// TestDumpprocErrors: bad pid, missing pid argument, hosted victim.
+func TestDumpprocErrors(t *testing.T) {
+	c := boot(t, "brick")
+	var noSuch, usage, hosted int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", "31337")
+		noSuch = dp.AwaitExit(tk)
+		dp2 := spawnOK(t, c, "brick", nil, "/bin/dumpproc")
+		usage = dp2.AwaitExit(tk)
+
+		// A hosted program has no dumpable image: SIGDUMP kills it but no
+		// files appear, and dumpproc gives up after its ten tries.
+		if err := c.InstallHosted("idle", func(sys *kernel.Sys, args []string) int {
+			sys.Sleep(600 * sim.Second)
+			return 0
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		v := spawnOK(t, c, "brick", nil, "/bin/idle")
+		tk.Sleep(sim.Second)
+		dp3 := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(v.PID))
+		hosted = dp3.AwaitExit(tk)
+		c.Machine("brick").Kill(kernel.Creds{}, v.PID, kernel.SIGKILL)
+	})
+	run(t, c)
+	if noSuch != 1 {
+		t.Errorf("dumpproc on bad pid = %d, want 1", noSuch)
+	}
+	if usage != 2 {
+		t.Errorf("dumpproc without -p = %d, want 2 (usage)", usage)
+	}
+	if hosted != 1 {
+		t.Errorf("dumpproc on hosted program = %d, want 1 (gave up polling)", hosted)
+	}
+}
+
+// TestMigrateUsageErrors.
+func TestMigrateUsageErrors(t *testing.T) {
+	c := boot(t, "brick")
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		m := spawnOK(t, c, "brick", nil, "/bin/migrate")
+		status = m.AwaitExit(tk)
+	})
+	run(t, c)
+	if status != 2 {
+		t.Fatalf("migrate without args = %d, want 2", status)
+	}
+}
+
+// TestMigrateToUnknownHostFails: rsh to a host that is not on the network.
+func TestMigrateToUnknownHostFails(t *testing.T) {
+	c := boot(t, "brick")
+	var p *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		m := spawnOK(t, c, "brick", nil, "/bin/migrate",
+			"-p", fmt.Sprint(p.PID), "-t", "ghost")
+		status = m.AwaitExit(tk)
+	})
+	run(t, c)
+	if status == 0 {
+		t.Fatal("migrate to a nonexistent host succeeded")
+	}
+	// The process was dumped (killed) but never restarted — the paper's
+	// mechanism is not transactional; the dump files remain for a manual
+	// restart.
+	if p.KilledBy != kernel.SIGDUMP {
+		t.Fatalf("victim killed by %v", p.KilledBy)
+	}
+	if _, err := c.Machine("brick").NS().ReadFile(fmt.Sprintf("/usr/tmp/stack%05d", p.PID)); err != nil {
+		t.Fatalf("dump files missing after failed migrate: %v", err)
+	}
+}
+
+// TestDoubleRestartSecondFails is not in the paper but follows from it:
+// the dump files describe one process; restarting twice yields two copies
+// (nothing prevents it — documented behaviour, both run).
+func TestDoubleRestartBothRun(t *testing.T) {
+	c := boot(t, "brick")
+	termA, _, _ := c.NewTerminal("brick", "ttyA")
+	termB, _, _ := c.NewTerminal("brick", "ttyB")
+	var p, r1, r2 *kernel.Proc
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+
+		r1 = spawnOK(t, c, "brick", termA, "/bin/restart", "-p", fmt.Sprint(p.PID))
+		r2 = spawnOK(t, c, "brick", termB, "/bin/restart", "-p", fmt.Sprint(p.PID))
+		tk.Sleep(2 * sim.Second)
+		termA.Type("to copy A\n")
+		termB.Type("to copy B\n")
+		tk.Sleep(2 * sim.Second)
+		termA.TypeEOF()
+		termB.TypeEOF()
+		r1.AwaitExit(tk)
+		r2.AwaitExit(tk)
+	})
+	run(t, c)
+	// The dump was taken during iteration 1's read, so each copy finishes
+	// that iteration and prints the counters at 2.
+	if !strings.Contains(termA.Output(), "R2 D2 S2") || !strings.Contains(termB.Output(), "R2 D2 S2") {
+		t.Fatalf("both copies should continue from the dump:\nA=%q\nB=%q",
+			termA.Output(), termB.Output())
+	}
+}
+
+// TestMigrateBackAndForth: brick → schooner → brick, counters intact.
+func TestMigrateBackAndForth(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	tb, _, _ := c.NewTerminal("brick", "ttyback")
+	var p *kernel.Proc
+	var st1, st2 int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+
+		m1 := spawnOK(t, c, "schooner", nil, "/bin/migrate",
+			"-p", fmt.Sprint(p.PID), "-f", "brick", "-t", "schooner")
+		st1 = m1.AwaitExit(tk)
+		tk.Sleep(2 * sim.Second)
+
+		// Find the new pid on schooner (the only VM process there).
+		newPid := 0
+		for _, pi := range c.Machine("schooner").PS() {
+			if strings.Contains(pi.Cmd, "a.out") {
+				newPid = pi.PID
+			}
+		}
+		if newPid == 0 {
+			t.Error("migrated process not found on schooner")
+			return
+		}
+		m2 := spawnOK(t, c, "brick", tb, "/bin/migrate",
+			"-p", fmt.Sprint(newPid), "-f", "schooner", "-t", "brick")
+		st2 = m2.AwaitExit(tk)
+		tk.Sleep(2 * sim.Second)
+		tb.Type("home again\n")
+		tk.Sleep(2 * sim.Second)
+		tb.TypeEOF()
+	})
+	run(t, c)
+	if st1 != 0 || st2 != 0 {
+		t.Fatalf("migrate statuses = %d, %d", st1, st2)
+	}
+	if !strings.Contains(tb.Output(), "R2 D2 S2") {
+		t.Fatalf("round trip output = %q: counters lost", tb.Output())
+	}
+}
+
+// TestDumpWhileComputing: the victim is mid-computation (not blocked in a
+// syscall) when SIGDUMP lands; it resumes mid-loop after restart.
+func TestDumpWhileComputing(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	if err := c.InstallVM("/bin/worker", `
+; Count to 60 million (≈60s), then exit with r1 % 251 as a checksum.
+start:  movi r1, 0
+loop:   addi r1, 1
+        movi r2, 60000000
+        cmp  r1, r2
+        jlt  loop
+        movi r2, 251
+        mod  r1, r2
+        mov  r0, r1
+        sys  exit
+`); err != nil {
+		t.Fatal(err)
+	}
+	var p, rp *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p = spawnOK(t, c, "brick", nil, "/bin/worker")
+		tk.Sleep(10 * sim.Second) // mid-loop, ~10M iterations in
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(p.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(p.PID), "-h", "brick")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	// 60000000 % 251 = 60000000 - 239043*251 = 60000000 - 59999793 = 207.
+	if status != 60000000%251 {
+		t.Fatalf("checksum = %d, want %d", status, 60000000%251)
+	}
+	// The work was split across machines: the victim burned CPU on brick,
+	// the continuation on schooner, and the total is about the full job.
+	if p.UTime < 5*sim.Second || rp.UTime < 5*sim.Second {
+		t.Fatalf("utimes %v + %v: work not actually split", p.UTime, rp.UTime)
+	}
+}

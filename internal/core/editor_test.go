@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+)
+
+// editorSrc is a miniature "visual application" in the spirit of the
+// paper's screen-editor example (§4.2): it puts its terminal in raw mode,
+// accumulates typed characters into a buffer, and redraws the whole
+// "screen" when the user types ^L — "followed, if we are dumping a
+// visually oriented program, by whatever command will cause that program
+// to redraw the screen" (the paper's footnote: "^L in most cases").
+// Typing 'q' exits 0.
+const editorSrc = `
+start:  movi r0, 0
+        movi r1, 1          ; gtty
+        sys  ioctl
+        mov  r4, r0
+        movi r5, 4          ; tty.Raw
+        or   r4, r5
+        movi r0, 0
+        movi r1, 2          ; stty
+        mov  r2, r4
+        sys  ioctl
+
+loop:   movi r0, 0
+        movi r1, ch
+        movi r2, 1
+        sys  read
+        cmpi r0, 1
+        jne  loop           ; EINTR etc: retry
+        movi r1, ch
+        ldb  r5, r1
+        cmpi r5, 'q'
+        jeq  quit
+        cmpi r5, 12         ; ^L: redraw
+        jeq  redraw
+        ; append the byte to the buffer
+        ld   r6, blen
+        movi r7, text
+        add  r7, r6
+        stb  r7, r5
+        addi r6, 1
+        st   r6, blen
+        jmp  loop
+
+redraw: movi r0, 1
+        movi r1, banner
+        movi r2, 8
+        sys  write          ; "REDRAW: "
+        movi r0, 1
+        movi r1, text
+        ld   r2, blen
+        sys  write
+        movi r0, 1
+        movi r1, nl
+        movi r2, 1
+        sys  write
+        jmp  loop
+
+quit:   movi r0, 0
+        sys  exit
+
+        .data
+banner: .ascii "REDRAW: "
+nl:     .ascii "\n"
+ch:     .space 4
+blen:   .word 0
+text:   .space 128
+`
+
+// TestScreenEditorMigration plays out §4.2 end to end: run the editor on
+// brick in raw mode, type some text, dumpproc it, restart it on a second
+// terminal, hit ^L — the redraw must reproduce the buffer, and raw mode
+// must hold on the new terminal.
+func TestScreenEditorMigration(t *testing.T) {
+	c := boot(t, "brick")
+	if err := c.InstallVM("/bin/ed", editorSrc); err != nil {
+		t.Fatal(err)
+	}
+	term := c.Console("brick")
+	term2, _, err := c.NewTerminal("brick", "ttyw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ed, rp *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		ed = spawnOK(t, c, "brick", term, "/bin/ed")
+		tk.Sleep(sim.Second)
+		term.Type("hello") // raw mode: no newline needed
+		tk.Sleep(sim.Second)
+
+		dp := spawnOK(t, c, "brick", term2, "/bin/dumpproc", "-p", fmt.Sprint(ed.PID))
+		if st := dp.AwaitExit(tk); st != 0 {
+			t.Errorf("dumpproc exit = %d", st)
+			return
+		}
+		rp = spawnOK(t, c, "brick", term2, "/bin/restart", "-p", fmt.Sprint(ed.PID))
+		tk.Sleep(2 * sim.Second)
+
+		// The user redraws the screen, per the paper's instructions.
+		term2.Type("\x0c")
+		tk.Sleep(sim.Second)
+		term2.Type(" world")
+		tk.Sleep(sim.Second)
+		term2.Type("\x0c")
+		tk.Sleep(sim.Second)
+		term2.Type("q")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+
+	if status != 0 {
+		t.Fatalf("editor exit = %d", status)
+	}
+	if term2.Flags()&tty.Raw == 0 {
+		t.Fatal("raw mode not restored on the new terminal")
+	}
+	out := term2.Output()
+	if !strings.Contains(out, "REDRAW: hello\n") {
+		t.Fatalf("first redraw missing the pre-migration buffer: %q", out)
+	}
+	if !strings.Contains(out, "REDRAW: hello world\n") {
+		t.Fatalf("second redraw missing post-migration edits: %q", out)
+	}
+}
+
+// TestResultEquivalence: a deterministic compute job produces the same
+// result file whether it runs straight through or is migrated twice
+// mid-computation — complete transparency, the paper's core claim.
+func TestResultEquivalence(t *testing.T) {
+	const jobSrc = `
+; Compute sum of i*i for i in 1..4000000 (mod 2^32), write it to "res".
+; ~32M instructions ≈ 32 simulated seconds on a Sun-2.
+start:  movi r1, 1
+        movi r2, 0
+loop:   mov  r3, r1
+        mul  r3, r1
+        add  r2, r3
+        addi r1, 1
+        movi r4, 4000000
+        cmp  r1, r4
+        jle  loop
+        st   r2, out
+        movi r0, path
+        movi r1, 0644
+        sys  creat
+        mov  r4, r0
+        mov  r0, r4
+        movi r1, out
+        movi r2, 4
+        sys  write
+        movi r0, 0
+        sys  exit
+        .data
+path:   .asciz "res"
+out:    .word 0
+`
+	runJob := func(migrations int) []byte {
+		c := boot(t, "alpha", "beta")
+		if err := c.InstallVM("/bin/job", jobSrc); err != nil {
+			t.Fatal(err)
+		}
+		c.Eng.Go("driver", func(tk *sim.Task) {
+			p := spawnOK(t, c, "alpha", nil, "/bin/job")
+			cur, host := p, "alpha"
+			for i := 0; i < migrations; i++ {
+				tk.Sleep(8 * sim.Second) // mid-computation
+				dst := "beta"
+				if host == "beta" {
+					dst = "alpha"
+				}
+				dp := spawnOK(t, c, host, nil, "/bin/dumpproc", "-p", fmt.Sprint(cur.PID))
+				if st := dp.AwaitExit(tk); st != 0 {
+					t.Errorf("dumpproc %d exit = %d", i, st)
+					return
+				}
+				rp := spawnOK(t, c, dst, nil, "/bin/restart", "-p", fmt.Sprint(cur.PID), "-h", host)
+				cur, host = rp, dst
+			}
+			cur.AwaitExit(tk)
+		})
+		run(t, c)
+		// The job's cwd was /home on whichever machine it finished on;
+		// the file is reachable from alpha either way via /n.
+		for _, m := range []string{"alpha", "beta"} {
+			if data, err := c.Machine(m).NS().ReadFile("/home/res"); err == nil {
+				return data
+			}
+		}
+		t.Fatal("result file not found")
+		return nil
+	}
+
+	plain := runJob(0)
+	migrated := runJob(2)
+	if string(plain) != string(migrated) {
+		t.Fatalf("results differ: plain %x vs migrated %x", plain, migrated)
+	}
+	if len(plain) != 4 {
+		t.Fatalf("result = %x", plain)
+	}
+}

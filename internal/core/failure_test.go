@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+)
+
+// TestRestartFailsWhenSourceHostDown: the dump files live on the crashed
+// source machine; restart over NFS must fail cleanly, not hang.
+func TestRestartFailsWhenSourceHostDown(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		v := spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(v.PID))
+		dp.AwaitExit(tk)
+
+		// brick crashes before the restart.
+		c.NetHost("brick").SetDown(true)
+		rp := spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(v.PID), "-h", "brick")
+		status = rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if status == 0 {
+		t.Fatal("restart succeeded with the source host down")
+	}
+}
+
+// TestMigrateFailsWhenDestinationDown: rsh to the dead destination fails;
+// migrate reports the failure. The victim is already dumped (the
+// mechanism is not transactional) but its dump files are intact.
+func TestMigrateFailsWhenDestinationDown(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	var v *kernel.Proc
+	var status int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		v = spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		c.NetHost("schooner").SetDown(true)
+		mig := spawnOK(t, c, "brick", nil, "/bin/migrate",
+			"-p", fmt.Sprint(v.PID), "-t", "schooner")
+		status = mig.AwaitExit(tk)
+
+		// Recovery: bring schooner back and restart manually.
+		c.NetHost("schooner").SetDown(false)
+		rp := spawnOK(t, c, "schooner", nil, "/bin/restart", "-p", fmt.Sprint(v.PID), "-h", "brick")
+		st, migrated := rp.AwaitExitOrMigrated(tk)
+		if !migrated || st != 0 {
+			t.Errorf("manual recovery restart failed: %d", st)
+		}
+		c.Machine("schooner").Kill(kernel.Creds{}, rp.PID, kernel.SIGKILL)
+		rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if status == 0 {
+		t.Fatal("migrate succeeded with the destination down")
+	}
+	if v.KilledBy != kernel.SIGDUMP {
+		t.Fatalf("victim killed by %v (dump happened before the failure)", v.KilledBy)
+	}
+}
+
+// TestNFSFileReadsFailCleanlyWhenServerCrashesMidRun: a migrated process
+// whose output file lives on the (now crashed) source machine gets write
+// errors, not a hang.
+func TestNFSWritesFailCleanlyAfterSourceCrash(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	term2 := c.Console("schooner")
+	var rp *kernel.Proc
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		v := spawnOK(t, c, "brick", nil, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(v.PID))
+		dp.AwaitExit(tk)
+		rp = spawnOK(t, c, "schooner", term2, "/bin/restart", "-p", fmt.Sprint(v.PID), "-h", "brick")
+		tk.Sleep(2 * sim.Second)
+
+		// The process now runs on schooner with its output file open over
+		// NFS to brick. Crash brick and poke the program: its write to
+		// the output file fails; the VM program ignores write errors and
+		// loops, so it survives and keeps reading the terminal.
+		c.NetHost("brick").SetDown(true)
+		term2.Type("into the void\n")
+		tk.Sleep(2 * sim.Second)
+		term2.TypeEOF()
+		rp.AwaitExit(tk)
+	})
+	run(t, c)
+	if rp.KilledBy != 0 {
+		t.Fatalf("migrated process killed by %v after source crash", rp.KilledBy)
+	}
+	// It still printed the next iteration's counters on its terminal
+	// (the dump was taken during iteration 1's read, so this is R2).
+	if !strings.Contains(term2.Output(), "R2 D2 S2") {
+		t.Fatalf("terminal = %q", term2.Output())
+	}
+	// The write never reached brick.
+	c.NetHost("brick").SetDown(false)
+	data, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "void") {
+		t.Fatalf("write reached a crashed server: %q", data)
+	}
+}
+
+// TestStaleDumpFiles documents a real race inherited from the paper's
+// design: dumpproc polls for a.outXXXXX, so a STALE a.out from an earlier
+// dump of the same pid makes it read stale data and fail. The kernel's
+// dump still overwrites all three files, so a later restart works.
+func TestStaleDumpFiles(t *testing.T) {
+	c := boot(t, "brick")
+	ns := c.Machine("brick").NS()
+	var v *kernel.Proc
+	var dpStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		v = spawnOK(t, c, "brick", nil, "/bin/counter")
+		// Plant stale garbage under the pid's dump names.
+		for _, pfx := range []string{"a.out", "files", "stack"} {
+			path := fmt.Sprintf("/usr/tmp/%s%05d", pfx, v.PID)
+			if err := ns.WriteFile(path, []byte("stale junk"), 0o700, user.UID, user.GID); err != nil {
+				t.Error(err)
+			}
+		}
+		tk.Sleep(2 * sim.Second)
+		// dumpproc's first poll finds the STALE a.out immediately and
+		// reads the stale files file — the inherent race of polling for
+		// file existence.
+		dp := spawnOK(t, c, "brick", nil, "/bin/dumpproc", "-p", fmt.Sprint(v.PID))
+		dpStatus = dp.AwaitExit(tk)
+
+		// The kernel dump nevertheless completed and overwrote the stale
+		// files; waiting and restarting directly works (everything is
+		// local, so dumpproc's path rewriting is not needed).
+		tk.Sleep(3 * sim.Second)
+		rp := spawnOK(t, c, "brick", nil, "/bin/restart", "-p", fmt.Sprint(v.PID))
+		tk.Sleep(2 * sim.Second)
+		c.Console("brick").TypeEOF()
+		if st := rp.AwaitExit(tk); st != 0 {
+			t.Errorf("restart-after-stale exit = %d", st)
+		}
+	})
+	run(t, c)
+	if dpStatus == 0 {
+		t.Log("dumpproc won the race against the stale a.out (acceptable)")
+	}
+	// Either way, the dump files must now be genuine.
+	raw, err := ns.ReadFile(fmt.Sprintf("/usr/tmp/stack%05d", v.PID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) == "stale junk" {
+		t.Fatal("kernel dump did not overwrite stale files")
+	}
+}

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"procmig/internal/aout"
+	"procmig/internal/errno"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/vfs"
+)
+
+// Program names the cluster registers (they appear in /bin).
+const (
+	ProgDumpproc = "dumpproc"
+	ProgRestart  = "restart"
+	ProgMigrate  = "migrate"
+	ProgUndump   = "undump"
+)
+
+// Dumpproc poll policy: the paper's dumpproc "simply sleeps for one second
+// after each unsuccessful attempt to open a.outXXXXX (aborting after ten
+// tries)". The A3 ablation sweeps the interval and tries exponential
+// backoff instead.
+var (
+	PollInterval sim.Duration = sim.Second
+	PollBackoff  bool
+)
+
+// Programs returns the user-level migration commands for registration.
+func Programs() map[string]kernel.HostedProg {
+	return map[string]kernel.HostedProg{
+		ProgDumpproc: DumpprocMain,
+		ProgRestart:  RestartMain,
+		ProgMigrate:  MigrateMain,
+		ProgUndump:   UndumpMain,
+	}
+}
+
+// --- small libc -------------------------------------------------------------
+
+// parseFlags parses "-x value" style options.
+func parseFlags(args []string) map[string]string {
+	out := map[string]string{}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if strings.HasPrefix(a, "-") && len(a) > 1 && i+1 < len(args) {
+			out[a[1:]] = args[i+1]
+			i++
+		}
+	}
+	return out
+}
+
+// eprint writes a diagnostic to stderr, best-effort.
+func eprint(sys *kernel.Sys, msg string) {
+	sys.Write(2, []byte(msg+"\n"))
+}
+
+// ReadAll reads a whole file through the syscall interface — a user-level
+// helper shared by the migration commands and the §8 applications.
+func ReadAll(sys *kernel.Sys, path string) ([]byte, errno.Errno) {
+	fd, e := sys.Open(path, kernel.O_RDONLY)
+	if e != 0 {
+		return nil, e
+	}
+	defer sys.Close(fd)
+	var out []byte
+	for {
+		chunk, e := sys.Read(fd, 8192)
+		if e != 0 {
+			return nil, e
+		}
+		if len(chunk) == 0 {
+			return out, 0
+		}
+		out = append(out, chunk...)
+	}
+}
+
+// WriteAll creates path and writes data through the syscall interface.
+func WriteAll(sys *kernel.Sys, path string, data []byte, mode uint16) errno.Errno {
+	fd, e := sys.Creat(path, mode)
+	if e != 0 {
+		return e
+	}
+	defer sys.Close(fd)
+	if _, e := sys.Write(fd, data); e != 0 {
+		return e
+	}
+	return 0
+}
+
+// resolveLinks resolves every symbolic link in path by iterating
+// readlink(), as §4.3 prescribes, entirely at user level.
+func resolveLinks(sys *kernel.Sys, path string) (string, errno.Errno) {
+	comps := splitPath(path)
+	cur := "/"
+	budget := 20
+	for i := 0; i < len(comps); {
+		c := comps[i]
+		switch c {
+		case ".", "":
+			i++
+			continue
+		case "..":
+			cur = parentDir(cur)
+			i++
+			continue
+		}
+		next := joinDir(cur, c)
+		attr, e := sys.Lstat(next)
+		if e != 0 {
+			return "", e
+		}
+		if attr.Type == vfs.TypeSymlink {
+			budget--
+			if budget < 0 {
+				return "", errno.ELOOP
+			}
+			target, e := sys.Readlink(next)
+			if e != 0 {
+				return "", e
+			}
+			rest := comps[i+1:]
+			comps = append(splitPath(target), rest...)
+			i = 0
+			if strings.HasPrefix(target, "/") {
+				cur = "/"
+			}
+			continue
+		}
+		cur = next
+		i++
+	}
+	return cur, 0
+}
+
+func splitPath(p string) []string {
+	var out []string
+	for _, c := range strings.Split(p, "/") {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func joinDir(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+func parentDir(p string) string {
+	i := strings.LastIndex(p, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// isTerminal reports whether path names a terminal, detected the classic
+// way: open it and see whether the tty ioctl succeeds.
+func isTerminal(sys *kernel.Sys, path string) bool {
+	fd, e := sys.Open(path, kernel.O_RDONLY)
+	if e != 0 {
+		return false
+	}
+	defer sys.Close(fd)
+	_, e = sys.Gtty(fd)
+	return e == 0
+}
+
+// --- dumpproc ----------------------------------------------------------------
+
+// DumpprocMain implements the dumpproc command (§4.1, §4.4): kill the
+// process with SIGDUMP, then rewrite the filesXXXXX file so that its
+// pathnames work from any machine — resolve symlinks, map terminals to
+// /dev/tty, and prepend /n/<machinename> to local names.
+func DumpprocMain(sys *kernel.Sys, args []string) int {
+	flags := parseFlags(args[1:])
+	pid, err := strconv.Atoi(flags["p"])
+	if err != nil || pid <= 0 {
+		eprint(sys, "usage: dumpproc -p pid")
+		return 2
+	}
+
+	// Kill the specified process with a SIGDUMP signal. (Only the
+	// superuser or the owner may do this; the kernel enforces it.)
+	if e := sys.Kill(pid, kernel.SIGDUMP); e != 0 {
+		eprint(sys, "dumpproc: kill: "+e.Error())
+		return 1
+	}
+
+	// The dump files are created by the process being dumped, so wait for
+	// the kernel to schedule it: sleep one second after each unsuccessful
+	// attempt to open a.outXXXXX, aborting after ten tries (§6.2). The
+	// sleep policy is a package variable so the A3 ablation can sweep it.
+	aoutPath, filesPath, _ := DumpPaths("", pid)
+	opened := false
+	wait := PollInterval
+	for try := 0; try < 10; try++ {
+		fd, e := sys.Open(aoutPath, kernel.O_RDONLY)
+		if e == 0 {
+			sys.Close(fd)
+			opened = true
+			break
+		}
+		sys.Sleep(wait)
+		if PollBackoff {
+			wait *= 2
+		}
+	}
+	if !opened {
+		eprint(sys, "dumpproc: dump files never appeared")
+		return 1
+	}
+
+	// Read in the files file.
+	raw, e := ReadAll(sys, filesPath)
+	if e != 0 {
+		eprint(sys, "dumpproc: read "+filesPath+": "+e.Error())
+		return 1
+	}
+	ff, derr := DecodeFiles(raw)
+	if derr != nil {
+		eprint(sys, "dumpproc: "+derr.Error())
+		return 1
+	}
+
+	host := sys.Gethostname()
+	fix := func(path string) string {
+		if path == "" {
+			return path
+		}
+		// Resolve symbolic links.
+		resolved, e := resolveLinks(sys, path)
+		if e != 0 {
+			resolved = path // keep the lexical name; restart will cope
+		}
+		// If the name points to a terminal, change it to /dev/tty so it
+		// points at the current terminal of the process that reopens it.
+		if isTerminal(sys, resolved) {
+			return "/dev/tty"
+		}
+		// Otherwise, if the file is local to this machine, prepend
+		// /n/<machinename>.
+		if !strings.HasPrefix(resolved, "/n/") {
+			return "/n/" + host + resolved
+		}
+		return resolved
+	}
+
+	ff.CWD = fix(ff.CWD)
+	for i := range ff.FDs {
+		if ff.FDs[i].Kind == FDFile {
+			ff.FDs[i].Path = fix(ff.FDs[i].Path)
+		}
+	}
+
+	// Overwrite the modified information on the files file.
+	if e := WriteAll(sys, filesPath, ff.Encode(), 0o700); e != 0 {
+		eprint(sys, "dumpproc: rewrite "+filesPath+": "+e.Error())
+		return 1
+	}
+	return 0
+}
+
+// --- restart -----------------------------------------------------------------
+
+// RestartMain implements the restart command (§4.1, §4.4): verify the dump
+// files, assume the old credentials, restore the working directory, reopen
+// every descriptor in order (null device for sockets and missing files,
+// the terminal for unreopenable stdio), restore the terminal modes, and
+// call rest_proc.
+func RestartMain(sys *kernel.Sys, args []string) int {
+	flags := parseFlags(args[1:])
+	pid, err := strconv.Atoi(flags["p"])
+	if err != nil || pid <= 0 {
+		eprint(sys, "usage: restart -p pid [-h host]")
+		return 2
+	}
+	host := flags["h"]
+	local := sys.Gethostname()
+	if host == "" {
+		host = local
+	}
+	prefix := ""
+	if host != local {
+		prefix = "/n/" + host
+	}
+	aoutPath, filesPath, stackPath := DumpPaths(prefix, pid)
+
+	// Verify that the three files exist and have the correct format by
+	// checking their magic numbers.
+	filesRaw, e := ReadAll(sys, filesPath)
+	if e != 0 {
+		eprint(sys, "restart: "+filesPath+": "+e.Error())
+		return 1
+	}
+	ff, derr := DecodeFiles(filesRaw)
+	if derr != nil {
+		eprint(sys, "restart: "+derr.Error())
+		return 1
+	}
+	stackRaw, e := ReadAll(sys, stackPath)
+	if e != 0 {
+		eprint(sys, "restart: "+stackPath+": "+e.Error())
+		return 1
+	}
+	creds, _, derr := DecodeStackHeader(stackRaw)
+	if derr != nil {
+		eprint(sys, "restart: "+derr.Error())
+		return 1
+	}
+	if attr, e := sys.Stat(aoutPath); e != 0 || attr.Size == 0 {
+		eprint(sys, "restart: bad a.out dump")
+		return 1
+	}
+
+	// Read the old user credentials and establish them as our own. Only
+	// the owner of the original process or the superuser gets past this.
+	if e := sys.Setreuid(creds.UID, creds.EUID); e != 0 {
+		eprint(sys, "restart: setreuid: "+e.Error())
+		return 1
+	}
+
+	// Establish the old current working directory.
+	if e := sys.Chdir(ff.CWD); e != 0 {
+		eprint(sys, "restart: chdir "+ff.CWD+": "+e.Error())
+		return 1
+	}
+
+	// Reopen every file with the correct access modes and offset,
+	// assigning the same file numbers they had. The null device stands in
+	// for sockets, unused slots (to preserve ordering) and unreopenable
+	// files — except stdio, which falls back to the terminal so the user
+	// keeps some control over the restarted program.
+	var placeholder [kernel.NOFILE]bool
+	for fd := 0; fd < kernel.NOFILE; fd++ {
+		sys.Close(fd) // free the slot (our own stdio included)
+		ent := ff.FDs[fd]
+		var got int
+		var oe errno.Errno
+		switch ent.Kind {
+		case FDFile:
+			got, oe = sys.Open(ent.Path, int(ent.Flags))
+			if oe == 0 {
+				// Position at the dumped offset (devices don't seek).
+				sys.Lseek(got, int64(ent.Offset), kernel.SeekSet)
+			} else {
+				if fd <= 2 {
+					got, oe = sys.Open("/dev/tty", kernel.O_RDWR)
+				}
+				if oe != 0 {
+					got, oe = sys.Open("/dev/null", kernel.O_RDWR)
+				}
+			}
+		case FDSocketBound:
+			// Extension: re-create the socket, bind the old port here,
+			// and have the old machine forward datagrams. On any failure
+			// fall back to the paper's null device.
+			got, oe = sys.Socket()
+			if oe == 0 {
+				if be := sys.Bind(got, int(ent.Port)); be != 0 {
+					sys.Close(got)
+					got, oe = sys.Open("/dev/null", kernel.O_RDWR)
+				} else {
+					sys.RequestForward(ff.Host, int(ent.Port))
+				}
+			}
+		default: // FDUnused, FDSocket
+			got, oe = sys.Open("/dev/null", kernel.O_RDWR)
+			if ent.Kind == FDUnused {
+				placeholder[fd] = true
+			}
+		}
+		if oe != 0 || got != fd {
+			eprint(sys, "restart: descriptor table rebuild failed")
+			return 1
+		}
+	}
+	// Close the files that were only opened to preserve the order of the
+	// file numbers.
+	for fd, ph := range placeholder {
+		if ph {
+			sys.Close(fd)
+		}
+	}
+
+	// Set the current terminal's modes to those of the original process.
+	if ttyfd, e := sys.Open("/dev/tty", kernel.O_RDWR); e == 0 {
+		sys.Stty(ttyfd, ff.TTY)
+		sys.Close(ttyfd)
+	}
+
+	// Restart the old program. No return on success.
+	e = sys.RestProc(aoutPath, stackPath)
+	eprint(sys, "restart: rest_proc: "+e.Error())
+	return 1
+}
+
+// --- migrate -----------------------------------------------------------------
+
+// MigrateMain implements the migrate command (§4.1): dumpproc on the source
+// host and restart on the destination, glued together — via rsh when
+// either end is remote, which is where all of Figure 4's overhead lives.
+func MigrateMain(sys *kernel.Sys, args []string) int {
+	flags := parseFlags(args[1:])
+	pidStr := flags["p"]
+	if _, err := strconv.Atoi(pidStr); err != nil {
+		eprint(sys, "usage: migrate -p pid [-f fromhost] [-t tohost]")
+		return 2
+	}
+	local := sys.Gethostname()
+	from := flags["f"]
+	if from == "" {
+		from = local
+	}
+	to := flags["t"]
+	if to == "" {
+		to = local
+	}
+
+	// runLocal executes a command as a child. isRestart selects the wait
+	// that treats a successful rest_proc overlay as completion (a restart
+	// that succeeds never exits — it has become the migrated process).
+	runLocal := func(isRestart bool, path string, cargs ...string) int {
+		pid, e := sys.Spawn(path, append([]string{path}, cargs...), nil)
+		if e != 0 {
+			eprint(sys, "migrate: exec "+path+": "+e.Error())
+			return -1
+		}
+		if isRestart {
+			status, e := sys.WaitRestarted(pid)
+			if e != 0 {
+				return -1
+			}
+			return status
+		}
+		for {
+			rp, status, e := sys.Wait()
+			if e != 0 {
+				return -1
+			}
+			if rp == pid {
+				return status >> 8
+			}
+		}
+	}
+	runOn := func(host string, isRestart bool, cmd string, cargs ...string) int {
+		if host == local {
+			return runLocal(isRestart, "/bin/"+cmd, cargs...)
+		}
+		// rshd applies the same completed-or-migrated rule remotely.
+		return runLocal(false, "/bin/rsh", append([]string{host, cmd}, cargs...)...)
+	}
+
+	if st := runOn(from, false, ProgDumpproc, "-p", pidStr); st != 0 {
+		eprint(sys, "migrate: dumpproc failed")
+		return 1
+	}
+	if st := runOn(to, true, ProgRestart, "-p", pidStr, "-h", from); st != 0 {
+		eprint(sys, "migrate: restart failed")
+		return 1
+	}
+	return 0
+}
+
+// --- undump ------------------------------------------------------------------
+
+// UndumpMain implements the undump utility the paper notes comes for free:
+// combine an executable with a core dump from a run of it, producing an
+// executable whose statics are initialised to their values at dump time.
+// Usage: undump a.out core newfile.
+func UndumpMain(sys *kernel.Sys, args []string) int {
+	if len(args) != 4 {
+		eprint(sys, "usage: undump a.out core newfile")
+		return 2
+	}
+	exeRaw, e := ReadAll(sys, args[1])
+	if e != 0 {
+		eprint(sys, "undump: "+args[1]+": "+e.Error())
+		return 1
+	}
+	exe, err := aout.Decode(exeRaw)
+	if err != nil {
+		eprint(sys, "undump: "+err.Error())
+		return 1
+	}
+	coreRaw, e := ReadAll(sys, args[2])
+	if e != 0 {
+		eprint(sys, "undump: "+args[2]+": "+e.Error())
+		return 1
+	}
+	core, err := aout.DecodeCore(coreRaw)
+	if err != nil {
+		eprint(sys, "undump: "+err.Error())
+		return 1
+	}
+	merged, err := aout.Undump(exe, core)
+	if err != nil {
+		eprint(sys, "undump: "+err.Error())
+		return 1
+	}
+	if e := WriteAll(sys, args[3], merged.Encode(), 0o755); e != 0 {
+		eprint(sys, "undump: write: "+e.Error())
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"procmig/internal/kernel"
+)
+
+// The paper's workflow (§4.2) starts with ps(1) to find the pid, and
+// SIGDUMP "can be sent using the UNIX kill system call" — so the cluster
+// also installs ps and kill as user commands.
+const (
+	ProgPS   = "ps"
+	ProgKill = "kill"
+)
+
+// ToolPrograms returns the auxiliary user commands.
+func ToolPrograms() map[string]kernel.HostedProg {
+	return map[string]kernel.HostedProg{
+		ProgPS:   PSMain,
+		ProgKill: KillMain,
+	}
+}
+
+// PSMain implements a minimal ps(1): one row per process.
+func PSMain(sys *kernel.Sys, args []string) int {
+	rows := sys.PS()
+	out := fmt.Sprintf("%5s %5s %5s %-8s %10s %10s  %s\n",
+		"PID", "PPID", "UID", "STAT", "UTIME", "STIME", "COMMAND")
+	for _, r := range rows {
+		out += fmt.Sprintf("%5d %5d %5d %-8s %10v %10v  %s\n",
+			r.PID, r.PPID, r.UID, r.State, r.UTime, r.STime, r.Cmd)
+	}
+	sys.Write(1, []byte(out))
+	return 0
+}
+
+// KillMain implements kill(1): kill [-signal] pid...
+func KillMain(sys *kernel.Sys, args []string) int {
+	sig := kernel.SIGTERM
+	i := 1
+	if i < len(args) && len(args[i]) > 1 && args[i][0] == '-' {
+		n, err := strconv.Atoi(args[i][1:])
+		if err != nil || n <= 0 || n >= kernel.NSIG {
+			eprint(sys, "kill: bad signal "+args[i])
+			return 2
+		}
+		sig = kernel.Signal(n)
+		i++
+	}
+	if i >= len(args) {
+		eprint(sys, "usage: kill [-signal] pid...")
+		return 2
+	}
+	status := 0
+	for ; i < len(args); i++ {
+		pid, err := strconv.Atoi(args[i])
+		if err != nil {
+			eprint(sys, "kill: bad pid "+args[i])
+			status = 1
+			continue
+		}
+		if e := sys.Kill(pid, sig); e != 0 {
+			eprint(sys, "kill: "+args[i]+": "+e.Error())
+			status = 1
+		}
+	}
+	return status
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+
+	"procmig/internal/sim"
+)
+
+func TestA1NameStorage(t *testing.T) {
+	r, err := A1NameStorage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dynamic peak %dB vs fixed peak %dB (%.0fx), mean name %.1fB",
+		r.DynamicPeak, r.FixedPeak, r.SavingFactor, r.MeanNameLen)
+	// One extra tracked name: the session's shared terminal file.
+	if r.FixedPeak != int64(r.Files+1)*1024 {
+		t.Errorf("fixed peak = %d, want %d", r.FixedPeak, (r.Files+1)*1024)
+	}
+	// §5.1's argument: fixed buffers would waste "large amounts of kernel
+	// memory" — at least an order of magnitude here.
+	if r.SavingFactor < 10 {
+		t.Errorf("saving factor %.1f, want ≥ 10", r.SavingFactor)
+	}
+}
+
+func TestA2Migd(t *testing.T) {
+	r, err := A2Migd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rsh migrate %v vs migd fmigrate %v: %.1fx speedup", r.RshMigrate, r.FastMigrate, r.Speedup)
+	if r.Speedup < 3 {
+		t.Errorf("daemon speedup %.1f, want ≥ 3 (rsh connection cost dominates)", r.Speedup)
+	}
+}
+
+func TestA3PollInterval(t *testing.T) {
+	pts, err := A3PollInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]*A3Point{}
+	for _, p := range pts {
+		byLabel[p.Label] = p
+		t.Logf("%-14s real %v cpu %v", p.Label, p.Real, p.CPU)
+	}
+	// Finer polling gives lower real time; CPU is nearly flat.
+	if byLabel["250ms"].Real >= byLabel["1s (paper)"].Real {
+		t.Error("250ms polling should beat the paper's 1s")
+	}
+	// 1s and 2s can land on the same retry (the dump takes ~1.2s), so 2s
+	// must merely not be meaningfully faster.
+	if byLabel["2s"].Real+50*sim.Millisecond < byLabel["1s (paper)"].Real {
+		t.Error("2s polling should not beat 1s")
+	}
+	cpuSpread := float64(byLabel["250ms"].CPU-byLabel["2s"].CPU) / float64(byLabel["2s"].CPU)
+	if cpuSpread > 0.25 || cpuSpread < -0.25 {
+		t.Errorf("cpu varies %.0f%% across poll intervals; should be nearly flat", cpuSpread*100)
+	}
+}
+
+func TestA4Checkpoint(t *testing.T) {
+	pts, err := A4Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("%s: plain %v → ckpted %v (overhead %.1f%%)", p.Label, p.Plain, p.Ckpted, p.Overhead*100)
+		if p.Overhead <= 0 {
+			t.Errorf("%s: checkpointing cannot be free", p.Label)
+		}
+		if p.Overhead > 1.0 {
+			t.Errorf("%s: overhead %.0f%% absurdly high", p.Label, p.Overhead*100)
+		}
+	}
+	if len(pts) == 2 && pts[1].Ckpted <= pts[0].Ckpted {
+		t.Error("more snapshots should cost more total time")
+	}
+}
+
+func TestA5LoadBalance(t *testing.T) {
+	r, err := A5LoadBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d jobs: unbalanced %v vs balanced %v (%d migrations, %.0f%% better)",
+		r.Jobs, r.Unbalanced, r.Balanced, r.Migrations, r.Improvement*100)
+	if r.Migrations == 0 {
+		t.Error("balancer never migrated")
+	}
+	if r.Improvement < 0.25 {
+		t.Errorf("improvement %.0f%%, want ≥ 25%% (ideal is 50%% on 2 machines)", r.Improvement*100)
+	}
+	_ = sim.Second
+}
+
+func TestE3SocketMigration(t *testing.T) {
+	r, err := E3SocketMigration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sent %d: with extension received %d (freeze %v); without: broken=%v",
+		r.Sent, r.ReceivedWith, r.Freeze, r.BrokenWithout)
+	if !r.BrokenWithout {
+		t.Error("without the extension the server must break (paper §7)")
+	}
+	if r.ReceivedWith < r.Sent*3/5 {
+		t.Errorf("with the extension only %d/%d datagrams survived", r.ReceivedWith, r.Sent)
+	}
+	if r.Freeze <= 0 || r.Freeze > 10*sim.Second {
+		t.Errorf("freeze window %v implausible", r.Freeze)
+	}
+}

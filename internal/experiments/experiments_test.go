@@ -1,0 +1,107 @@
+package experiments
+
+import "testing"
+
+// The tests assert the paper's qualitative shapes; EXPERIMENTS.md records
+// the exact numbers side by side with the paper's.
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, cd := r.OpenCloseOverhead(), r.ChdirOverhead()
+	t.Logf("open/close overhead = %.2f (paper 1.44), chdir = %.2f (paper 1.36)", oc, cd)
+	if oc < 1.25 || oc > 1.65 {
+		t.Errorf("open/close overhead %.2f outside [1.25, 1.65]", oc)
+	}
+	if cd < 1.20 || cd > 1.55 {
+		t.Errorf("chdir overhead %.2f outside [1.20, 1.55]", cd)
+	}
+	if oc <= cd {
+		t.Errorf("paper has open/close (%.2f) > chdir (%.2f)", oc, cd)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SIGDUMP: %.2fx cpu %.2fx real (paper ≈3, ≈3); dumpproc: %.2fx cpu %.2fx real (paper ≈4, ≈6)",
+		r.DumpCPURatio(), r.DumpRealRatio(), r.DumpprocCPURatio(), r.DumpprocRealRatio())
+	if v := r.DumpCPURatio(); v < 2.2 || v > 4.0 {
+		t.Errorf("SIGDUMP cpu ratio %.2f outside [2.2, 4.0] (paper ≈3)", v)
+	}
+	if v := r.DumpRealRatio(); v < 2.2 || v > 4.0 {
+		t.Errorf("SIGDUMP real ratio %.2f outside [2.2, 4.0] (paper ≈3)", v)
+	}
+	if v := r.DumpprocCPURatio(); v < 3.0 || v > 5.5 {
+		t.Errorf("dumpproc cpu ratio %.2f outside [3.0, 5.5] (paper ≈4)", v)
+	}
+	if v := r.DumpprocRealRatio(); v < 4.5 || v > 8.0 {
+		t.Errorf("dumpproc real ratio %.2f outside [4.5, 8.0] (paper ≈6)", v)
+	}
+	// The defining gap: dumpproc's real time far exceeds its CPU share
+	// because it sleeps waiting for the victim's dump files.
+	if r.DumpprocRealRatio() <= r.DumpprocCPURatio() {
+		t.Error("dumpproc real ratio should exceed its cpu ratio")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rest_proc: %.2fx cpu %.2fx real (paper slightly >1); restart: %.2fx cpu %.2fx real (paper ≈5, ≈6)",
+		r.RestProcCPURatio(), r.RestProcRealRatio(), r.RestartCPURatio(), r.RestartRealRatio())
+	if v := r.RestProcCPURatio(); v < 1.0 || v > 1.8 {
+		t.Errorf("rest_proc cpu ratio %.2f outside [1.0, 1.8] (paper: slightly above 1)", v)
+	}
+	if v := r.RestartCPURatio(); v < 3.5 || v > 7.0 {
+		t.Errorf("restart cpu ratio %.2f outside [3.5, 7.0] (paper ≈5)", v)
+	}
+	if v := r.RestartRealRatio(); v < 4.0 || v > 8.5 {
+		t.Errorf("restart real ratio %.2f outside [4.0, 8.5] (paper ≈6)", v)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	cases, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Fig4Case{}
+	for _, fc := range cases {
+		byName[fc.Name] = fc
+		t.Logf("%s: migrate %v vs separate %v = %.2fx", fc.Name, fc.MigrateReal, fc.SeparateReal, fc.Ratio())
+		if fc.MigrateStatus != 0 {
+			t.Fatalf("%s: migrate exited %d", fc.Name, fc.MigrateStatus)
+		}
+	}
+	// Local→local is cheap (no rsh), both-remote is the worst, one-remote
+	// cases are in between, and the worst case approaches the paper's 10×
+	// ("almost half a minute").
+	ll, lr, rl, rr := byName["L→L"], byName["L→R"], byName["R→L"], byName["R→R"]
+	if ll.Ratio() > 1.8 {
+		t.Errorf("L→L ratio %.2f, want near 1 (no rsh involved)", ll.Ratio())
+	}
+	if !(lr.Ratio() > ll.Ratio() && rl.Ratio() > ll.Ratio()) {
+		t.Errorf("one-remote cases (%.2f, %.2f) should exceed L→L (%.2f)", lr.Ratio(), rl.Ratio(), ll.Ratio())
+	}
+	if !(rr.Ratio() > lr.Ratio() && rr.Ratio() > rl.Ratio()) {
+		t.Errorf("R→R (%.2f) should be the most expensive", rr.Ratio())
+	}
+	if rr.Ratio() < 6 || rr.Ratio() > 14 {
+		t.Errorf("R→R ratio %.2f outside [6, 14] (paper: up to ≈10×)", rr.Ratio())
+	}
+	// The paper notes L→R ≠ R→L because different programs run under rsh.
+	if lr.MigrateReal == rl.MigrateReal {
+		t.Log("note: L→R and R→L coincide exactly; paper reports a small difference")
+	}
+	// "almost half a minute": the worst case lands in the tens of seconds.
+	if rr.MigrateReal < 15_000_000 || rr.MigrateReal > 60_000_000 {
+		t.Errorf("R→R migrate = %v, want tens of seconds", rr.MigrateReal)
+	}
+}

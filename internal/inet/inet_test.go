@@ -1,0 +1,134 @@
+package inet_test
+
+import (
+	"testing"
+
+	"procmig/internal/errno"
+	"procmig/internal/inet"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+func twoStacks(t *testing.T) (*sim.Engine, *inet.Stack, *inet.Stack) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, 500*sim.Microsecond, sim.Microsecond)
+	a, err := inet.New(net.AddHost("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inet.New(net.AddHost("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, a, b
+}
+
+func TestSendToBoundSocket(t *testing.T) {
+	_, a, b := twoStacks(t)
+	sock := &kernel.SocketObj{}
+	if e := b.Bind(sock, 4000); e != 0 {
+		t.Fatal(e)
+	}
+	if e := a.SendTo("b", 4000, []byte("hello")); e != 0 {
+		t.Fatal(e)
+	}
+	if sock.Pending() != 1 {
+		t.Fatalf("pending = %d", sock.Pending())
+	}
+}
+
+func TestSendToUnboundPortRefused(t *testing.T) {
+	_, a, _ := twoStacks(t)
+	if e := a.SendTo("b", 9999, []byte("x")); e != errno.ECONNREFUSED {
+		t.Fatalf("e = %v, want ECONNREFUSED", e)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	_, a, _ := twoStacks(t)
+	sock := &kernel.SocketObj{}
+	if e := a.Bind(sock, 5000); e != 0 {
+		t.Fatal(e)
+	}
+	if e := a.SendTo("a", 5000, []byte("loop")); e != 0 {
+		t.Fatal(e)
+	}
+	if sock.Pending() != 1 {
+		t.Fatalf("pending = %d", sock.Pending())
+	}
+}
+
+func TestBindConflicts(t *testing.T) {
+	_, a, _ := twoStacks(t)
+	s1, s2 := &kernel.SocketObj{}, &kernel.SocketObj{}
+	if e := a.Bind(s1, 4000); e != 0 {
+		t.Fatal(e)
+	}
+	if e := a.Bind(s2, 4000); e != errno.EEXIST {
+		t.Fatalf("second bind: %v, want EEXIST", e)
+	}
+	a.Unbind(s1)
+	if e := a.Bind(s2, 4000); e != 0 {
+		t.Fatalf("bind after unbind: %v", e)
+	}
+	if e := a.Bind(s1, 0); e != errno.EINVAL {
+		t.Fatalf("bind port 0: %v, want EINVAL", e)
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, 500*sim.Microsecond, sim.Microsecond)
+	old, err := inet.New(net.AddHost("old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := inet.New(net.AddHost("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := inet.New(net.AddHost("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The migrated process binds on the new machine and registers a
+	// forwarding address on the old one.
+	sock := &kernel.SocketObj{}
+	if e := neu.Bind(sock, 4000); e != 0 {
+		t.Fatal(e)
+	}
+	if e := neu.RequestForward("old", 4000); e != 0 {
+		t.Fatal(e)
+	}
+	if old.Forwards()[4000] != "new" {
+		t.Fatalf("forwards = %v", old.Forwards())
+	}
+	// Datagrams to the OLD machine arrive at the new one.
+	if e := sender.SendTo("old", 4000, []byte("follow me")); e != 0 {
+		t.Fatal(e)
+	}
+	if sock.Pending() != 1 {
+		t.Fatalf("pending = %d", sock.Pending())
+	}
+}
+
+func TestLocalRebindSupersedesForward(t *testing.T) {
+	_, a, _ := twoStacks(t)
+	// A stale forward exists; a new local binding must win.
+	if e := a.RequestForward("a", 4000); e != 0 { // local no-op
+		t.Fatal(e)
+	}
+	sock := &kernel.SocketObj{}
+	if e := a.Bind(sock, 4000); e != 0 {
+		t.Fatal(e)
+	}
+	if e := a.SendTo("a", 4000, []byte("here")); e != 0 {
+		t.Fatal(e)
+	}
+	if sock.Pending() != 1 {
+		t.Fatal("local binding did not receive")
+	}
+}

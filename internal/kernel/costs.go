@@ -1,0 +1,94 @@
+package kernel
+
+import "procmig/internal/sim"
+
+// Costs is the virtual-time cost model: every constant a syscall, the
+// scheduler, the disk or the dump path charges. Values are era-plausible
+// for a ~1 MIPS Sun-2 with a local disk and 10 Mbit Ethernet, and are
+// calibrated so the paper's four figures land near their reported ratios
+// (see EXPERIMENTS.md). Absolute values are not the point; ratios are.
+type Costs struct {
+	// CPU.
+	InstrPerUS  sim.Duration // VM instructions per microsecond (1 ≈ Sun-2)
+	Quantum     sim.Duration // scheduler time slice
+	SwitchCost  sim.Duration // context switch penalty
+	SyscallBase sim.Duration // trap + common syscall path
+
+	// Pathname resolution and the paper's §5.1 name tracking. Open/creat
+	// pay malloc + copy (file structures use dynamically allocated
+	// strings); chdir pays copy only (the u-area field is fixed size).
+	NameiPerComp     sim.Duration // per path component looked up
+	TrackMalloc      sim.Duration // kernel memory allocator, open/creat only
+	TrackCopyBase    sim.Duration // combine-and-copy bookkeeping per update
+	TrackNamePerByte sim.Duration // kernel strcpy per pathname byte
+	TrackFree        sim.Duration // freeing the name on close
+
+	// Per-syscall work beyond the base trap cost.
+	OpenBase  sim.Duration
+	CloseBase sim.Duration
+	ChdirBase sim.Duration
+	ReadBase  sim.Duration
+	WriteBase sim.Duration
+	StatBase  sim.Duration
+
+	// Local disk.
+	DiskLatency sim.Duration // per data-carrying operation
+	DiskPerByte sim.Duration
+
+	// Program loading.
+	ExecBase    sim.Duration // execve fixed work (image setup, page maps)
+	ExecPerByte sim.Duration // copying text+data in
+	SpawnBase   sim.Duration // process creation (fork half of fork+exec)
+
+	// Signals and dumping.
+	SignalPost    sim.Duration // posting a signal
+	SignalDeliver sim.Duration // delivering to a handler
+	DumpPerByte   sim.Duration // formatting dump/core contents (CPU)
+	DumpBase      sim.Duration // per dump file: headers, bookkeeping (CPU)
+	DumpDisk      sim.Duration // per dump file: synchronous disk writes
+
+	// Terminal.
+	TTYPerByte sim.Duration
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		InstrPerUS:  1,
+		Quantum:     20 * sim.Millisecond,
+		SwitchCost:  1500 * sim.Microsecond,
+		SyscallBase: 180 * sim.Microsecond,
+
+		NameiPerComp:     160 * sim.Microsecond,
+		TrackMalloc:      137 * sim.Microsecond,
+		TrackCopyBase:    192 * sim.Microsecond,
+		TrackNamePerByte: 8 * sim.Microsecond,
+		TrackFree:        60 * sim.Microsecond,
+
+		OpenBase:  220 * sim.Microsecond,
+		CloseBase: 120 * sim.Microsecond,
+		ChdirBase: 200 * sim.Microsecond,
+		ReadBase:  150 * sim.Microsecond,
+		WriteBase: 150 * sim.Microsecond,
+		StatBase:  150 * sim.Microsecond,
+
+		DiskLatency: 18 * sim.Millisecond,
+		DiskPerByte: 2 * sim.Microsecond,
+
+		ExecBase:    30 * sim.Millisecond,
+		ExecPerByte: 3 * sim.Microsecond,
+		SpawnBase:   25 * sim.Millisecond,
+
+		SignalPost:    120 * sim.Microsecond,
+		SignalDeliver: 250 * sim.Microsecond,
+		DumpPerByte:   3 * sim.Microsecond,
+		DumpBase:      21 * sim.Millisecond,
+		DumpDisk:      360 * sim.Millisecond,
+
+		TTYPerByte: 30 * sim.Microsecond,
+	}
+}
+
+// MaxPathLen is the fixed buffer size the ablation's fixed-storage mode
+// charges per tracked name (the alternative §5.1 argues against).
+const MaxPathLen = 1024

@@ -1,0 +1,165 @@
+package kernel
+
+import (
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+	"procmig/internal/vfs"
+)
+
+// FileKind classifies an open file structure.
+type FileKind int
+
+const (
+	FileInode FileKind = iota + 1
+	FileDevice
+	FilePipe
+	FileSocket
+)
+
+func (k FileKind) String() string {
+	switch k {
+	case FileInode:
+		return "file"
+	case FileDevice:
+		return "device"
+	case FilePipe:
+		return "pipe"
+	case FileSocket:
+		return "socket"
+	default:
+		return "?"
+	}
+}
+
+// Open flags.
+const (
+	O_RDONLY = 0
+	O_WRONLY = 1
+	O_RDWR   = 2
+	O_ACCMOD = 3
+	O_APPEND = 0x8
+)
+
+// Lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// File is an open file structure (shared between descriptors after
+// fork/dup, like the 4.2BSD file struct).
+type File struct {
+	Kind   FileKind
+	Place  vfs.Place  // FileInode
+	Dev    Device     // FileDevice
+	DevID  vfs.DevID  // FileDevice
+	Pipe   *Pipe      // FilePipe
+	PipeWr bool       // this descriptor is the pipe's write end
+	Sock   *SocketObj // FileSocket
+	Flags  int
+	Offset int64
+	// Name is the paper's §5.1 addition: the absolute path name the file
+	// was opened under (lexically combined with the cwd; symlinks NOT
+	// resolved). Empty on the baseline kernel and for pipes/sockets.
+	Name string
+
+	refs int
+}
+
+// Readable reports whether the access mode allows reading.
+func (f *File) Readable() bool { return f.Flags&O_ACCMOD != O_WRONLY }
+
+// Writable reports whether the access mode allows writing.
+func (f *File) Writable() bool { return f.Flags&O_ACCMOD != O_RDONLY }
+
+// Pipe is the kernel pipe object.
+type Pipe struct {
+	buf      []byte
+	capacity int
+	readers  sim.Queue
+	writers  sim.Queue
+	nreaders int
+	nwriters int
+}
+
+// PipeCapacity matches the historical 4 KiB pipe buffer.
+const PipeCapacity = 4096
+
+func newPipe() *Pipe {
+	return &Pipe{capacity: PipeCapacity, nreaders: 1, nwriters: 1}
+}
+
+// closeFile drops one reference to f, releasing resources at zero.
+func (p *Proc) closeFile(f *File) {
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if f.Kind == FileSocket && f.Sock != nil && f.Sock.Port != 0 && p.M.netStack != nil {
+		p.M.netStack.Unbind(f.Sock)
+	}
+	if f.Kind == FilePipe {
+		if f.PipeWr {
+			f.Pipe.nwriters--
+			f.Pipe.readers.WakeAll() // readers see EOF
+		} else {
+			f.Pipe.nreaders--
+			f.Pipe.writers.WakeAll() // writers see EPIPE
+		}
+	}
+	p.M.untrackName(p, f.Name)
+	f.Name = ""
+}
+
+// allocFD installs f in the lowest free descriptor slot.
+func (p *Proc) allocFD(f *File) (int, errno.Errno) {
+	for fd := range p.FDs {
+		if p.FDs[fd] == nil {
+			f.refs++
+			p.FDs[fd] = f
+			return fd, 0
+		}
+	}
+	return -1, errno.EMFILE
+}
+
+// fd resolves a descriptor number.
+func (p *Proc) fd(n int) (*File, errno.Errno) {
+	if n < 0 || n >= NOFILE || p.FDs[n] == nil {
+		return nil, errno.EBADF
+	}
+	return p.FDs[n], 0
+}
+
+// checkAccess applies the classical owner/group/other permission bits.
+func checkAccess(attr vfs.Attr, c Creds, want uint16) errno.Errno {
+	if c.Root() {
+		return 0
+	}
+	var shift uint
+	switch {
+	case c.EUID == attr.UID:
+		shift = 6
+	case c.EGID == attr.GID:
+		shift = 3
+	default:
+		shift = 0
+	}
+	if (attr.Mode>>shift)&want == want {
+		return 0
+	}
+	return errno.EACCES
+}
+
+// accessBitsFor maps open flags to permission bits (r=4, w=2).
+func accessBitsFor(flags int) uint16 {
+	switch flags & O_ACCMOD {
+	case O_RDONLY:
+		return 4
+	case O_WRONLY:
+		return 2
+	default:
+		return 6
+	}
+}

@@ -1,0 +1,502 @@
+package kernel
+
+import (
+	"strings"
+
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+	"procmig/internal/vfs"
+)
+
+// nameiCharge charges the path-walk CPU for an absolute path.
+func (p *Proc) nameiCharge(abs string) {
+	comps := 1 + strings.Count(strings.Trim(abs, "/"), "/")
+	p.sysCPU(sim.Duration(comps) * p.M.Costs.NameiPerComp)
+}
+
+// abspath combines a path argument with the u-area cwd, the way the
+// paper's modified kernel builds tracked names (lexically).
+func (p *Proc) abspath(path string) string { return vfs.JoinPath(p.CWD, path) }
+
+// diskCharge models local-disk data transfer time (as I/O wait, not CPU).
+// Remote filesystems charge themselves inside the NFS client.
+func (p *Proc) diskCharge(pl vfs.Place, nbytes int) {
+	if !placeIsLocal(p.M, pl) {
+		return
+	}
+	p.task.Sleep(p.M.Costs.DiskLatency + sim.Duration(nbytes)*p.M.Costs.DiskPerByte)
+}
+
+// open implements open(2). The paper-era open has no O_CREAT; see creat.
+func (p *Proc) open(path string, flags int) (int, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+
+	f, e := p.openFile(abs, flags)
+	if e != 0 {
+		p.M.trace(p, "open", "%q flags=%#x = %v", abs, flags, e)
+		return -1, e
+	}
+	f.Name = p.M.trackName(p, abs)
+	fd, e := p.allocFD(f)
+	p.M.trace(p, "open", "%q flags=%#x = fd %d", abs, flags, fd)
+	return fd, e
+}
+
+// openFile builds the open file structure for abs without installing it.
+func (p *Proc) openFile(abs string, flags int) (*File, errno.Errno) {
+	pl, err := p.M.ns.Resolve(abs, true)
+	if err != nil {
+		return nil, errno.Of(err)
+	}
+	switch pl.Attr.Type {
+	case vfs.TypeDir:
+		if flags&O_ACCMOD != O_RDONLY {
+			return nil, errno.EISDIR
+		}
+		return nil, errno.EISDIR // directory reads unsupported via open
+	case vfs.TypeDev:
+		if e := checkAccess(pl.Attr, p.Creds, accessBitsFor(flags)); e != 0 {
+			return nil, e
+		}
+		dev, e := p.deviceFor(pl.Attr.Dev)
+		if e != 0 {
+			return nil, e
+		}
+		return &File{Kind: FileDevice, Dev: dev, DevID: pl.Attr.Dev, Place: pl, Flags: flags}, 0
+	case vfs.TypeFile:
+		if e := checkAccess(pl.Attr, p.Creds, accessBitsFor(flags)); e != 0 {
+			return nil, e
+		}
+		return &File{Kind: FileInode, Place: pl, Flags: flags}, 0
+	default:
+		return nil, errno.EINVAL
+	}
+}
+
+// deviceFor maps a device id to its driver; DevCurrentTTY binds to the
+// process's controlling terminal at open time.
+func (p *Proc) deviceFor(id vfs.DevID) (Device, errno.Errno) {
+	if id == DevCurrentTTY {
+		if p.TTY == nil {
+			return nil, errno.ENXIO
+		}
+		return NewTTYDevice(p.TTY), 0
+	}
+	dev, ok := p.M.devices[id]
+	if !ok {
+		return nil, errno.ENODEV
+	}
+	return dev, 0
+}
+
+// creat implements creat(2): create (or truncate) and open for writing.
+// As in the real kernel it shares open's internal path (§6.1 explains why
+// the paper didn't measure it separately).
+func (p *Proc) creat(path string, mode uint16) (int, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+
+	var f *File
+	if pl, err := p.M.ns.Resolve(abs, true); err == nil {
+		switch pl.Attr.Type {
+		case vfs.TypeDir:
+			return -1, errno.EISDIR
+		case vfs.TypeDev:
+			dev, e := p.deviceFor(pl.Attr.Dev)
+			if e != 0 {
+				return -1, e
+			}
+			f = &File{Kind: FileDevice, Dev: dev, DevID: pl.Attr.Dev, Place: pl, Flags: O_WRONLY}
+		default:
+			if e := checkAccess(pl.Attr, p.Creds, 2); e != 0 {
+				return -1, e
+			}
+			if err := pl.FS.Truncate(pl.Node, 0); err != nil {
+				return -1, errno.Of(err)
+			}
+			pl.Attr.Size = 0
+			f = &File{Kind: FileInode, Place: pl, Flags: O_WRONLY}
+		}
+	} else {
+		dir, base, err := p.M.ns.ResolveParent(abs)
+		if err != nil {
+			return -1, errno.Of(err)
+		}
+		if e := checkAccess(dir.Attr, p.Creds, 2); e != 0 {
+			return -1, e
+		}
+		node, err := dir.FS.Create(dir.Node, base, mode, p.Creds.EUID, p.Creds.EGID)
+		if err != nil {
+			return -1, errno.Of(err)
+		}
+		attr, _ := dir.FS.Getattr(node)
+		pl := vfs.Place{FS: dir.FS, Node: node, Attr: attr, Canon: dir.Canon + "/" + base}
+		f = &File{Kind: FileInode, Place: pl, Flags: O_WRONLY}
+	}
+	f.Name = p.M.trackName(p, abs)
+	fd, e := p.allocFD(f)
+	p.M.trace(p, "creat", "%q mode=%#o = fd %d (%v)", abs, mode, fd, e)
+	return fd, e
+}
+
+// closeFD implements close(2).
+func (p *Proc) closeFD(fd int) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.CloseBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return e
+	}
+	p.M.trace(p, "close", "fd %d (%s)", fd, f.Kind)
+	p.FDs[fd] = nil
+	p.closeFile(f)
+	return 0
+}
+
+// read implements read(2).
+func (p *Proc) read(fd int, n int) ([]byte, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.ReadBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return nil, e
+	}
+	if !f.Readable() {
+		return nil, errno.EBADF
+	}
+	if n < 0 {
+		return nil, errno.EINVAL
+	}
+	switch f.Kind {
+	case FileInode:
+		data, err := f.Place.FS.ReadAt(f.Place.Node, f.Offset, n)
+		if err != nil {
+			return nil, errno.Of(err)
+		}
+		p.diskCharge(f.Place, len(data))
+		f.Offset += int64(len(data))
+		return data, 0
+	case FileDevice:
+		return f.Dev.Read(p, n)
+	case FilePipe:
+		return p.pipeRead(f.Pipe, n)
+	case FileSocket:
+		if f.Sock != nil {
+			// read(2) on a datagram socket behaves like recvfrom.
+			return p.recvfrom(fd, n)
+		}
+		// Unconnected legacy socket: block until a signal arrives.
+		var q sim.Queue
+		for {
+			if p.blockOn(&q) {
+				return nil, errno.EINTR
+			}
+		}
+	default:
+		return nil, errno.EBADF
+	}
+}
+
+// write implements write(2).
+func (p *Proc) write(fd int, data []byte) (int, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.WriteBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return 0, e
+	}
+	if !f.Writable() {
+		return 0, errno.EBADF
+	}
+	switch f.Kind {
+	case FileInode:
+		off := f.Offset
+		if f.Flags&O_APPEND != 0 {
+			attr, err := f.Place.FS.Getattr(f.Place.Node)
+			if err != nil {
+				return 0, errno.Of(err)
+			}
+			off = attr.Size
+		}
+		n, err := f.Place.FS.WriteAt(f.Place.Node, off, data)
+		if err != nil {
+			return 0, errno.Of(err)
+		}
+		p.diskCharge(f.Place, n)
+		f.Offset = off + int64(n)
+		return n, 0
+	case FileDevice:
+		return f.Dev.Write(p, data)
+	case FilePipe:
+		return p.pipeWrite(f.Pipe, data)
+	case FileSocket:
+		// Datagrams into the void: accepted and dropped.
+		return len(data), 0
+	default:
+		return 0, errno.EBADF
+	}
+}
+
+// lseek implements lseek(2).
+func (p *Proc) lseek(fd int, off int64, whence int) (int64, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return 0, e
+	}
+	if f.Kind != FileInode {
+		return 0, errno.ESPIPE
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.Offset
+	case SeekEnd:
+		attr, err := f.Place.FS.Getattr(f.Place.Node)
+		if err != nil {
+			return 0, errno.Of(err)
+		}
+		base = attr.Size
+	default:
+		return 0, errno.EINVAL
+	}
+	pos := base + off
+	if pos < 0 {
+		return 0, errno.EINVAL
+	}
+	f.Offset = pos
+	return pos, 0
+}
+
+// chdir implements chdir(2) with the paper's §5.1 u-area maintenance: the
+// new cwd name is the lexical combination of the old one and the argument.
+func (p *Proc) chdir(path string) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.ChdirBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	pl, err := p.M.ns.Resolve(abs, true)
+	if err != nil {
+		return errno.Of(err)
+	}
+	if pl.Attr.Type != vfs.TypeDir {
+		return errno.ENOTDIR
+	}
+	if p.M.Config.TrackNames {
+		// Charge the combine-and-copy work only: the u-area field is a
+		// fixed-size buffer, so chdir pays no allocator cost (§5.1).
+		p.sysCPU(p.M.Costs.TrackCopyBase + sim.Duration(len(abs))*p.M.Costs.TrackNamePerByte)
+	}
+	p.M.trace(p, "chdir", "%q", abs)
+	p.CWD = abs
+	return 0
+}
+
+// readlink implements readlink(2).
+func (p *Proc) readlink(path string) (string, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.StatBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	pl, err := p.M.ns.Resolve(abs, false)
+	if err != nil {
+		return "", errno.Of(err)
+	}
+	if pl.Attr.Type != vfs.TypeSymlink {
+		return "", errno.EINVAL
+	}
+	target, err := pl.FS.Readlink(pl.Node)
+	if err != nil {
+		return "", errno.Of(err)
+	}
+	return target, 0
+}
+
+// stat implements stat(2) (following symlinks).
+func (p *Proc) stat(path string) (vfs.Attr, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.StatBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	pl, err := p.M.ns.Resolve(abs, true)
+	if err != nil {
+		return vfs.Attr{}, errno.Of(err)
+	}
+	return pl.Attr, 0
+}
+
+// lstat implements lstat(2).
+func (p *Proc) lstat(path string) (vfs.Attr, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.StatBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	pl, err := p.M.ns.Resolve(abs, false)
+	if err != nil {
+		return vfs.Attr{}, errno.Of(err)
+	}
+	return pl.Attr, 0
+}
+
+// unlink implements unlink(2).
+func (p *Proc) unlink(path string) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	dir, base, err := p.M.ns.ResolveParent(abs)
+	if err != nil {
+		return errno.Of(err)
+	}
+	if e := checkAccess(dir.Attr, p.Creds, 2); e != 0 {
+		return e
+	}
+	return errno.Of(dir.FS.Remove(dir.Node, base))
+}
+
+// mkdir implements mkdir(2).
+func (p *Proc) mkdir(path string, mode uint16) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	dir, base, err := p.M.ns.ResolveParent(abs)
+	if err != nil {
+		return errno.Of(err)
+	}
+	if e := checkAccess(dir.Attr, p.Creds, 2); e != 0 {
+		return e
+	}
+	_, err = dir.FS.Mkdir(dir.Node, base, mode, p.Creds.EUID, p.Creds.EGID)
+	return errno.Of(err)
+}
+
+// symlink implements symlink(2).
+func (p *Proc) symlink(target, path string) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	abs := p.abspath(path)
+	p.nameiCharge(abs)
+	dir, base, err := p.M.ns.ResolveParent(abs)
+	if err != nil {
+		return errno.Of(err)
+	}
+	if e := checkAccess(dir.Attr, p.Creds, 2); e != 0 {
+		return e
+	}
+	return errno.Of(dir.FS.Symlink(dir.Node, base, target, p.Creds.EUID, p.Creds.EGID))
+}
+
+// pipeFDs implements pipe(2).
+func (p *Proc) pipeFDs() (int, int, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	pp := newPipe()
+	rf := &File{Kind: FilePipe, Pipe: pp, Flags: O_RDONLY}
+	wf := &File{Kind: FilePipe, Pipe: pp, PipeWr: true, Flags: O_WRONLY}
+	rfd, e := p.allocFD(rf)
+	if e != 0 {
+		return -1, -1, e
+	}
+	wfd, e := p.allocFD(wf)
+	if e != 0 {
+		p.FDs[rfd] = nil
+		p.closeFile(rf)
+		return -1, -1, e
+	}
+	return rfd, wfd, 0
+}
+
+// socket implements socket(2) for datagram sockets. Under the paper's
+// base mechanism these cannot be migrated (§7); the SocketMigration
+// extension re-binds them (socket.go).
+func (p *Proc) socket() (int, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.OpenBase)
+	return p.allocFD(&File{Kind: FileSocket, Flags: O_RDWR, Sock: &SocketObj{}})
+}
+
+// pipeRead reads from a pipe, blocking while it is empty and writers
+// remain.
+func (p *Proc) pipeRead(pp *Pipe, max int) ([]byte, errno.Errno) {
+	for {
+		if len(pp.buf) > 0 {
+			n := len(pp.buf)
+			if n > max {
+				n = max
+			}
+			out := append([]byte(nil), pp.buf[:n]...)
+			pp.buf = pp.buf[n:]
+			pp.writers.WakeAll()
+			return out, 0
+		}
+		if pp.nwriters == 0 {
+			return nil, 0 // EOF
+		}
+		if p.blockOn(&pp.readers) {
+			return nil, errno.EINTR
+		}
+	}
+}
+
+// pipeWrite writes to a pipe, blocking while it is full.
+func (p *Proc) pipeWrite(pp *Pipe, data []byte) (int, errno.Errno) {
+	written := 0
+	for len(data) > 0 {
+		if pp.nreaders == 0 {
+			p.postSignal(SIGPIPE)
+			p.deliverSignals()
+			return written, errno.EPIPE
+		}
+		room := pp.capacity - len(pp.buf)
+		if room == 0 {
+			if p.blockOn(&pp.writers) {
+				return written, errno.EINTR
+			}
+			continue
+		}
+		n := len(data)
+		if n > room {
+			n = room
+		}
+		pp.buf = append(pp.buf, data[:n]...)
+		data = data[n:]
+		written += n
+		pp.readers.WakeAll()
+	}
+	return written, 0
+}
+
+// ioctlGetTTY implements the TIOCGETP side of ioctl(2).
+func (p *Proc) ioctlGetTTY(fd int) (tty.Flags, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return 0, e
+	}
+	term := terminalOf(f)
+	if term == nil {
+		return 0, errno.ENOTTY
+	}
+	return term.Flags(), 0
+}
+
+// ioctlSetTTY implements the TIOCSETP side of ioctl(2).
+func (p *Proc) ioctlSetTTY(fd int, flags tty.Flags) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return e
+	}
+	term := terminalOf(f)
+	if term == nil {
+		return errno.ENOTTY
+	}
+	term.SetFlags(flags)
+	return 0
+}
+
+// terminalOf extracts the terminal behind an open file, if any.
+func terminalOf(f *File) *tty.Terminal {
+	if f.Kind != FileDevice {
+		return nil
+	}
+	if th, ok := f.Dev.(terminalHolder); ok {
+		return th.Terminal()
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package kernel
+
+// Signal is a Unix signal number.
+type Signal int
+
+// Signal numbers (4.2BSD values). SIGDUMP is the paper's new signal,
+// assigned to the free slot 29: it terminates the process after dumping
+// the three restart files to /usr/tmp.
+const (
+	SIGHUP  Signal = 1
+	SIGINT  Signal = 2
+	SIGQUIT Signal = 3
+	SIGILL  Signal = 4
+	SIGTRAP Signal = 5
+	SIGIOT  Signal = 6
+	SIGEMT  Signal = 7
+	SIGFPE  Signal = 8
+	SIGKILL Signal = 9
+	SIGBUS  Signal = 10
+	SIGSEGV Signal = 11
+	SIGSYS  Signal = 12
+	SIGPIPE Signal = 13
+	SIGALRM Signal = 14
+	SIGTERM Signal = 15
+	SIGCHLD Signal = 20
+	SIGDUMP Signal = 29 // new: dump process state for migration, then die
+	SIGUSR1 Signal = 30
+	SIGUSR2 Signal = 31
+
+	NSIG = 32
+)
+
+var signalNames = map[Signal]string{
+	SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGQUIT: "SIGQUIT", SIGILL: "SIGILL",
+	SIGTRAP: "SIGTRAP", SIGIOT: "SIGIOT", SIGEMT: "SIGEMT", SIGFPE: "SIGFPE",
+	SIGKILL: "SIGKILL", SIGBUS: "SIGBUS", SIGSEGV: "SIGSEGV", SIGSYS: "SIGSYS",
+	SIGPIPE: "SIGPIPE", SIGALRM: "SIGALRM", SIGTERM: "SIGTERM", SIGCHLD: "SIGCHLD",
+	SIGDUMP: "SIGDUMP", SIGUSR1: "SIGUSR1", SIGUSR2: "SIGUSR2",
+}
+
+func (s Signal) String() string {
+	if n, ok := signalNames[s]; ok {
+		return n
+	}
+	return "SIG#" + itoa(int(s))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// coreSignals dump a core file by default, 4.2BSD style. SIGDUMP is not
+// among them: it writes the three migration files instead.
+var coreSignals = map[Signal]bool{
+	SIGQUIT: true, SIGILL: true, SIGTRAP: true, SIGIOT: true,
+	SIGEMT: true, SIGFPE: true, SIGBUS: true, SIGSEGV: true, SIGSYS: true,
+}
+
+// SigDisposition says what a process does with a signal.
+type SigDisposition int
+
+const (
+	SigDefault SigDisposition = iota
+	SigIgnore
+	SigCatch
+)
+
+// SigAction is one entry of the per-process signal table. Handler is a VM
+// text address (catching is meaningful for VM processes; the migration
+// mechanism dumps and restores the whole table either way, per §4.3).
+type SigAction struct {
+	Disposition SigDisposition
+	Handler     uint32
+}
+
+// ignoredByDefault lists signals whose default action is to do nothing.
+var ignoredByDefault = map[Signal]bool{
+	SIGCHLD: true,
+}

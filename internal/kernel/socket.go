@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+// The paper leaves sockets unmigratable ("the next step in our research
+// will be to examine whether support for sockets can be added to our
+// system", §9). This file provides the socket substrate that the optional
+// extension builds on: datagram sockets with bind/sendto/recvfrom, backed
+// by a pluggable NetStack (the inet package implements it over the
+// simulated Ethernet, including the DEMOS/MP-style forwarding the
+// extension uses after a migration).
+//
+// With Config.SocketMigration off, everything here still works but dumps
+// record sockets exactly as the paper does — kind "socket", no extra
+// information — and restart redirects them to /dev/null.
+
+// SocketObj is the kernel half of a datagram socket: a bound port (0 if
+// unbound) and a receive queue.
+type SocketObj struct {
+	Port    int
+	Host    string // machine the binding lives on (set by the stack)
+	queue   [][]byte
+	readers sim.Queue
+}
+
+// Deliver enqueues an incoming datagram and wakes blocked readers. Called
+// by the network stack from the sender's context.
+func (s *SocketObj) Deliver(data []byte) {
+	s.queue = append(s.queue, append([]byte(nil), data...))
+	s.readers.WakeAll()
+}
+
+// Pending reports queued datagrams (tests).
+func (s *SocketObj) Pending() int { return len(s.queue) }
+
+// NetStack is the machine's datagram network, installed by the cluster.
+type NetStack interface {
+	// Bind claims a port for s on this machine.
+	Bind(s *SocketObj, port int) errno.Errno
+	// Unbind releases s's port.
+	Unbind(s *SocketObj)
+	// SendTo delivers one datagram to host:port.
+	SendTo(host string, port int, data []byte) errno.Errno
+	// RequestForward asks oldHost to forward datagrams for port to this
+	// machine — the migration extension's forwarding address.
+	RequestForward(oldHost string, port int) errno.Errno
+}
+
+// NetStackRef returns the installed network stack (nil without one).
+func (m *Machine) NetStackRef() NetStack { return m.netStack }
+
+// SetNetStack installs the datagram network (cluster boot).
+func (m *Machine) SetNetStack(ns NetStack) { m.netStack = ns }
+
+// bind implements bind(2) for datagram sockets.
+func (p *Proc) bind(fd, port int) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return e
+	}
+	if f.Kind != FileSocket || f.Sock == nil {
+		return errno.ENOTSOCK
+	}
+	if p.M.netStack == nil {
+		return errno.ENODEV
+	}
+	if f.Sock.Port != 0 {
+		return errno.EINVAL
+	}
+	return p.M.netStack.Bind(f.Sock, port)
+}
+
+// sendto implements sendto(2) for datagram sockets.
+func (p *Proc) sendto(fd int, host string, port int, data []byte) errno.Errno {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.WriteBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return e
+	}
+	if f.Kind != FileSocket || f.Sock == nil {
+		return errno.ENOTSOCK
+	}
+	if p.M.netStack == nil {
+		return errno.ENODEV
+	}
+	return p.M.netStack.SendTo(host, port, data)
+}
+
+// recvfrom implements recvfrom(2): block until a datagram arrives.
+func (p *Proc) recvfrom(fd, max int) ([]byte, errno.Errno) {
+	p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.ReadBase)
+	f, e := p.fd(fd)
+	if e != 0 {
+		return nil, e
+	}
+	if f.Kind != FileSocket || f.Sock == nil {
+		return nil, errno.ENOTSOCK
+	}
+	s := f.Sock
+	for {
+		if len(s.queue) > 0 {
+			d := s.queue[0]
+			s.queue = s.queue[1:]
+			if len(d) > max {
+				d = d[:max]
+			}
+			return d, 0
+		}
+		if p.blockOn(&s.readers) {
+			return nil, errno.EINTR
+		}
+	}
+}

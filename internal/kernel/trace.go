@@ -1,0 +1,57 @@
+package kernel
+
+import (
+	"fmt"
+
+	"procmig/internal/sim"
+)
+
+// Syscall tracing, in the spirit of ktrace(1): when enabled on a machine,
+// the kernel records one entry per interesting event (system calls, signal
+// deliveries, dumps). migsim exposes it with its `trace` and `tracelog`
+// commands; tests use it to assert on kernel behaviour without
+// instrumenting user programs.
+
+// TraceEntry is one traced kernel event.
+type TraceEntry struct {
+	At     sim.Time
+	PID    int
+	Cmd    string
+	Event  string // syscall or event name
+	Detail string // arguments / outcome, preformatted
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%10v pid %-5d %-12s %s", sim.Duration(e.At), e.PID, e.Event, e.Detail)
+}
+
+// SetTracing turns the kernel event trace on or off.
+func (m *Machine) SetTracing(on bool) {
+	m.tracing = on
+	if !on {
+		m.traceLog = nil
+	}
+}
+
+// TraceLog returns the recorded events (nil when tracing is off).
+func (m *Machine) TraceLog() []TraceEntry {
+	return append([]TraceEntry(nil), m.traceLog...)
+}
+
+// trace records one event for p.
+func (m *Machine) trace(p *Proc, event, format string, args ...any) {
+	if !m.tracing {
+		return
+	}
+	e := TraceEntry{PID: p.PID, Cmd: p.Cmd, Event: event, Detail: fmt.Sprintf(format, args...)}
+	if p.task != nil {
+		e.At = p.task.Now()
+	}
+	m.traceLog = append(m.traceLog, e)
+	if len(m.traceLog) > maxTraceEntries {
+		m.traceLog = m.traceLog[len(m.traceLog)-maxTraceEntries:]
+	}
+}
+
+// maxTraceEntries bounds the in-kernel trace buffer.
+const maxTraceEntries = 4096

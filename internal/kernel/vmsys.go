@@ -1,0 +1,393 @@
+package kernel
+
+import (
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+	"procmig/internal/vm"
+)
+
+// vmSyscall dispatches the SYS instruction a VM process just executed.
+// ABI: arguments in r0..r3 (strings are NUL-terminated, buffers are
+// pointer+length); on success r0 holds the result and r1 is 0; on failure
+// r0 is all-ones and r1 holds the errno.
+func (p *Proc) vmSyscall() {
+	cpu := p.VM
+	num := int(cpu.SyscallNum)
+	a0, a1, a2 := cpu.R[0], cpu.R[1], cpu.R[2]
+
+	ret := func(v uint32, e errno.Errno) {
+		if e != 0 {
+			cpu.R[0] = ^uint32(0)
+			cpu.R[1] = uint32(e)
+			return
+		}
+		cpu.R[0] = v
+		cpu.R[1] = 0
+	}
+	str := func(addr uint32) (string, bool) {
+		s, ok := cpu.ReadCString(addr, MaxPathLen)
+		return s, ok
+	}
+
+	switch num {
+	case vm.SysExit:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		p.die(int(a0), 0)
+
+	case vm.SysFork:
+		pid, e := p.fork()
+		ret(uint32(pid), e)
+
+	case vm.SysRead:
+		data, e := p.read(int(a0), int(a2))
+		if e != 0 {
+			ret(0, e)
+			return
+		}
+		if !cpu.WriteBytes(a1, data) {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(uint32(len(data)), 0)
+
+	case vm.SysWrite:
+		data, ok := cpu.ReadBytes(a1, a2)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		n, e := p.write(int(a0), data)
+		ret(uint32(n), e)
+
+	case vm.SysOpen:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		fd, e := p.open(path, int(a1))
+		ret(uint32(fd), e)
+
+	case vm.SysCreat:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		fd, e := p.creat(path, uint16(a1))
+		ret(uint32(fd), e)
+
+	case vm.SysClose:
+		ret(0, p.closeFD(int(a0)))
+
+	case vm.SysWait:
+		pid, status, e := p.wait()
+		if e == 0 && a1 != 0 {
+			if !cpu.WriteU32(a1, uint32(status)) {
+				ret(0, errno.EFAULT)
+				return
+			}
+		}
+		ret(uint32(pid), e)
+
+	case vm.SysUnlink:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, p.unlink(path))
+
+	case vm.SysChdir:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, p.chdir(path))
+
+	case vm.SysStat:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		attr, e := p.stat(path)
+		if e != 0 {
+			ret(0, e)
+			return
+		}
+		// stat buffer: type, mode, size, uid — 4 words.
+		ok = cpu.WriteU32(a1, uint32(attr.Type)) &&
+			cpu.WriteU32(a1+4, uint32(attr.Mode)) &&
+			cpu.WriteU32(a1+8, uint32(attr.Size)) &&
+			cpu.WriteU32(a1+12, uint32(attr.UID))
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, 0)
+
+	case vm.SysLseek:
+		pos, e := p.lseek(int(a0), int64(int32(a1)), int(a2))
+		ret(uint32(pos), e)
+
+	case vm.SysGetpid:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		ret(uint32(p.apparentPID()), 0)
+
+	case vm.SysGetppid:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		ret(uint32(p.PPID), 0)
+
+	case vm.SysGetuid:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		ret(uint32(p.Creds.UID), 0)
+
+	case vm.SysSleep:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		p.sleep(sim.Duration(a0) * sim.Second)
+		ret(0, 0)
+
+	case vm.SysKill:
+		p.sysCPU(p.M.Costs.SyscallBase + p.M.Costs.SignalPost)
+		ret(0, p.M.Kill(p.Creds, int(a0), Signal(a1)))
+
+	case vm.SysPipe:
+		rfd, wfd, e := p.pipeFDs()
+		if e != 0 {
+			ret(0, e)
+			return
+		}
+		cpu.R[2] = uint32(wfd)
+		ret(uint32(rfd), 0)
+
+	case vm.SysSignal:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		sig := Signal(a0)
+		if sig <= 0 || sig >= NSIG || sig == SIGKILL {
+			ret(0, errno.EINVAL)
+			return
+		}
+		old := p.SigActions[sig]
+		switch a1 {
+		case 0:
+			p.SigActions[sig] = SigAction{Disposition: SigDefault}
+		case 1:
+			p.SigActions[sig] = SigAction{Disposition: SigIgnore}
+		default:
+			p.SigActions[sig] = SigAction{Disposition: SigCatch, Handler: a1}
+		}
+		ret(encodeSigAction(old), 0)
+
+	case vm.SysIoctl:
+		switch a1 {
+		case IoctlGetTTY:
+			fl, e := p.ioctlGetTTY(int(a0))
+			ret(uint32(fl), e)
+		case IoctlSetTTY:
+			ret(0, p.ioctlSetTTY(int(a0), tty.Flags(a2)))
+		default:
+			ret(0, errno.EINVAL)
+		}
+
+	case vm.SysSymlink:
+		target, ok1 := str(a0)
+		path, ok2 := str(a1)
+		if !ok1 || !ok2 {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, p.symlink(target, path))
+
+	case vm.SysReadlink:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		target, e := p.readlink(path)
+		if e != 0 {
+			ret(0, e)
+			return
+		}
+		out := []byte(target)
+		if uint32(len(out)) > a2 {
+			out = out[:a2]
+		}
+		if !cpu.WriteBytes(a1, out) {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(uint32(len(out)), 0)
+
+	case vm.SysExecve:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		e := p.execve(path, []string{path}, nil)
+		ret(0, e) // only the failure return is observable
+
+	case vm.SysGethostname:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		p.writeStringResult(a0, a1, p.apparentHost(), ret)
+
+	case vm.SysMkdir:
+		path, ok := str(a0)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, p.mkdir(path, uint16(a1)))
+
+	case vm.SysSocket:
+		fd, e := p.socket()
+		ret(uint32(fd), e)
+
+	case vm.SysBind:
+		ret(0, p.bind(int(a0), int(a1)))
+
+	case vm.SysSendto:
+		// sendto(fd, &host, port, buf) with the length in r4 — five
+		// arguments need one register beyond the a0..a3 convention.
+		host, ok := str(a1)
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		data, ok := cpu.ReadBytes(cpu.R[3], cpu.R[4])
+		if !ok {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, p.sendto(int(a0), host, int(a2), data))
+
+	case vm.SysRecvfrom:
+		data, e := p.recvfrom(int(a0), int(a2))
+		if e != 0 {
+			ret(0, e)
+			return
+		}
+		if !cpu.WriteBytes(a1, data) {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(uint32(len(data)), 0)
+
+	case vm.SysGettime:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		now := uint64(p.task.Now())
+		cpu.R[2] = uint32(now >> 32)
+		ret(uint32(now), 0)
+
+	case vm.SysSetreuid:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		ret(0, p.setreuid(int(int32(a0)), int(int32(a1))))
+
+	case vm.SysRestProc:
+		aoutPath, ok1 := str(a0)
+		stackPath, ok2 := str(a1)
+		if !ok1 || !ok2 {
+			ret(0, errno.EFAULT)
+			return
+		}
+		ret(0, p.restProc(aoutPath, stackPath))
+
+	case vm.SysGetrealpid:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		ret(uint32(p.PID), 0)
+
+	case vm.SysGetrealhostname:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		p.writeStringResult(a0, a1, p.M.Name, ret)
+
+	default:
+		p.sysCPU(p.M.Costs.SyscallBase)
+		ret(0, errno.EINVAL)
+	}
+}
+
+// Ioctl request codes (TIOCGETP/TIOCSETP stand-ins).
+const (
+	IoctlGetTTY = 1
+	IoctlSetTTY = 2
+)
+
+func encodeSigAction(a SigAction) uint32 {
+	switch a.Disposition {
+	case SigDefault:
+		return 0
+	case SigIgnore:
+		return 1
+	default:
+		return a.Handler
+	}
+}
+
+func (p *Proc) writeStringResult(buf, size uint32, s string, ret func(uint32, errno.Errno)) {
+	out := append([]byte(s), 0)
+	if uint32(len(out)) > size {
+		ret(0, errno.EINVAL)
+		return
+	}
+	if !p.VM.WriteBytes(buf, out) {
+		ret(0, errno.EFAULT)
+		return
+	}
+	ret(uint32(len(s)), 0)
+}
+
+// apparentPID implements the §7 spoofing extension.
+func (p *Proc) apparentPID() int {
+	if p.M.Config.PidSpoof && p.Migrated {
+		return p.OldPID
+	}
+	return p.PID
+}
+
+// apparentHost implements the §7 spoofing extension.
+func (p *Proc) apparentHost() string {
+	if p.M.Config.PidSpoof && p.Migrated {
+		return p.OldHost
+	}
+	return p.M.Name
+}
+
+// setreuid implements setreuid(2) with the BSD permission rule: the
+// superuser may set anything; others may only swap between their real and
+// effective ids.
+func (p *Proc) setreuid(ruid, euid int) errno.Errno {
+	allowed := func(id int) bool {
+		return p.Creds.Root() || id == -1 || id == p.Creds.UID || id == p.Creds.EUID
+	}
+	if !allowed(ruid) || !allowed(euid) {
+		return errno.EPERM
+	}
+	if ruid != -1 {
+		p.Creds.UID = ruid
+	}
+	if euid != -1 {
+		p.Creds.EUID = euid
+	}
+	return 0
+}
+
+// restProc dispatches the paper's new system call to the installed hook,
+// with the kernel-side timing instrumentation §6.3 describes.
+func (p *Proc) restProc(aoutPath, stackPath string) errno.Errno {
+	if p.M.Hooks.RestProc == nil {
+		return errno.EINVAL
+	}
+	p.sysCPU(p.M.Costs.SyscallBase)
+	startReal, startCPU := p.task.Now(), p.STime
+	e := p.M.Hooks.RestProc(p, aoutPath, stackPath)
+	p.M.trace(p, "rest_proc", "%q = %v", aoutPath, e)
+	p.M.Metrics.LastRestProc = OpTiming{
+		CPU:  p.STime - startCPU,
+		Real: sim.Duration(p.task.Now() - startReal),
+	}
+	return e
+}

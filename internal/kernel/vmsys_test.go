@@ -1,0 +1,509 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"procmig/internal/errno"
+
+	"procmig/internal/sim"
+)
+
+// runVMProg spawns src as a VM program with tty stdio and runs the world
+// to completion, returning the process.
+func runVMProg(t *testing.T, w *testWorld, src string) *Proc {
+	t.Helper()
+	w.install(t, "/bin/prog", src)
+	p := w.spawn(t, "/bin/prog")
+	w.run(t)
+	return p
+}
+
+func TestVMStatSyscall(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.m.NS().WriteFile("/etc/target", []byte("0123456789"), 0o641, 42, 7)
+	p := runVMProg(t, w, `
+start:  movi r0, path
+        movi r1, buf
+        sys  stat
+        cmpi r1, 0
+        jne  bad
+        ld   r4, buf        ; type (1 = regular file)
+        cmpi r4, 1
+        jne  bad
+        ld   r4, buf+4      ; mode
+        cmpi r4, 0641
+        jne  bad
+        ld   r4, buf+8      ; size
+        cmpi r4, 10
+        jne  bad
+        ld   r4, buf+12     ; uid
+        cmpi r4, 42
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+path:   .asciz "/etc/target"
+buf:    .space 16
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMStatENOENT(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  movi r0, path
+        movi r1, buf
+        sys  stat
+        cmpi r1, 2          ; ENOENT
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+path:   .asciz "/no/such"
+buf:    .space 16
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMSymlinkReadlink(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  movi r0, target
+        movi r1, linkp
+        sys  symlink
+        cmpi r1, 0
+        jne  bad
+        movi r0, linkp
+        movi r1, buf
+        movi r2, 64
+        sys  readlink       ; r0 = length
+        cmpi r0, 8          ; len("/etc/abc")
+        jne  bad
+        movi r1, buf
+        ldb  r4, r1
+        cmpi r4, '/'
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+target: .asciz "/etc/abc"
+linkp:  .asciz "/usr/tmp/lnk"
+buf:    .space 64
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+	// Verify the link landed with the right target.
+	attr, err := w.m.NS().Lstat("/usr/tmp/lnk")
+	if err != nil || attr.Type.String() != "symlink" {
+		t.Fatalf("lnk attr = %+v err = %v", attr, err)
+	}
+}
+
+func TestVMMkdirUnlink(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  movi r0, dirp
+        movi r1, 0755
+        sys  mkdir
+        cmpi r1, 0
+        jne  bad
+        movi r0, filep
+        movi r1, 0644
+        sys  creat
+        cmpi r1, 0
+        jne  bad
+        sys  close
+        movi r0, filep
+        sys  unlink
+        cmpi r1, 0
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+dirp:   .asciz "/usr/tmp/newdir"
+filep:  .asciz "/usr/tmp/newdir/f"
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+	attr, err := w.m.NS().Stat("/usr/tmp/newdir")
+	if err != nil || attr.Type.String() != "dir" {
+		t.Fatalf("dir attr = %+v err = %v", attr, err)
+	}
+	if _, err := w.m.NS().Stat("/usr/tmp/newdir/f"); err == nil {
+		t.Fatal("file not unlinked")
+	}
+}
+
+func TestVMGethostnameAndGettime(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  movi r0, buf
+        movi r1, 32
+        sys  gethostname    ; r0 = length
+        cmpi r0, 5          ; "brick"
+        jne  bad
+        movi r1, buf
+        ldb  r4, r1
+        cmpi r4, 'b'
+        jne  bad
+        sys  gettime        ; r0 = µs low word
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+buf:    .space 32
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMPipeSyscall(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  sys  pipe           ; r0 = read fd, r2 = write fd
+        mov  r4, r0         ; rfd
+        mov  r5, r2         ; wfd
+        mov  r0, r5
+        movi r1, msg
+        movi r2, 3
+        sys  write
+        mov  r0, r4
+        movi r1, buf
+        movi r2, 8
+        sys  read
+        cmpi r0, 3
+        jne  bad
+        movi r1, buf
+        ldb  r6, r1
+        cmpi r6, 'a'
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+msg:    .ascii "abc"
+buf:    .space 8
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMExecveSelfReplace(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.install(t, "/bin/second", `
+start:  movi r0, 33
+        sys  exit
+`)
+	p := runVMProg(t, w, `
+start:  movi r0, path
+        sys  execve
+        movi r0, 1          ; reached only on failure
+        sys  exit
+        .data
+path:   .asciz "/bin/second"
+`)
+	if p.ExitStatus != 33 {
+		t.Fatalf("status = %d, want 33 from the replacement image", p.ExitStatus)
+	}
+}
+
+func TestVMBadSyscallNumber(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  sys  200            ; undefined syscall
+        cmpi r1, 22         ; EINVAL
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMBadPointerEFAULT(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  movi r0, 0x00900000 ; unmapped address as a path pointer
+        movi r1, 0
+        sys  open
+        cmpi r1, 14         ; EFAULT
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMWaitStatusEncoding(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  sys  fork
+        cmpi r0, 0
+        jeq  child
+        movi r1, stbuf
+        sys  wait           ; status word written to stbuf
+        ld   r4, stbuf
+        movi r5, 8
+        mov  r6, r4
+        shr  r6, r5         ; exit status = status >> 8
+        cmpi r6, 12
+        jne  bad
+        movi r0, 0
+        sys  exit
+child:  movi r0, 12
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+stbuf:  .word 0
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestVMForkSharesFileOffsets(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.m.NS().WriteFile("/etc/shared", []byte("abcdef"), 0o644, 0, 0)
+	// Parent opens, reads 2; child reads 2 more (shared offset); parent
+	// waits then reads the rest and checks it got "ef".
+	p := runVMProg(t, w, `
+start:  movi r0, path
+        movi r1, 0
+        sys  open
+        mov  r4, r0
+        mov  r0, r4
+        movi r1, buf
+        movi r2, 2
+        sys  read           ; parent reads "ab"
+        sys  fork
+        cmpi r0, 0
+        jeq  child
+        movi r1, 0
+        sys  wait
+        mov  r0, r4
+        movi r1, buf
+        movi r2, 2
+        sys  read           ; should get "ef" (child consumed "cd")
+        movi r1, buf
+        ldb  r5, r1
+        cmpi r5, 'e'
+        jne  bad
+        movi r0, 0
+        sys  exit
+child:  mov  r0, r4
+        movi r1, buf
+        movi r2, 2
+        sys  read           ; child reads "cd"
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+        .data
+path:   .asciz "/etc/shared"
+buf:    .space 8
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d (offsets not shared across fork)", p.ExitStatus)
+	}
+}
+
+func TestVMSocketSendRecvLoopback(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	// The test world has no netstack: bind must fail with ENODEV (19).
+	p := runVMProg(t, w, `
+start:  sys  socket
+        mov  r4, r0
+        mov  r0, r4
+        movi r1, 4000
+        sys  bind
+        cmpi r1, 19
+        jne  bad
+        movi r0, 0
+        sys  exit
+bad:    movi r0, 1
+        sys  exit
+`)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestPipeEPIPERaisesSIGPIPE(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	var writeErr, sigSeen bool
+	w.installHosted(t, "/bin/p", "p", func(sys *Sys, args []string) int {
+		r, wfd, e := sys.Pipe()
+		if e != 0 {
+			return 1
+		}
+		sys.Signal(SIGPIPE, SigAction{Disposition: SigIgnore}) // survive it
+		sys.Close(r)
+		if _, e := sys.Write(wfd, []byte("x")); e != 0 {
+			writeErr = true
+		}
+		sigSeen = true // still alive because SIGPIPE was ignored
+		return 0
+	})
+	p := w.spawn(t, "/bin/p")
+	w.run(t)
+	if !writeErr {
+		t.Fatal("write to a reader-less pipe did not fail")
+	}
+	if !sigSeen || p.ExitStatus != 0 {
+		t.Fatalf("process did not survive ignored SIGPIPE: %d", p.ExitStatus)
+	}
+}
+
+func TestPipeDefaultSIGPIPEKills(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.installHosted(t, "/bin/p", "p", func(sys *Sys, args []string) int {
+		r, wfd, _ := sys.Pipe()
+		sys.Close(r)
+		sys.Write(wfd, []byte("x")) // default SIGPIPE: death
+		return 0
+	})
+	p := w.spawn(t, "/bin/p")
+	w.run(t)
+	if p.KilledBy != SIGPIPE {
+		t.Fatalf("killed by %v, want SIGPIPE", p.KilledBy)
+	}
+}
+
+func TestDisassemblerNamesInPS(t *testing.T) {
+	// Sanity: process table command strings carry the exec path.
+	w := newWorld(t, Config{TrackNames: true})
+	w.installHosted(t, "/bin/shortlived", "shortlived", func(sys *Sys, args []string) int {
+		rows := sys.PS()
+		for _, r := range rows {
+			if strings.Contains(r.Cmd, "shortlived") {
+				return 0
+			}
+		}
+		return 1
+	})
+	p := w.spawn(t, "/bin/shortlived")
+	w.run(t)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}
+
+func TestSleepSyscallDuration(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	p := runVMProg(t, w, `
+start:  movi r0, 3
+        sys  sleep
+        movi r0, 0
+        sys  exit
+`)
+	_ = p
+	if got := sim.Duration(w.eng.Now()); got < 3*sim.Second || got > 4*sim.Second {
+		t.Fatalf("elapsed = %v, want ≈3s", got)
+	}
+}
+
+func TestSyscallTracing(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.m.SetTracing(true)
+	w.installHosted(t, "/bin/tr", "tr", func(sys *Sys, args []string) int {
+		fd, _ := sys.Creat("/usr/tmp/traced", 0o644)
+		sys.Write(fd, []byte("x"))
+		sys.Close(fd)
+		sys.Chdir("/usr/tmp")
+		return 0
+	})
+	w.spawn(t, "/bin/tr")
+	w.run(t)
+	log := w.m.TraceLog()
+	var events []string
+	for _, e := range log {
+		events = append(events, e.Event)
+	}
+	joined := strings.Join(events, ",")
+	for _, want := range []string{"execve", "creat", "close", "chdir"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q: %v", want, events)
+		}
+	}
+	// Entries render with pid and time.
+	if len(log) > 0 && !strings.Contains(log[0].String(), "pid") {
+		t.Fatalf("entry = %q", log[0].String())
+	}
+	// Turning tracing off clears the log.
+	w.m.SetTracing(false)
+	if len(w.m.TraceLog()) != 0 {
+		t.Fatal("trace log survived disable")
+	}
+}
+
+func TestOAppendWrites(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.m.NS().WriteFile("/usr/tmp/log", []byte("head:"), 0o666, 0, 0)
+	w.installHosted(t, "/bin/ap", "ap", func(sys *Sys, args []string) int {
+		fd, e := sys.Open("/usr/tmp/log", O_WRONLY|O_APPEND)
+		if e != 0 {
+			return 1
+		}
+		sys.Write(fd, []byte("one"))
+		// Even after an lseek back, O_APPEND writes go to the end.
+		sys.Lseek(fd, 0, SeekSet)
+		sys.Write(fd, []byte("two"))
+		return 0
+	})
+	p := w.spawn(t, "/bin/ap")
+	w.run(t)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+	data, _ := w.m.NS().ReadFile("/usr/tmp/log")
+	if string(data) != "head:onetwo" {
+		t.Fatalf("log = %q", data)
+	}
+}
+
+func TestReadOnWriteOnlyFDFails(t *testing.T) {
+	w := newWorld(t, Config{TrackNames: true})
+	w.installHosted(t, "/bin/m", "m", func(sys *Sys, args []string) int {
+		fd, _ := sys.Creat("/usr/tmp/wo", 0o644)
+		if _, e := sys.Read(fd, 4); e != errno.EBADF {
+			return 1
+		}
+		rfd, _ := sys.Open("/usr/tmp/wo", O_RDONLY)
+		if _, e := sys.Write(rfd, []byte("x")); e != errno.EBADF {
+			return 2
+		}
+		return 0
+	})
+	p := w.spawn(t, "/bin/m")
+	w.run(t)
+	if p.ExitStatus != 0 {
+		t.Fatalf("status = %d", p.ExitStatus)
+	}
+}

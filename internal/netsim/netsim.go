@@ -1,0 +1,113 @@
+// Package netsim models the 10 Mbit Ethernet connecting the cluster's
+// workstations: named hosts, numbered service ports, and request/response
+// exchanges whose virtual-time cost is a per-message latency plus a
+// per-byte transmission time. NFS and the rsh facility are built on it.
+//
+// A service handler runs in the calling task's context (the engine runs one
+// task at a time, so this is equivalent to a server actor but cheaper and
+// deterministic); the handler charges whatever server-side costs it incurs
+// against the server machine's resources.
+package netsim
+
+import (
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+// Handler serves one request on a port. It runs in the caller's task.
+type Handler func(t *sim.Task, req []byte) []byte
+
+// Network is the shared medium.
+type Network struct {
+	eng      *sim.Engine
+	hosts    map[string]*Host
+	Latency  sim.Duration // per message
+	ByteTime sim.Duration // per payload byte
+
+	// Stats
+	Messages int64
+	Bytes    int64
+}
+
+// New creates a network. A 10 Mbit Ethernet moves ~1 byte/µs after
+// protocol overhead; latency covers media access and protocol processing.
+func New(eng *sim.Engine, latency, byteTime sim.Duration) *Network {
+	return &Network{eng: eng, hosts: map[string]*Host{}, Latency: latency, ByteTime: byteTime}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Host is one attached machine.
+type Host struct {
+	name     string
+	net      *Network
+	services map[int]Handler
+	down     bool
+}
+
+// AddHost attaches a new host.
+func (n *Network) AddHost(name string) *Host {
+	h := &Host{name: name, net: n, services: map[int]Handler{}}
+	n.hosts[name] = h
+	return h
+}
+
+// Host finds an attached host by name.
+func (n *Network) Host(name string) (*Host, bool) {
+	h, ok := n.hosts[name]
+	return h, ok
+}
+
+// Name reports the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Listen registers a service handler on a port.
+func (h *Host) Listen(port int, fn Handler) error {
+	if _, busy := h.services[port]; busy {
+		return errno.EEXIST
+	}
+	h.services[port] = fn
+	return nil
+}
+
+// SetDown marks the host as crashed (or repaired). Calls to a down host
+// fail with EHOSTDOWN.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is marked crashed.
+func (h *Host) Down() bool { return h.down }
+
+// transfer charges the wire cost of moving n bytes. Outside any actor
+// (setup code) it is free.
+func (n *Network) transfer(t *sim.Task, nbytes int) {
+	n.Messages++
+	n.Bytes += int64(nbytes)
+	if t != nil {
+		t.Sleep(n.Latency + sim.Duration(nbytes)*n.ByteTime)
+	}
+}
+
+// Call sends req to the named host's port and waits for the response. The
+// cost is one message each way. If t is nil the ambient engine task is
+// used (nil outside actors: the exchange is then free, for setup code).
+func (h *Host) Call(t *sim.Task, to string, port int, req []byte) ([]byte, error) {
+	if t == nil {
+		t = h.net.eng.Current()
+	}
+	if h.down {
+		return nil, errno.EHOSTDOWN
+	}
+	dst, ok := h.net.hosts[to]
+	if !ok || dst.down {
+		return nil, errno.EHOSTDOWN
+	}
+	fn, ok := dst.services[port]
+	if !ok {
+		return nil, errno.ECONNREFUSED
+	}
+	h.net.transfer(t, len(req))
+	resp := fn(t, req)
+	h.net.transfer(t, len(resp))
+	return resp, nil
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"testing"
+
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, sim.Millisecond, sim.Microsecond)
+	a := net.AddHost("brick")
+	b := net.AddHost("schooner")
+	b.Listen(7, func(_ *sim.Task, req []byte) []byte {
+		return append([]byte("echo:"), req...)
+	})
+	var resp []byte
+	var err error
+	var elapsed sim.Time
+	eng.Go("caller", func(tk *sim.Task) {
+		resp, err = a.Call(tk, "schooner", 7, []byte("hi"))
+		elapsed = tk.Now()
+	})
+	if e := eng.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil || string(resp) != "echo:hi" {
+		t.Fatalf("resp = %q err = %v", resp, err)
+	}
+	// 2 messages: (1ms + 2µs) + (1ms + 7µs) = 2009µs.
+	if elapsed != sim.Time(2*sim.Millisecond+9) {
+		t.Fatalf("elapsed = %d, want 2009", elapsed)
+	}
+	if net.Messages != 2 || net.Bytes != 9 {
+		t.Fatalf("stats = %d msgs %d bytes", net.Messages, net.Bytes)
+	}
+}
+
+func TestCallNoSuchHost(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	var err error
+	eng.Go("caller", func(tk *sim.Task) {
+		_, err = a.Call(tk, "ghost", 1, nil)
+	})
+	if e := eng.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if errno.Of(err) != errno.EHOSTDOWN {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallRefusedPort(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	net.AddHost("b")
+	var err error
+	eng.Go("caller", func(tk *sim.Task) {
+		_, err = a.Call(tk, "b", 99, nil)
+	})
+	if e := eng.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if errno.Of(err) != errno.ECONNREFUSED {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDownHost(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	b.Listen(1, func(_ *sim.Task, req []byte) []byte { return req })
+	b.SetDown(true)
+	var err error
+	eng.Go("caller", func(tk *sim.Task) {
+		_, err = a.Call(tk, "b", 1, nil)
+	})
+	if e := eng.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if errno.Of(err) != errno.EHOSTDOWN {
+		t.Fatalf("err = %v", err)
+	}
+	b.SetDown(false)
+	eng.Go("caller2", func(tk *sim.Task) {
+		_, err = a.Call(tk, "b", 1, nil)
+	})
+	if e := eng.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+}
+
+func TestListenDuplicatePort(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	if err := a.Listen(1, func(_ *sim.Task, req []byte) []byte { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Listen(1, func(_ *sim.Task, req []byte) []byte { return nil }); errno.Of(err) != errno.EEXIST {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallOutsideActorIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, sim.Second, sim.Second)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	b.Listen(1, func(_ *sim.Task, req []byte) []byte { return req })
+	resp, err := a.Call(nil, "b", 1, []byte("setup"))
+	if err != nil || string(resp) != "setup" {
+		t.Fatalf("resp = %q err = %v", resp, err)
+	}
+	if eng.Now() != 0 {
+		t.Fatal("setup call advanced the clock")
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+// Resource models a serially shared resource — in this repository, a CPU.
+// Tasks consume it with Use; concurrent users are interleaved round-robin in
+// Quantum-sized slices, paying SwitchCost of real (virtual-clock) time
+// whenever the resource changes hands. This reproduces the CPU-versus-real
+// time gaps the paper discusses (e.g. dumpproc waiting for the dumped
+// process to be scheduled).
+type Resource struct {
+	Quantum    Duration // slice length under contention
+	SwitchCost Duration // context-switch penalty when the holder changes
+
+	holder  *Task
+	last    *Task // last task that ran a slice
+	waiting []*resWaiter
+}
+
+type resWaiter struct {
+	task *Task
+	q    Queue
+}
+
+// NewResource returns a resource with the given scheduling parameters.
+func NewResource(quantum, switchCost Duration) *Resource {
+	return &Resource{Quantum: quantum, SwitchCost: switchCost}
+}
+
+// Load reports the number of tasks currently using or waiting for the
+// resource (the run-queue length).
+func (r *Resource) Load() int {
+	n := len(r.waiting)
+	if r.holder != nil {
+		n++
+	}
+	return n
+}
+
+func (r *Resource) acquire(t *Task) {
+	if r.holder == nil && len(r.waiting) == 0 {
+		r.holder = t
+		return
+	}
+	w := &resWaiter{task: t}
+	r.waiting = append(r.waiting, w)
+	t.Wait(&w.q)
+}
+
+func (r *Resource) release() {
+	r.holder = nil
+	if len(r.waiting) == 0 {
+		return
+	}
+	w := r.waiting[0]
+	r.waiting = r.waiting[1:]
+	r.holder = w.task
+	w.q.Wake(1)
+}
+
+// Use consumes d of the resource on behalf of t, advancing virtual time by
+// at least d (more under contention). account, if non-nil, is called with
+// each completed slice; callers use it to charge CPU-time counters.
+func (r *Resource) Use(t *Task, d Duration, account func(Duration)) {
+	for rem := d; rem > 0; {
+		r.acquire(t)
+		// Always cap at one quantum so a task arriving mid-burst only waits
+		// one slice, even if the holder had queued a long computation.
+		slice := rem
+		if r.Quantum > 0 && slice > r.Quantum {
+			slice = r.Quantum
+		}
+		if r.last != t && r.last != nil && r.SwitchCost > 0 {
+			t.Sleep(r.SwitchCost)
+		}
+		t.Sleep(slice)
+		r.last = t
+		rem -= slice
+		if account != nil {
+			account(slice)
+		}
+		r.release()
+	}
+}

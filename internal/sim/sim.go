@@ -1,0 +1,343 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a set of actors (Tasks). Each actor is
+// a goroutine, but exactly one actor runs at any moment: an actor runs until
+// it parks in an engine primitive (Sleep, Wait, ...), at which point control
+// hands back to the engine loop, which advances the clock to the next event
+// and resumes the corresponding actor. Ties are broken by event sequence
+// number, so a given program produces identical virtual timings on every run.
+//
+// All primitives must be called from an actor goroutine; calling them from
+// outside (including from the goroutine running Engine.Run) corrupts the
+// handoff protocol.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in microseconds since engine start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Convenience duration units.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+// event is a scheduled resumption of a task.
+type event struct {
+	t         Time
+	seq       int64
+	task      *Task
+	canceled  bool
+	fromQueue bool // resumption is a Queue wake, not a timer
+	index     int  // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     int64
+	handoff chan struct{} // actor -> engine: "I parked or exited"
+	nlive   int
+	tasks   map[*Task]struct{}
+	current *Task
+}
+
+// Current returns the task that is currently executing, or nil when called
+// from outside any actor (e.g. during setup before Run). Exactly one task
+// runs at a time, so layers that cannot thread a *Task through their
+// interfaces (the filesystem stack) use this to find the ambient task.
+func (e *Engine) Current() *Task { return e.current }
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		handoff: make(chan struct{}),
+		tasks:   make(map[*Task]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) schedule(t *Task, at Time) *event {
+	e.seq++
+	ev := &event{t: at, seq: e.seq, task: t}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+func (e *Engine) cancel(ev *event) {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Task is an actor: a goroutine interleaved by the engine.
+type Task struct {
+	eng  *Engine
+	name string
+
+	resume chan wakeCause
+
+	// waiting state, valid while parked in Wait/WaitTimeout
+	wq          *Queue
+	timeout     *event
+	pendingWake *event
+}
+
+type wakeCause int
+
+const (
+	wakeTimer wakeCause = iota // scheduled event fired (Sleep, timeout)
+	wakeQueue                  // woken from a Queue
+)
+
+// Name reports the task's debug name.
+func (t *Task) Name() string { return t.name }
+
+// Engine reports the engine the task belongs to.
+func (t *Task) Engine() *Engine { return t.eng }
+
+// Now reports current virtual time.
+func (t *Task) Now() Time { return t.eng.now }
+
+// Go spawns a new actor that begins running at the current virtual time,
+// after all currently scheduled same-time events.
+func (e *Engine) Go(name string, fn func(*Task)) *Task {
+	return e.GoAfter(name, 0, fn)
+}
+
+// GoAfter spawns a new actor that begins running after delay d.
+func (e *Engine) GoAfter(name string, d Duration, fn func(*Task)) *Task {
+	t := &Task{eng: e, name: name, resume: make(chan wakeCause)}
+	e.nlive++
+	e.tasks[t] = struct{}{}
+	e.schedule(t, e.now+Time(d))
+	go func() {
+		<-t.resume
+		fn(t)
+		e.nlive--
+		delete(e.tasks, t)
+		e.handoff <- struct{}{}
+	}()
+	return t
+}
+
+// park hands control to the engine and blocks until resumed.
+func (t *Task) park() wakeCause {
+	t.eng.handoff <- struct{}{}
+	return <-t.resume
+}
+
+// Sleep advances the actor's virtual time by d. Negative durations sleep
+// zero time (but still yield to other same-time events).
+func (t *Task) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.eng.schedule(t, t.eng.now+Time(d))
+	t.park()
+}
+
+// Yield lets every other event scheduled for the current instant run first.
+func (t *Task) Yield() { t.Sleep(0) }
+
+// Queue is a wait queue (condition-variable analogue). The zero value is
+// ready to use.
+type Queue struct {
+	waiters []*Task
+}
+
+// Len reports how many tasks are blocked on the queue.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// Wait parks the actor until another actor calls Wake/WakeAll on q.
+func (t *Task) Wait(q *Queue) {
+	q.waiters = append(q.waiters, t)
+	t.wq = q
+	cause := t.park()
+	if cause != wakeQueue {
+		panic("sim: Wait resumed by timer")
+	}
+	t.wq = nil
+	t.pendingWake = nil
+}
+
+// WaitTimeout parks the actor until woken from q or until d elapses.
+// It reports true if woken, false on timeout. If a wake and the timeout
+// coincide at the same virtual instant the wake wins.
+func (t *Task) WaitTimeout(q *Queue, d Duration) bool {
+	q.waiters = append(q.waiters, t)
+	t.wq = q
+	t.timeout = t.eng.schedule(t, t.eng.now+Time(d))
+	cause := t.park()
+	t.wq = nil
+	if cause == wakeQueue {
+		t.eng.cancel(t.timeout)
+		t.timeout = nil
+		t.pendingWake = nil
+		return true
+	}
+	t.timeout = nil
+	if t.pendingWake != nil {
+		// A Wake was delivered at the same instant the timer fired but the
+		// timer event was dequeued first. Honor the wake: the waker already
+		// removed us from the queue and counted us as woken.
+		t.eng.cancel(t.pendingWake)
+		t.pendingWake = nil
+		return true
+	}
+	// Timed out: remove self from the queue.
+	q.remove(t)
+	return false
+}
+
+func (q *Queue) remove(t *Task) {
+	for i, w := range q.waiters {
+		if w == t {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wake wakes up to n tasks from the queue, in FIFO order. It must be called
+// from a running actor (or from a syscall executed on behalf of one). Woken
+// tasks resume at the current virtual time, after the caller next parks.
+func (q *Queue) Wake(n int) int {
+	woken := 0
+	for woken < n && len(q.waiters) > 0 {
+		t := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		t.deliverWake()
+		woken++
+	}
+	return woken
+}
+
+// WakeAll wakes every waiting task.
+func (q *Queue) WakeAll() int { return q.Wake(len(q.waiters)) }
+
+// WakeTask wakes t if it is blocked on q (used to deliver signals to a
+// process blocked in a specific wait). It reports whether t was found.
+func (q *Queue) WakeTask(t *Task) bool {
+	for i, w := range q.waiters {
+		if w == t {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			t.deliverWake()
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Task) deliverWake() {
+	e := t.eng
+	e.seq++
+	ev := &event{t: e.now, seq: e.seq, task: t, fromQueue: true}
+	heap.Push(&e.events, ev)
+	t.pendingWake = ev
+}
+
+// StallError is returned by Run when no events remain but actors are still
+// blocked (a deadlock in the simulated system).
+type StallError struct {
+	At      Time
+	Blocked []string
+}
+
+func (s *StallError) Error() string {
+	return fmt.Sprintf("sim: stalled at t=%d with %d blocked task(s): %v", s.At, len(s.Blocked), s.Blocked)
+}
+
+// Run drives the simulation until no live tasks remain. It returns a
+// *StallError if tasks remain blocked with no pending events.
+func (e *Engine) Run() error { return e.RunUntil(Time(1)<<62 - 1) }
+
+// RunUntil drives the simulation until no live tasks remain or the clock
+// would pass limit. Events beyond limit stay queued.
+func (e *Engine) RunUntil(limit Time) error {
+	for {
+		// Discard canceled events at the top.
+		for len(e.events) > 0 && e.events[0].canceled {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) == 0 {
+			if e.nlive > 0 {
+				return &StallError{At: e.now, Blocked: e.blockedNames()}
+			}
+			return nil
+		}
+		if e.events[0].t > limit {
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		cause := wakeTimer
+		if ev.fromQueue {
+			cause = wakeQueue
+		}
+		e.current = ev.task
+		ev.task.resume <- cause
+		<-e.handoff
+		e.current = nil
+	}
+}
+
+func (e *Engine) blockedNames() []string {
+	var names []string
+	for t := range e.tasks {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,468 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Go("sleeper", func(tk *Task) {
+		tk.Sleep(5 * Millisecond)
+		tk.Sleep(7 * Millisecond)
+		end = tk.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != Time(12*Millisecond) {
+		t.Fatalf("end = %d, want %d", end, 12*Millisecond)
+	}
+}
+
+func TestGoAfterDelay(t *testing.T) {
+	e := NewEngine()
+	var started Time
+	e.GoAfter("late", 3*Second, func(tk *Task) { started = tk.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started != Time(3*Second) {
+		t.Fatalf("started = %d, want %d", started, 3*Second)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(tk *Task) {
+				for i := 0; i < 3; i++ {
+					order = append(order, name)
+					tk.Sleep(Millisecond)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("run %d: length %d != %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d: order differs at %d: %v vs %v", i, j, got, first)
+			}
+		}
+	}
+}
+
+func TestWaitWake(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	var wokenAt Time
+	e.Go("waiter", func(tk *Task) {
+		tk.Wait(&q)
+		wokenAt = tk.Now()
+	})
+	e.Go("waker", func(tk *Task) {
+		tk.Sleep(9 * Millisecond)
+		q.Wake(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokenAt != Time(9*Millisecond) {
+		t.Fatalf("wokenAt = %d, want %d", wokenAt, 9*Millisecond)
+	}
+}
+
+func TestWaitTimeoutTimesOut(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	var woken bool
+	var at Time
+	e.Go("waiter", func(tk *Task) {
+		woken = tk.WaitTimeout(&q, 4*Millisecond)
+		at = tk.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken {
+		t.Fatal("expected timeout")
+	}
+	if at != Time(4*Millisecond) {
+		t.Fatalf("at = %d, want %d", at, 4*Millisecond)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue still has %d waiters after timeout", q.Len())
+	}
+}
+
+func TestWaitTimeoutWoken(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	var woken bool
+	e.Go("waiter", func(tk *Task) {
+		woken = tk.WaitTimeout(&q, 10*Millisecond)
+	})
+	e.Go("waker", func(tk *Task) {
+		tk.Sleep(2 * Millisecond)
+		q.Wake(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("expected wake before timeout")
+	}
+}
+
+func TestWakeAndTimeoutSameInstant(t *testing.T) {
+	// The timer fires at t=5ms; the waker also wakes at t=5ms. The wake must
+	// win (no lost wakeups), and the engine must not deliver a stale resume.
+	e := NewEngine()
+	var q Queue
+	var woken bool
+	e.Go("waiter", func(tk *Task) {
+		woken = tk.WaitTimeout(&q, 5*Millisecond)
+		// Keep living so a stale resume would be detectable as a stall/panic.
+		tk.Sleep(20 * Millisecond)
+	})
+	e.Go("waker", func(tk *Task) {
+		tk.Sleep(5 * Millisecond)
+		if n := q.Wake(1); n != 1 {
+			// The timer may have fired first and removed the waiter; both
+			// outcomes are acceptable as long as accounting is consistent.
+			if woken {
+				t.Error("waiter reports woken but Wake found nobody")
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	e.Go("stuck", func(tk *Task) { tk.Wait(&q) })
+	err := e.Run()
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("err = %v, want StallError", err)
+	}
+	if len(se.Blocked) != 1 || se.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v", se.Blocked)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine()
+	var ran bool
+	e.GoAfter("future", 10*Second, func(tk *Task) { ran = true })
+	if err := e.RunUntil(Time(Second)); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("future task ran too early")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("future task never ran")
+	}
+}
+
+func TestResourceUncontended(t *testing.T) {
+	e := NewEngine()
+	cpu := NewResource(10*Millisecond, Millisecond)
+	var cpuTime Duration
+	var real Time
+	e.Go("p", func(tk *Task) {
+		cpu.Use(tk, 35*Millisecond, func(d Duration) { cpuTime += d })
+		real = tk.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpuTime != 35*Millisecond {
+		t.Fatalf("cpuTime = %v, want 35ms", cpuTime)
+	}
+	if real != Time(35*Millisecond) {
+		t.Fatalf("real = %d, want 35ms (no contention, no switch cost)", real)
+	}
+}
+
+func TestResourceRoundRobin(t *testing.T) {
+	e := NewEngine()
+	cpu := NewResource(10*Millisecond, 0)
+	ends := map[string]Time{}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Go(name, func(tk *Task) {
+			cpu.Use(tk, 30*Millisecond, nil)
+			ends[name] = tk.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved: a and b alternate 10ms slices; total 60ms of work.
+	if ends["b"] != Time(60*Millisecond) {
+		t.Fatalf("b ended at %d, want 60ms", ends["b"])
+	}
+	if ends["a"] != Time(50*Millisecond) {
+		t.Fatalf("a ended at %d, want 50ms (finishes one slice before b)", ends["a"])
+	}
+}
+
+func TestResourceSwitchCostChargedOnHandoff(t *testing.T) {
+	e := NewEngine()
+	cpu := NewResource(10*Millisecond, 2*Millisecond)
+	var end Time
+	e.Go("a", func(tk *Task) { cpu.Use(tk, 20*Millisecond, nil) })
+	e.Go("b", func(tk *Task) {
+		cpu.Use(tk, 20*Millisecond, nil)
+		end = tk.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Slices: a(10) b(+2sw,10) a(+2,10) b(+2,10) = 46ms.
+	if end != Time(46*Millisecond) {
+		t.Fatalf("end = %d, want 46ms", end)
+	}
+}
+
+func TestResourceLoad(t *testing.T) {
+	e := NewEngine()
+	cpu := NewResource(10*Millisecond, 0)
+	var midLoad int
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(tk *Task) { cpu.Use(tk, 30*Millisecond, nil) })
+	}
+	e.Go("probe", func(tk *Task) {
+		tk.Sleep(15 * Millisecond)
+		midLoad = cpu.Load()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if midLoad != 3 {
+		t.Fatalf("mid load = %d, want 3", midLoad)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		Duration(500):      "500µs",
+		2500 * Microsecond: "2.500ms",
+		1500 * Millisecond: "1.500s",
+		3 * Second:         "3.000s",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}
+
+// Property: the sum of per-slice accounting always equals the requested use,
+// and real elapsed time is never less than the requested use.
+func TestResourceAccountingProperty(t *testing.T) {
+	f := func(burst8 [4]uint8) bool {
+		e := NewEngine()
+		cpu := NewResource(7*Millisecond, Millisecond)
+		ok := true
+		for i, b := range burst8 {
+			want := Duration(b%50+1) * Millisecond
+			_ = i
+			e.Go("p", func(tk *Task) {
+				start := tk.Now()
+				var got Duration
+				cpu.Use(tk, want, func(d Duration) { got += d })
+				if got != want {
+					ok = false
+				}
+				if Duration(tk.Now()-start) < want {
+					ok = false
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N sleepers with arbitrary delays all finish, and the clock ends
+// at the max delay.
+func TestSleepMaxProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		if len(ds) > 50 {
+			ds = ds[:50]
+		}
+		e := NewEngine()
+		var max Time
+		done := 0
+		for _, d := range ds {
+			d := Duration(d)
+			if Time(d) > max {
+				max = Time(d)
+			}
+			e.Go("s", func(tk *Task) {
+				tk.Sleep(d)
+				done++
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return done == len(ds) && e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeTaskTargetsSpecificWaiter(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	woken := map[string]bool{}
+	var tasks []*Task
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		tasks = append(tasks, e.Go(name, func(tk *Task) {
+			tk.Wait(&q)
+			woken[name] = true
+		}))
+	}
+	e.Go("waker", func(tk *Task) {
+		tk.Sleep(Millisecond)
+		if !q.WakeTask(tasks[1]) { // wake "b" only
+			t.Error("WakeTask did not find b")
+		}
+		tk.Sleep(Millisecond)
+		if woken["a"] || !woken["b"] || woken["c"] {
+			t.Errorf("woken = %v, want only b", woken)
+		}
+		q.WakeAll() // release the rest
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeTaskMissReturnsFalse(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	var stray *Task
+	stray = e.Go("stray", func(tk *Task) { tk.Sleep(5 * Millisecond) })
+	e.Go("waker", func(tk *Task) {
+		if q.WakeTask(stray) {
+			t.Error("WakeTask found a task that never waited")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurrentTaskAmbient(t *testing.T) {
+	e := NewEngine()
+	if e.Current() != nil {
+		t.Fatal("Current() outside actors should be nil")
+	}
+	var sawSelf bool
+	var me *Task
+	me = e.Go("self", func(tk *Task) {
+		sawSelf = e.Current() == tk && tk == me
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSelf {
+		t.Fatal("Current() did not report the running task")
+	}
+	if e.Current() != nil {
+		t.Fatal("Current() after Run should be nil")
+	}
+}
+
+func TestGoAfterOrderingAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, n := range []string{"first", "second", "third"} {
+		n := n
+		e.GoAfter(n, 10*Millisecond, func(tk *Task) { order = append(order, n) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "first" || order[2] != "third" {
+		t.Fatalf("order = %v (same-instant events must run in spawn order)", order)
+	}
+}
+
+func TestWakeCountAndLen(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(tk *Task) { tk.Wait(&q) })
+	}
+	e.Go("driver", func(tk *Task) {
+		tk.Sleep(Millisecond)
+		if q.Len() != 4 {
+			t.Errorf("len = %d", q.Len())
+		}
+		if n := q.Wake(2); n != 2 {
+			t.Errorf("Wake(2) = %d", n)
+		}
+		if q.Len() != 2 {
+			t.Errorf("len after = %d", q.Len())
+		}
+		if n := q.WakeAll(); n != 2 {
+			t.Errorf("WakeAll = %d", n)
+		}
+		if n := q.Wake(1); n != 0 {
+			t.Errorf("Wake on empty = %d", n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Go("s", func(tk *Task) {
+		tk.Sleep(-5)
+		at = tk.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Fatalf("at = %d", at)
+	}
+}

@@ -1,0 +1,193 @@
+package tty
+
+import (
+	"testing"
+
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+func TestCanonicalModeWaitsForLine(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	var got []byte
+	eng.Go("reader", func(tk *sim.Task) {
+		got, _ = term.Read(tk, 100, nil)
+	})
+	eng.Go("typist", func(tk *sim.Task) {
+		tk.Sleep(sim.Millisecond)
+		term.Type("par")
+		tk.Sleep(sim.Millisecond)
+		term.Type("tial\n")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "partial\n" {
+		t.Fatalf("got = %q", got)
+	}
+}
+
+func TestRawModeReturnsBytesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	term.SetFlags(Raw)
+	var got []byte
+	eng.Go("reader", func(tk *sim.Task) {
+		got, _ = term.Read(tk, 100, nil)
+	})
+	eng.Go("typist", func(tk *sim.Task) {
+		tk.Sleep(sim.Millisecond)
+		term.Type("x") // no newline needed in raw mode
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "x" {
+		t.Fatalf("got = %q", got)
+	}
+}
+
+func TestEchoToOutput(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	term.Type("hello\n")
+	if term.Output() != "hello\n" {
+		t.Fatalf("output = %q", term.Output())
+	}
+	term.SetFlags(term.Flags() &^ Echo)
+	term.Type("quiet\n")
+	if term.Output() != "hello\n" {
+		t.Fatalf("noecho output = %q", term.Output())
+	}
+}
+
+func TestCRModTranslation(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	term.Type("line\r")
+	var got []byte
+	eng.Go("reader", func(tk *sim.Task) { got, _ = term.Read(tk, 100, nil) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "line\n" {
+		t.Fatalf("got = %q", got)
+	}
+}
+
+func TestEOF(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	var got []byte
+	var e errno.Errno
+	eng.Go("reader", func(tk *sim.Task) { got, e = term.Read(tk, 100, nil) })
+	eng.Go("typist", func(tk *sim.Task) {
+		tk.Sleep(sim.Millisecond)
+		term.TypeEOF()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 || len(got) != 0 {
+		t.Fatalf("got = %q, e = %v", got, e)
+	}
+}
+
+func TestInterruptedRead(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	interrupted := false
+	var e errno.Errno
+	var rdr *sim.Task
+	eng.Go("reader", func(tk *sim.Task) {
+		rdr = tk
+		_, e = term.Read(tk, 100, func() bool { return interrupted })
+	})
+	eng.Go("killer", func(tk *sim.Task) {
+		tk.Sleep(sim.Millisecond)
+		interrupted = true
+		term.ReadQueue().WakeTask(rdr)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e != errno.EINTR {
+		t.Fatalf("e = %v, want EINTR", e)
+	}
+}
+
+func TestNetworkPTYModesDoNotStick(t *testing.T) {
+	eng := sim.NewEngine()
+	pty := NewNetworkPTY(eng, "rsh-pty")
+	pty.SetFlags(Raw | CBreak) // also clears Echo implicitly in request
+	if pty.Flags()&Raw != 0 || pty.Flags()&CBreak != 0 {
+		t.Fatalf("raw/cbreak stuck on network pty: %04x", pty.Flags())
+	}
+	if pty.Flags()&Echo == 0 {
+		t.Fatal("echo forced off on network pty")
+	}
+	// A real terminal accepts the same request.
+	real := New(eng, "tty0")
+	real.SetFlags(Raw)
+	if real.Flags()&Raw == 0 {
+		t.Fatal("raw rejected on real terminal")
+	}
+}
+
+func TestPartialLineReadOnMaxSmallerThanLine(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	term.Type("abcdef\n")
+	var first, second []byte
+	eng.Go("reader", func(tk *sim.Task) {
+		first, _ = term.Read(tk, 3, nil)
+		second, _ = term.Read(tk, 10, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "abc" || string(second) != "def\n" {
+		t.Fatalf("first = %q second = %q", first, second)
+	}
+}
+
+func TestCBreakModeByteAtATime(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	term.SetFlags(CBreak | Echo)
+	term.Type("xy") // no newline
+	var first, second []byte
+	eng.Go("reader", func(tk *sim.Task) {
+		first, _ = term.Read(tk, 1, nil)
+		second, _ = term.Read(tk, 10, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "x" || string(second) != "y" {
+		t.Fatalf("first = %q second = %q", first, second)
+	}
+	// Echo still active in cbreak.
+	if term.Output() != "xy" {
+		t.Fatalf("output = %q", term.Output())
+	}
+}
+
+func TestEOFThenMoreInput(t *testing.T) {
+	eng := sim.NewEngine()
+	term := New(eng, "tty0")
+	term.Type("tail") // unterminated line
+	term.TypeEOF()
+	var got []byte
+	eng.Go("reader", func(tk *sim.Task) {
+		got, _ = term.Read(tk, 10, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// EOF flushes the partial line.
+	if string(got) != "tail" {
+		t.Fatalf("got = %q", got)
+	}
+}

@@ -1,0 +1,243 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"procmig/internal/errno"
+)
+
+// buildRandomTree creates a deterministic pseudo-random directory tree
+// from a seed: directories, files, and relative/absolute symlinks. It
+// returns every file path created (through its lexical location).
+func buildRandomTree(t *testing.T, ns *Namespace, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var files []string
+	var dirs = []string{"/"}
+	for i := 0; i < 30; i++ {
+		parent := dirs[rng.Intn(len(dirs))]
+		name := fmt.Sprintf("n%02d", i)
+		path := joinCanon(strings.TrimSuffix(parent, "/")+"/", name)
+		if path == "/"+name && parent == "/" {
+			path = "/" + name
+		}
+		switch rng.Intn(4) {
+		case 0, 1: // directory
+			if err := ns.MkdirAll(path, 0o777, 0, 0); err == nil {
+				dirs = append(dirs, path)
+			}
+		case 2: // file
+			if err := ns.WriteFile(path, []byte(path), 0o644, 0, 0); err == nil {
+				files = append(files, path)
+			}
+		case 3: // symlink to an existing dir or file
+			var target string
+			if len(files) > 0 && rng.Intn(2) == 0 {
+				target = files[rng.Intn(len(files))]
+			} else {
+				target = dirs[rng.Intn(len(dirs))]
+			}
+			ns.Symlink(path, target, 0, 0)
+		}
+	}
+	return files
+}
+
+// Property: every created file reads back its own path as content, and
+// the canonical path of each resolution is a fixed point.
+func TestRandomTreeResolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ns := NewNamespace(NewMemFS())
+		files := buildRandomTree(t, ns, seed)
+		for _, p := range files {
+			data, err := ns.ReadFile(p)
+			if err != nil || string(data) != p {
+				return false
+			}
+			r1, err := ns.Resolve(p, true)
+			if err != nil {
+				return false
+			}
+			r2, err := ns.Resolve(r1.Canon, true)
+			if err != nil || r1.Node != r2.Node || r1.Canon != r2.Canon {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JoinPath is idempotent for absolute results and never
+// produces "." or ".." components or double slashes.
+func TestJoinPathNormalFormProperty(t *testing.T) {
+	clean := func(s string) string {
+		out := strings.Map(func(r rune) rune {
+			if r == 0 {
+				return -1
+			}
+			return r
+		}, s)
+		if len(out) > 64 {
+			out = out[:64]
+		}
+		return out
+	}
+	f := func(cwdRaw, argRaw string) bool {
+		cwd := "/" + clean(cwdRaw)
+		arg := clean(argRaw)
+		got := JoinPath(cwd, arg)
+		if !strings.HasPrefix(got, "/") {
+			return false
+		}
+		if strings.Contains(got, "//") {
+			return false
+		}
+		for _, c := range strings.Split(got, "/") {
+			if c == "." || c == ".." {
+				return false
+			}
+		}
+		// Idempotence: joining the result with "." is a no-op.
+		return JoinPath(got, ".") == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Remove makes a name unresolvable, and a fresh WriteFile
+// brings it back.
+func TestRemoveRecreateProperty(t *testing.T) {
+	ns := NewNamespace(NewMemFS())
+	if err := ns.MkdirAll("/work", 0o777, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	f := func(nameRaw string, content []byte) bool {
+		name := strings.Map(func(r rune) rune {
+			if r == '/' || r == 0 {
+				return 'x'
+			}
+			return r
+		}, nameRaw)
+		if name == "" || name == "." || name == ".." {
+			name = "f"
+		}
+		p := "/work/" + name
+		if err := ns.WriteFile(p, content, 0o644, 0, 0); err != nil {
+			return false
+		}
+		if err := ns.Remove(p); err != nil {
+			return false
+		}
+		if _, err := ns.ReadFile(p); errno.Of(err) != errno.ENOENT {
+			return false
+		}
+		if err := ns.WriteFile(p, content, 0o644, 0, 0); err != nil {
+			return false
+		}
+		got, err := ns.ReadFile(p)
+		return err == nil && string(got) == string(content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deep mount/symlink interaction: a chain of symlinks crossing a mount
+// and back resolves to the right file.
+func TestSymlinkAcrossMountChain(t *testing.T) {
+	server := NewMemFS()
+	sns := NewNamespace(server)
+	if err := sns.MkdirAll("/export/data", 0o777, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sns.WriteFile("/export/data/real", []byte("deep"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// On the server: /export/link -> /export/data (absolute, resolved
+	// within the export when seen remotely).
+	if err := sns.Symlink("/export/link", "/export/data", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewMemFS()
+	ns := NewNamespace(client)
+	if err := ns.MkdirAll("/n/srv", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/n/srv", server); err != nil {
+		t.Fatal(err)
+	}
+	// Local symlink into the mount.
+	if err := ns.Symlink("/shortcut", "/n/srv/export/link/real", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ns.ReadFile("/shortcut")
+	if err != nil || string(data) != "deep" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	p, err := ns.Resolve("/shortcut", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Canon != "/n/srv/export/data/real" {
+		t.Fatalf("canon = %q", p.Canon)
+	}
+}
+
+// Mount shadowing: after a mount, the underlying directory's contents are
+// invisible until (hypothetically) unmounted — and the mount's contents
+// appear instead.
+func TestMountShadowsUnderlyingDirectory(t *testing.T) {
+	ns := NewNamespace(NewMemFS())
+	if err := ns.MkdirAll("/mnt", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.WriteFile("/mnt/under", []byte("hidden"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	over := NewMemFS()
+	ons := NewNamespace(over)
+	if err := ons.WriteFile("/over", []byte("visible"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/mnt", over); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.ReadFile("/mnt/under"); errno.Of(err) != errno.ENOENT {
+		t.Fatalf("underlying file visible through mount: %v", err)
+	}
+	data, err := ns.ReadFile("/mnt/over")
+	if err != nil || string(data) != "visible" {
+		t.Fatalf("mounted file: %q %v", data, err)
+	}
+}
+
+func TestMountErrors(t *testing.T) {
+	ns := NewNamespace(NewMemFS())
+	if err := ns.Mount("/", NewMemFS()); errno.Of(err) != errno.EINVAL {
+		t.Fatalf("mount on /: %v", err)
+	}
+	if err := ns.Mount("relative", NewMemFS()); errno.Of(err) != errno.EINVAL {
+		t.Fatalf("relative mount: %v", err)
+	}
+	if err := ns.MkdirAll("/m", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/m", NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/m", NewMemFS()); errno.Of(err) != errno.EEXIST {
+		t.Fatalf("duplicate mount: %v", err)
+	}
+	if got := ns.Mounts(); len(got) != 1 || got[0] != "/m" {
+		t.Fatalf("mounts = %v", got)
+	}
+}

@@ -1,0 +1,422 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"procmig/internal/errno"
+)
+
+func newTestNS(t *testing.T) *Namespace {
+	t.Helper()
+	ns := NewNamespace(NewMemFS())
+	for _, d := range []string{"/usr/tmp", "/dev", "/etc", "/u"} {
+		if err := ns.MkdirAll(d, 0o755, 0, 0); err != nil {
+			t.Fatalf("mkdir %s: %v", d, err)
+		}
+	}
+	return ns
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	ns := newTestNS(t)
+	if err := ns.WriteFile("/etc/motd", []byte("hello world"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ns.ReadFile("/etc/motd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("data = %q", data)
+	}
+	attr, err := ns.Stat("/etc/motd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != TypeFile || attr.Size != 11 || attr.Mode != 0o644 {
+		t.Fatalf("attr = %+v", attr)
+	}
+}
+
+func TestWriteFileTruncatesExisting(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/f", []byte("long content here"), 0o644, 0, 0))
+	must(t, ns.WriteFile("/f", []byte("x"), 0o644, 0, 0))
+	data, err := ns.ReadFile("/f")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupDotDot(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/etc/passwd", []byte("root"), 0o644, 0, 0))
+	data, err := ns.ReadFile("/usr/../etc/./passwd")
+	if err != nil || string(data) != "root" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	// ".." above root stays at root.
+	if _, err := ns.Resolve("/../../etc", true); err != nil {
+		t.Fatalf("resolve above root: %v", err)
+	}
+}
+
+func TestEnoent(t *testing.T) {
+	ns := newTestNS(t)
+	if _, err := ns.ReadFile("/no/such/file"); errno.Of(err) != errno.ENOENT {
+		t.Fatalf("err = %v, want ENOENT", err)
+	}
+}
+
+func TestNotDir(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/plain", []byte("x"), 0o644, 0, 0))
+	if _, err := ns.Resolve("/plain/sub", true); errno.Of(err) != errno.ENOTDIR {
+		t.Fatalf("err = %v, want ENOTDIR", err)
+	}
+}
+
+func TestSymlinkFollow(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/etc/real", []byte("data"), 0o644, 0, 0))
+	must(t, ns.Symlink("/etc/link", "/etc/real", 0, 0))
+	data, err := ns.ReadFile("/etc/link")
+	if err != nil || string(data) != "data" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	// Lstat sees the link itself, Stat follows.
+	la, err := ns.Lstat("/etc/link")
+	must(t, err)
+	if la.Type != TypeSymlink {
+		t.Fatalf("lstat type = %v", la.Type)
+	}
+	sa, err := ns.Stat("/etc/link")
+	must(t, err)
+	if sa.Type != TypeFile {
+		t.Fatalf("stat type = %v", sa.Type)
+	}
+}
+
+func TestSymlinkRelative(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/etc/real", []byte("rel"), 0o644, 0, 0))
+	must(t, ns.Symlink("/etc/rl", "real", 0, 0))
+	data, err := ns.ReadFile("/etc/rl")
+	if err != nil || string(data) != "rel" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	must(t, ns.Symlink("/usr/up", "../etc/real", 0, 0))
+	data, err = ns.ReadFile("/usr/up")
+	if err != nil || string(data) != "rel" {
+		t.Fatalf("up: data = %q err = %v", data, err)
+	}
+}
+
+func TestSymlinkChainAndLoop(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/end", []byte("e"), 0o644, 0, 0))
+	must(t, ns.Symlink("/a", "/b", 0, 0))
+	must(t, ns.Symlink("/b", "/end", 0, 0))
+	if _, err := ns.ReadFile("/a"); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	must(t, ns.Symlink("/loop1", "/loop2", 0, 0))
+	must(t, ns.Symlink("/loop2", "/loop1", 0, 0))
+	if _, err := ns.ReadFile("/loop1"); errno.Of(err) != errno.ELOOP {
+		t.Fatalf("loop err = %v, want ELOOP", err)
+	}
+}
+
+func TestSymlinkInMiddleOfPath(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.MkdirAll("/n/brador/u2/user", 0o755, 0, 0))
+	must(t, ns.WriteFile("/n/brador/u2/user/f", []byte("homedir"), 0o644, 0, 0))
+	// The paper's /u/user convention: a symlink to a file-server directory.
+	must(t, ns.Symlink("/u/user", "/n/brador/u2/user", 0, 0))
+	data, err := ns.ReadFile("/u/user/f")
+	if err != nil || string(data) != "homedir" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	// The canonical path has the link resolved.
+	p, err := ns.Resolve("/u/user/f", true)
+	must(t, err)
+	if p.Canon != "/n/brador/u2/user/f" {
+		t.Fatalf("canon = %q", p.Canon)
+	}
+}
+
+func TestMountCrossing(t *testing.T) {
+	ns := newTestNS(t)
+	remote := NewMemFS()
+	rns := NewNamespace(remote)
+	must(t, rns.MkdirAll("/usr", 0o755, 0, 0))
+	must(t, rns.WriteFile("/usr/foo", []byte("remote file"), 0o644, 0, 0))
+
+	must(t, ns.MkdirAll("/n/classic", 0o755, 0, 0))
+	must(t, ns.Mount("/n/classic", remote))
+
+	data, err := ns.ReadFile("/n/classic/usr/foo")
+	if err != nil || string(data) != "remote file" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	// ".." out of the mount root lands back at /n.
+	p, err := ns.Resolve("/n/classic/..", true)
+	must(t, err)
+	if p.Canon != "/n" {
+		t.Fatalf("canon = %q", p.Canon)
+	}
+}
+
+// TestPaperSymlinkTrap reproduces §4.3's scenario: on classic, /usr is a
+// symlink to /n/brador/usr. Reaching the file through /n/classic/usr/foo
+// must fail (the absolute link target resolves inside classic's exported
+// disk, where /n/brador is an empty mount-point directory), while the
+// symlink-resolved name /n/brador/usr/foo works.
+func TestPaperSymlinkTrap(t *testing.T) {
+	// brador: the file server, holding the real /usr.
+	brador := NewMemFS()
+	bns := NewNamespace(brador)
+	must(t, bns.MkdirAll("/usr", 0o755, 0, 0))
+	must(t, bns.WriteFile("/usr/foo", []byte("the real foo"), 0o644, 0, 0))
+
+	// classic: /usr -> /n/brador/usr (a symlink on its local disk), and an
+	// empty /n/brador directory that is only a mount *point*.
+	classic := NewMemFS()
+	cns := NewNamespace(classic)
+	must(t, cns.MkdirAll("/n/brador", 0o755, 0, 0))
+	must(t, cns.Symlink("/usr", "/n/brador/usr", 0, 0))
+	must(t, cns.Mount("/n/brador", brador))
+
+	// On classic itself the symlink works (mount crossing applies).
+	data, err := cns.ReadFile("/usr/foo")
+	if err != nil || string(data) != "the real foo" {
+		t.Fatalf("on classic: data = %q err = %v", data, err)
+	}
+
+	// schooner mounts both machines' disks.
+	schooner := NewMemFS()
+	sns := NewNamespace(schooner)
+	must(t, sns.MkdirAll("/n/classic", 0o755, 0, 0))
+	must(t, sns.MkdirAll("/n/brador", 0o755, 0, 0))
+	must(t, sns.Mount("/n/classic", classic))
+	must(t, sns.Mount("/n/brador", brador))
+
+	// Naive prepend: /n/classic/usr/foo. The symlink inside classic's disk
+	// points at /n/brador/usr, which within classic's exported tree is an
+	// empty directory — ENOENT, as the paper observes.
+	if _, err := sns.ReadFile("/n/classic/usr/foo"); errno.Of(err) != errno.ENOENT {
+		t.Fatalf("naive prepend: err = %v, want ENOENT", err)
+	}
+
+	// Resolving the symlink first (what dumpproc does) gives a name that
+	// works from anywhere.
+	data, err = sns.ReadFile("/n/brador/usr/foo")
+	if err != nil || string(data) != "the real foo" {
+		t.Fatalf("resolved name: data = %q err = %v", data, err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/f", []byte("x"), 0o644, 0, 0))
+	must(t, ns.Remove("/f"))
+	if _, err := ns.ReadFile("/f"); errno.Of(err) != errno.ENOENT {
+		t.Fatalf("err = %v", err)
+	}
+	// Non-empty directory refuses.
+	must(t, ns.WriteFile("/etc/x", []byte("x"), 0o644, 0, 0))
+	if err := ns.Remove("/etc"); errno.Of(err) != errno.ENOTEMPTY {
+		t.Fatalf("err = %v, want ENOTEMPTY", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/a", []byte("content"), 0o644, 0, 0))
+	dir, base, err := ns.ResolveParent("/a")
+	must(t, err)
+	tmp, err := ns.Resolve("/usr/tmp", true)
+	must(t, err)
+	must(t, dir.FS.Rename(dir.Node, base, tmp.Node, "b"))
+	data, err := ns.ReadFile("/usr/tmp/b")
+	if err != nil || string(data) != "content" {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	if _, err := ns.ReadFile("/a"); errno.Of(err) != errno.ENOENT {
+		t.Fatalf("old name: err = %v", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	ns := newTestNS(t)
+	for _, f := range []string{"/etc/zz", "/etc/aa", "/etc/mm"} {
+		must(t, ns.WriteFile(f, nil, 0o644, 0, 0))
+	}
+	p, err := ns.Resolve("/etc", true)
+	must(t, err)
+	ents, err := p.FS.ReadDir(p.Node)
+	must(t, err)
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	if strings.Join(names, ",") != "aa,mm,zz" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestDeviceNodes(t *testing.T) {
+	ns := newTestNS(t)
+	dir, base, err := ns.ResolveParent("/dev/null")
+	must(t, err)
+	if _, err := dir.FS.Mknod(dir.Node, base, DevID(3), 0o666, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := ns.Stat("/dev/null")
+	must(t, err)
+	if attr.Type != TypeDev || attr.Dev != DevID(3) {
+		t.Fatalf("attr = %+v", attr)
+	}
+}
+
+func TestWriteAtSparseAndTruncate(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/f", []byte("abc"), 0o644, 0, 0))
+	p, err := ns.Resolve("/f", true)
+	must(t, err)
+	if _, err := p.FS.WriteAt(p.Node, 6, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := ns.ReadFile("/f")
+	if string(data) != "abc\x00\x00\x00xyz" {
+		t.Fatalf("data = %q", data)
+	}
+	must(t, p.FS.Truncate(p.Node, 2))
+	data, _ = ns.ReadFile("/f")
+	if string(data) != "ab" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	must(t, p.FS.Truncate(p.Node, 4))
+	data, _ = ns.ReadFile("/f")
+	if string(data) != "ab\x00\x00" {
+		t.Fatalf("after grow: %q", data)
+	}
+}
+
+func TestReadAtPastEOF(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/f", []byte("abc"), 0o644, 0, 0))
+	p, _ := ns.Resolve("/f", true)
+	data, err := p.FS.ReadAt(p.Node, 100, 10)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("data = %q err = %v", data, err)
+	}
+	data, err = p.FS.ReadAt(p.Node, 1, 100)
+	if err != nil || string(data) != "bc" {
+		t.Fatalf("partial: %q err = %v", data, err)
+	}
+}
+
+func TestMkdirAllIdempotent(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.MkdirAll("/a/b/c", 0o755, 0, 0))
+	must(t, ns.MkdirAll("/a/b/c", 0o755, 0, 0))
+	must(t, ns.MkdirAll("/a/b", 0o755, 0, 0))
+	attr, err := ns.Stat("/a/b/c")
+	must(t, err)
+	if attr.Type != TypeDir {
+		t.Fatal("not a dir")
+	}
+}
+
+func TestSetmode(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.WriteFile("/f", nil, 0o644, 0, 0))
+	p, _ := ns.Resolve("/f", true)
+	must(t, p.FS.Setmode(p.Node, 0o600))
+	attr, _ := ns.Stat("/f")
+	if attr.Mode != 0o600 {
+		t.Fatalf("mode = %o", attr.Mode)
+	}
+}
+
+func TestJoinPath(t *testing.T) {
+	cases := []struct{ cwd, arg, want string }{
+		{"/home/user", "file", "/home/user/file"},
+		{"/home/user", "/abs/x", "/abs/x"},
+		{"/home/user", "..", "/home"},
+		{"/home/user", "../other/./f", "/home/other/f"},
+		{"/", "..", "/"},
+		{"/a", "b/../c", "/a/c"},
+		{"/a/b", ".", "/a/b"},
+	}
+	for _, c := range cases {
+		if got := JoinPath(c.cwd, c.arg); got != c.want {
+			t.Errorf("JoinPath(%q, %q) = %q, want %q", c.cwd, c.arg, got, c.want)
+		}
+	}
+}
+
+// Property: WriteFile/ReadFile round-trip arbitrary contents at arbitrary
+// (valid) names.
+func TestFileRoundTripProperty(t *testing.T) {
+	ns := newTestNS(t)
+	f := func(name string, content []byte) bool {
+		name = strings.Map(func(r rune) rune {
+			if r == '/' || r == 0 {
+				return '_'
+			}
+			return r
+		}, name)
+		if name == "" || name == "." || name == ".." {
+			name = "x"
+		}
+		path := "/usr/tmp/" + name
+		if err := ns.WriteFile(path, content, 0o644, 0, 0); err != nil {
+			return false
+		}
+		got, err := ns.ReadFile(path)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resolution of the canonical path returned by Resolve reaches
+// the same node (canonical paths are fixed points).
+func TestCanonFixedPointProperty(t *testing.T) {
+	ns := newTestNS(t)
+	must(t, ns.MkdirAll("/n/brador/u2/user", 0o755, 0, 0))
+	must(t, ns.WriteFile("/n/brador/u2/user/f", []byte("x"), 0o644, 0, 0))
+	must(t, ns.Symlink("/u/user", "/n/brador/u2/user", 0, 0))
+	paths := []string{
+		"/u/user/f", "/n/brador/u2/user/f", "/u/./user/../user/f",
+		"/etc", "/usr/tmp", "/u/user",
+	}
+	for _, p := range paths {
+		r1, err := ns.Resolve(p, true)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		r2, err := ns.Resolve(r1.Canon, true)
+		if err != nil {
+			t.Fatalf("%s canon %s: %v", p, r1.Canon, err)
+		}
+		if r1.Node != r2.Node || r1.FS != r2.FS || r1.Canon != r2.Canon {
+			t.Fatalf("%s: canon not fixed point: %+v vs %+v", p, r1, r2)
+		}
+	}
+}

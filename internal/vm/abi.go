@@ -1,0 +1,85 @@
+package vm
+
+// System call numbers form the VM↔kernel ABI. Numbers follow the classic
+// Unix assignments where one exists; the paper's new call rest_proc(), and
+// the §7 extension calls getrealpid()/getrealhostname(), take numbers past
+// the historical table.
+const (
+	SysExit        = 1
+	SysFork        = 2
+	SysRead        = 3
+	SysWrite       = 4
+	SysOpen        = 5
+	SysClose       = 6
+	SysWait        = 7
+	SysCreat       = 8
+	SysUnlink      = 10
+	SysChdir       = 12
+	SysStat        = 18
+	SysLseek       = 19
+	SysGetpid      = 20
+	SysGetuid      = 24
+	SysSleep       = 25 // sleep(seconds); historical alarm slot repurposed
+	SysKill        = 37
+	SysGetppid     = 39
+	SysPipe        = 42
+	SysSignal      = 48 // signal(sig, handler): set disposition
+	SysIoctl       = 54
+	SysSymlink     = 57
+	SysReadlink    = 58
+	SysExecve      = 59
+	SysGethostname = 87
+	SysMkdir       = 88 // historical 4.2BSD slot 136; kept compact here
+	SysSocket      = 97
+	SysGettime     = 116 // gettimeofday: microseconds since boot in r0 (low) r1 (high)
+	SysSetreuid    = 126
+
+	// Datagram sockets (historical 4.2BSD numbers) — the substrate for
+	// the §9 socket-migration extension.
+	SysBind     = 104
+	SysRecvfrom = 125
+	SysSendto   = 133
+
+	// Paper additions and extensions.
+	SysRestProc        = 151 // rest_proc(aoutPath, stackPath)
+	SysGetrealpid      = 152 // §7 extension: true pid regardless of migration
+	SysGetrealhostname = 153 // §7 extension: true hostname regardless of migration
+)
+
+// SyscallNames maps assembler-visible syscall names to numbers.
+var SyscallNames = map[string]int{
+	"exit":            SysExit,
+	"fork":            SysFork,
+	"read":            SysRead,
+	"write":           SysWrite,
+	"open":            SysOpen,
+	"close":           SysClose,
+	"wait":            SysWait,
+	"creat":           SysCreat,
+	"unlink":          SysUnlink,
+	"chdir":           SysChdir,
+	"stat":            SysStat,
+	"lseek":           SysLseek,
+	"getpid":          SysGetpid,
+	"getuid":          SysGetuid,
+	"sleep":           SysSleep,
+	"kill":            SysKill,
+	"getppid":         SysGetppid,
+	"pipe":            SysPipe,
+	"signal":          SysSignal,
+	"ioctl":           SysIoctl,
+	"symlink":         SysSymlink,
+	"readlink":        SysReadlink,
+	"execve":          SysExecve,
+	"gethostname":     SysGethostname,
+	"mkdir":           SysMkdir,
+	"socket":          SysSocket,
+	"bind":            SysBind,
+	"recvfrom":        SysRecvfrom,
+	"sendto":          SysSendto,
+	"gettime":         SysGettime,
+	"setreuid":        SysSetreuid,
+	"rest_proc":       SysRestProc,
+	"getrealpid":      SysGetrealpid,
+	"getrealhostname": SysGetrealhostname,
+}

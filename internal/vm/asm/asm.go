@@ -1,0 +1,497 @@
+// Package asm implements a two-pass assembler (and disassembler) for the
+// simulated processor. Test programs and the example workloads are written
+// in this assembly; the cluster installs the assembled executables into the
+// simulated filesystems.
+//
+// Syntax, one statement per line:
+//
+//	; comment (also #)
+//	label:  mnemonic  operand[, operand]
+//	        .text            ; switch to text section (default)
+//	        .data            ; switch to data section
+//	        .entry label     ; set the entry point (default: "start", else 0)
+//	        .word  expr, ... ; emit 32-bit big-endian words
+//	        .byte  expr, ... ; emit bytes
+//	        .asciz "str"     ; emit string bytes plus a NUL
+//	        .ascii "str"     ; emit string bytes
+//	        .space n         ; emit n zero bytes
+//
+// Operands are registers (r0..r7, sp), integer literals (Go syntax: 42,
+// 0x2a, 052, 'c'), label names, or label±offset. The sys instruction also
+// accepts symbolic call names (sys write).
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"procmig/internal/aout"
+	"procmig/internal/vm"
+)
+
+// Error is an assembly error with a source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	sectText section = iota
+	sectData
+)
+
+type stmt struct {
+	line    int
+	label   string
+	op      string   // mnemonic or directive (with dot), lower-case; "" if label-only
+	args    []string // raw operand strings
+	strArg  string   // decoded string literal for .ascii/.asciz
+	sect    section
+	offset  uint32 // offset within its section (pass 1)
+	size    uint32
+	hasStr  bool
+	isInstr bool
+	opcode  vm.Opcode
+}
+
+// Assemble translates source into an executable.
+func Assemble(src string) (*aout.Exec, error) {
+	stmts, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: assign offsets and sizes.
+	var textSize, dataSize uint32
+	entryLabel := ""
+	labels := map[string]*stmt{}
+	for _, s := range stmts {
+		switch s.sect {
+		case sectText:
+			s.offset = textSize
+		case sectData:
+			s.offset = dataSize
+		}
+		if s.label != "" {
+			if _, dup := labels[s.label]; dup {
+				return nil, &Error{s.line, "duplicate label " + s.label}
+			}
+			labels[s.label] = s
+		}
+		if s.op == ".entry" {
+			if len(s.args) != 1 {
+				return nil, &Error{s.line, ".entry takes one label"}
+			}
+			entryLabel = s.args[0]
+			continue
+		}
+		sz, err := s.computeSize()
+		if err != nil {
+			return nil, err
+		}
+		s.size = sz
+		if s.sect == sectText {
+			textSize += sz
+		} else {
+			dataSize += sz
+		}
+	}
+
+	dataBase := vm.DataBase(int(textSize))
+	addrOf := func(name string) (uint32, bool) {
+		s, ok := labels[name]
+		if !ok {
+			return 0, false
+		}
+		if s.sect == sectText {
+			return s.offset, true
+		}
+		return dataBase + s.offset, true
+	}
+
+	// Pass 2: emit.
+	text := make([]byte, 0, textSize)
+	data := make([]byte, 0, dataSize)
+	maxISA := vm.ISA1
+	for _, s := range stmts {
+		buf, err := s.emit(addrOf)
+		if err != nil {
+			return nil, err
+		}
+		if s.isInstr && vm.Instrs[s.opcode].MinISA > maxISA {
+			maxISA = vm.Instrs[s.opcode].MinISA
+		}
+		if s.sect == sectText {
+			text = append(text, buf...)
+		} else {
+			data = append(data, buf...)
+		}
+	}
+
+	entry := uint32(0)
+	switch {
+	case entryLabel != "":
+		a, ok := addrOf(entryLabel)
+		if !ok {
+			return nil, &Error{0, "undefined entry label " + entryLabel}
+		}
+		entry = a
+	default:
+		if a, ok := addrOf("start"); ok {
+			entry = a
+		}
+	}
+
+	return &aout.Exec{ISA: maxISA, Entry: entry, Text: text, Data: data}, nil
+}
+
+// MustAssemble assembles src and panics on error; for statically known
+// program sources (tests, the cluster's program registry).
+func MustAssemble(src string) *aout.Exec {
+	e, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parse(src string) ([]*stmt, error) {
+	var stmts []*stmt
+	sect := sectText
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s, err := parseLine(raw, line)
+		if err != nil {
+			return nil, err
+		}
+		if s == nil {
+			continue
+		}
+		switch s.op {
+		case ".text":
+			sect = sectText
+			if s.label != "" {
+				return nil, &Error{line, "label on section directive"}
+			}
+			continue
+		case ".data":
+			sect = sectData
+			if s.label != "" {
+				return nil, &Error{line, "label on section directive"}
+			}
+			continue
+		}
+		s.sect = sect
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func parseLine(raw string, line int) (*stmt, error) {
+	// Strip comments, respecting string literals.
+	inStr := false
+	esc := false
+	cut := len(raw)
+	for i, r := range raw {
+		if esc {
+			esc = false
+			continue
+		}
+		switch r {
+		case '\\':
+			esc = inStr
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			if !inStr {
+				cut = i
+			}
+		}
+		if cut != len(raw) {
+			break
+		}
+	}
+	text := strings.TrimSpace(raw[:cut])
+	if text == "" {
+		return nil, nil
+	}
+	s := &stmt{line: line}
+	if i := strings.Index(text, ":"); i >= 0 && !strings.ContainsAny(text[:i], " \t\"'") {
+		s.label = text[:i]
+		text = strings.TrimSpace(text[i+1:])
+	}
+	if text == "" {
+		return s, nil
+	}
+	fields := strings.SplitN(text, " ", 2)
+	if tab := strings.SplitN(text, "\t", 2); len(tab[0]) < len(fields[0]) {
+		fields = tab
+	}
+	s.op = strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	if s.op == ".ascii" || s.op == ".asciz" {
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return nil, &Error{line, "bad string literal " + rest}
+		}
+		s.strArg = str
+		s.hasStr = true
+		return s, nil
+	}
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			s.args = append(s.args, strings.TrimSpace(a))
+		}
+	}
+	if !strings.HasPrefix(s.op, ".") {
+		op, ok := vm.OpcodeByName[s.op]
+		if !ok {
+			return nil, &Error{line, "unknown instruction " + s.op}
+		}
+		s.isInstr = true
+		s.opcode = op
+	}
+	return s, nil
+}
+
+func (s *stmt) computeSize() (uint32, error) {
+	switch {
+	case s.op == "":
+		return 0, nil
+	case s.isInstr:
+		return uint32(1 + vm.Instrs[s.opcode].Kind.Size()), nil
+	case s.op == ".word":
+		return uint32(4 * len(s.args)), nil
+	case s.op == ".byte":
+		return uint32(len(s.args)), nil
+	case s.op == ".ascii":
+		return uint32(len(s.strArg)), nil
+	case s.op == ".asciz":
+		return uint32(len(s.strArg) + 1), nil
+	case s.op == ".space":
+		if len(s.args) != 1 {
+			return 0, &Error{s.line, ".space takes one argument"}
+		}
+		n, err := strconv.ParseUint(s.args[0], 0, 32)
+		if err != nil {
+			return 0, &Error{s.line, "bad .space size " + s.args[0]}
+		}
+		return uint32(n), nil
+	default:
+		return 0, &Error{s.line, "unknown directive " + s.op}
+	}
+}
+
+func (s *stmt) emit(addrOf func(string) (uint32, bool)) ([]byte, error) {
+	evalExpr := func(arg string) (uint32, error) { return s.eval(arg, addrOf) }
+	switch {
+	case s.op == "" || s.op == ".entry":
+		return nil, nil
+	case s.isInstr:
+		return s.emitInstr(evalExpr)
+	case s.op == ".word":
+		out := make([]byte, 0, 4*len(s.args))
+		for _, a := range s.args {
+			v, err := evalExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			var w [4]byte
+			binary.BigEndian.PutUint32(w[:], v)
+			out = append(out, w[:]...)
+		}
+		return out, nil
+	case s.op == ".byte":
+		out := make([]byte, 0, len(s.args))
+		for _, a := range s.args {
+			v, err := evalExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v))
+		}
+		return out, nil
+	case s.op == ".ascii":
+		return []byte(s.strArg), nil
+	case s.op == ".asciz":
+		return append([]byte(s.strArg), 0), nil
+	case s.op == ".space":
+		return make([]byte, s.size), nil
+	default:
+		return nil, &Error{s.line, "unknown directive " + s.op}
+	}
+}
+
+func (s *stmt) emitInstr(eval func(string) (uint32, error)) ([]byte, error) {
+	info := vm.Instrs[s.opcode]
+	need := map[vm.OperandKind]int{
+		vm.OpNone: 0, vm.OpReg: 1, vm.OpRegReg: 2,
+		vm.OpRegImm: 2, vm.OpImm32: 1, vm.OpImm8: 1,
+	}[info.Kind]
+	if len(s.args) != need {
+		return nil, &Error{s.line, fmt.Sprintf("%s takes %d operand(s), got %d", info.Name, need, len(s.args))}
+	}
+	out := []byte{byte(s.opcode)}
+	switch info.Kind {
+	case vm.OpNone:
+	case vm.OpReg:
+		r, err := s.reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	case vm.OpRegReg:
+		a, err := s.reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.reg(s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a, b)
+	case vm.OpRegImm:
+		r, err := s.reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := eval(s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		var w [4]byte
+		binary.BigEndian.PutUint32(w[:], v)
+		out = append(out, r)
+		out = append(out, w[:]...)
+	case vm.OpImm32:
+		v, err := eval(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		var w [4]byte
+		binary.BigEndian.PutUint32(w[:], v)
+		out = append(out, w[:]...)
+	case vm.OpImm8:
+		arg := s.args[0]
+		if s.opcode == vm.SYS {
+			if n, ok := vm.SyscallNames[strings.ToLower(arg)]; ok {
+				out = append(out, byte(n))
+				return out, nil
+			}
+		}
+		v, err := eval(arg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}
+
+func (s *stmt) reg(arg string) (byte, error) {
+	a := strings.ToLower(arg)
+	if a == "sp" {
+		return vm.RegSP, nil
+	}
+	if len(a) >= 2 && a[0] == 'r' {
+		n, err := strconv.Atoi(a[1:])
+		if err == nil && n >= 0 && n < vm.RegSP {
+			return byte(n), nil
+		}
+	}
+	return 0, &Error{s.line, "bad register " + arg}
+}
+
+// eval resolves an operand expression: integer literal, char literal,
+// label, or label±offset.
+func (s *stmt) eval(arg string, addrOf func(string) (uint32, bool)) (uint32, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return 0, &Error{s.line, "empty operand"}
+	}
+	if arg[0] == '\'' {
+		r, err := strconv.Unquote(arg)
+		if err != nil || len(r) == 0 {
+			return 0, &Error{s.line, "bad char literal " + arg}
+		}
+		return uint32(r[0]), nil
+	}
+	if v, err := strconv.ParseInt(arg, 0, 64); err == nil {
+		return uint32(v), nil
+	}
+	// label, label+N, label-N
+	name, off := arg, int64(0)
+	for i := 1; i < len(arg); i++ {
+		if arg[i] == '+' || arg[i] == '-' {
+			n, err := strconv.ParseInt(arg[i+1:], 0, 64)
+			if err != nil {
+				return 0, &Error{s.line, "bad offset in " + arg}
+			}
+			if arg[i] == '-' {
+				n = -n
+			}
+			name, off = strings.TrimSpace(arg[:i]), n
+			break
+		}
+	}
+	a, ok := addrOf(name)
+	if !ok {
+		return 0, &Error{s.line, "undefined symbol " + name}
+	}
+	return uint32(int64(a) + off), nil
+}
+
+// Disasm renders a text segment as one string per instruction, for
+// debugging and error reports.
+func Disasm(text []byte) []string {
+	var out []string
+	for pc := 0; pc < len(text); {
+		op := vm.Opcode(text[pc])
+		if int(op) >= len(vm.Instrs) || !vm.Instrs[op].Defined {
+			out = append(out, fmt.Sprintf("%06x: .byte %#x", pc, text[pc]))
+			pc++
+			continue
+		}
+		info := vm.Instrs[op]
+		end := pc + 1 + info.Kind.Size()
+		if end > len(text) {
+			out = append(out, fmt.Sprintf("%06x: <truncated %s>", pc, info.Name))
+			break
+		}
+		ops := text[pc+1 : end]
+		var desc string
+		switch info.Kind {
+		case vm.OpNone:
+			desc = info.Name
+		case vm.OpReg:
+			desc = fmt.Sprintf("%s %s", info.Name, regName(ops[0]))
+		case vm.OpRegReg:
+			desc = fmt.Sprintf("%s %s, %s", info.Name, regName(ops[0]), regName(ops[1]))
+		case vm.OpRegImm:
+			desc = fmt.Sprintf("%s %s, %#x", info.Name, regName(ops[0]), binary.BigEndian.Uint32(ops[1:]))
+		case vm.OpImm32:
+			desc = fmt.Sprintf("%s %#x", info.Name, binary.BigEndian.Uint32(ops))
+		case vm.OpImm8:
+			desc = fmt.Sprintf("%s %d", info.Name, ops[0])
+		}
+		out = append(out, fmt.Sprintf("%06x: %s", pc, desc))
+		pc = end
+	}
+	return out
+}
+
+func regName(r byte) string {
+	if r == vm.RegSP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", r)
+}

@@ -1,0 +1,171 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"procmig/internal/vm"
+)
+
+func TestNumericLiteralForms(t *testing.T) {
+	exe := MustAssemble(`
+start:  movi r0, 42
+        movi r1, 0x2a
+        movi r2, 052
+        movi r3, 'A'
+        halt
+`)
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	if c.R[0] != 42 || c.R[1] != 42 || c.R[2] != 42 || c.R[3] != 'A' {
+		t.Fatalf("r0..r3 = %d %d %d %d", c.R[0], c.R[1], c.R[2], c.R[3])
+	}
+}
+
+func TestNegativeImmediates(t *testing.T) {
+	exe := MustAssemble(`
+start:  movi r0, -1
+        movi r1, 5
+        add  r1, r0
+        halt
+`)
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	if c.R[1] != 4 {
+		t.Fatalf("5 + (-1) = %d", c.R[1])
+	}
+}
+
+func TestLabelMinusOffset(t *testing.T) {
+	exe := MustAssemble(`
+start:  ld r0, tab2-4
+        halt
+        .data
+tab:    .word 7
+tab2:   .word 9
+`)
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	if c.R[0] != 7 {
+		t.Fatalf("tab2-4 loaded %d, want 7", c.R[0])
+	}
+}
+
+func TestNumericSyscallOperand(t *testing.T) {
+	exe := MustAssemble("start: sys 1\n") // exit
+	if exe.Text[1] != byte(vm.SysExit) {
+		t.Fatalf("sys operand = %d", exe.Text[1])
+	}
+}
+
+func TestAllOpcodesDisassemble(t *testing.T) {
+	// A program touching every operand kind.
+	exe := MustAssemble(`
+start:  nop
+        movi r0, 1
+        mov  r1, r0
+        ld   r2, d
+        st   r2, d
+        ldr  r3, r0
+        str  r3, r0
+        ldb  r4, r0
+        stb  r4, r0
+        add  r0, r1
+        addi r0, 2
+        sub  r0, r1
+        subi r0, 2
+        mul  r0, r1
+        div  r0, r1
+        mod  r0, r1
+        and  r0, r1
+        or   r0, r1
+        xor  r0, r1
+        shl  r0, r1
+        shr  r0, r1
+        cmp  r0, r1
+        cmpi r0, 3
+        jmp  j1
+j1:     jeq  j2
+j2:     jne  j3
+j3:     jlt  j4
+j4:     jgt  j5
+j5:     jle  j6
+j6:     jge  j7
+j7:     push r0
+        pop  r0
+        call j8
+j8:     ret
+        sys  exit
+        mull r0, r1
+        divl r0, r1
+        bswap r0
+        ffs  r0
+        halt
+        .data
+d:      .word 0
+`)
+	lines := Disasm(exe.Text)
+	joined := strings.Join(lines, "\n")
+	for name := range vm.OpcodeByName {
+		if !strings.Contains(joined, name) {
+			t.Errorf("disassembly missing %q", name)
+		}
+	}
+}
+
+func TestDisasmTruncatedAndGarbage(t *testing.T) {
+	// Garbage byte then a truncated instruction must not panic.
+	lines := Disasm([]byte{0xEE, byte(vm.MOVI), 0})
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	if !strings.Contains(lines[0], ".byte") {
+		t.Fatalf("garbage line = %q", lines[0])
+	}
+	if !strings.Contains(strings.Join(lines, " "), "truncated") {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestEmptySourceAssembles(t *testing.T) {
+	exe, err := Assemble("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exe.Text) != 0 || len(exe.Data) != 0 || exe.Entry != 0 {
+		t.Fatalf("exe = %+v", exe)
+	}
+}
+
+func TestLabelOnlyLines(t *testing.T) {
+	exe := MustAssemble(`
+a:
+b:      nop
+start:  jmp a
+`)
+	// a and b both point at the nop (offset 0).
+	if exe.Text[0] != byte(vm.NOP) {
+		t.Fatal("layout wrong")
+	}
+}
+
+func TestSPOperandCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"start: mov r0, SP\n halt", "start: MOV R0, sp\n HALT"} {
+		if _, err := Assemble(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestWordWithLabelValue(t *testing.T) {
+	exe := MustAssemble(`
+start:  ld  r0, ptr
+        halt
+        .data
+val:    .word 77
+ptr:    .word val
+`)
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	// r0 holds the address of val; dereference manually.
+	v, ok := c.ReadU32(c.R[0])
+	if !ok || v != 77 {
+		t.Fatalf("ptr chase: %d, %v", v, ok)
+	}
+}

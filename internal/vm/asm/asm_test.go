@@ -1,0 +1,305 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"procmig/internal/aout"
+	"procmig/internal/vm"
+)
+
+func runToHalt(t *testing.T, exe *aout.Exec, isa vm.Level, maxSteps int) *vm.CPU {
+	t.Helper()
+	c := vm.New(exe.Text, append([]byte(nil), exe.Data...), isa)
+	c.PC = exe.Entry
+	for i := 0; i < maxSteps; i++ {
+		switch res := c.Step(); res {
+		case vm.StepOK:
+		case vm.StepHalt:
+			return c
+		default:
+			t.Fatalf("step %d: res=%v fault=%v", i, res, c.Fault)
+		}
+	}
+	t.Fatalf("did not halt in %d steps", maxSteps)
+	return nil
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	exe, err := Assemble(`
+; sum 1..10 into r0
+start:  movi r0, 0
+        movi r1, 1
+loop:   add  r0, r1
+        addi r1, 1
+        cmpi r1, 11
+        jlt  loop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runToHalt(t, exe, vm.ISA1, 1000)
+	if c.R[0] != 55 {
+		t.Fatalf("r0 = %d, want 55", c.R[0])
+	}
+}
+
+func TestDataSectionAndLabels(t *testing.T) {
+	exe, err := Assemble(`
+start:  ld   r0, answer
+        ld   r1, vec+4
+        add  r0, r1
+        halt
+        .data
+answer: .word 40
+vec:    .word 1, 2, 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runToHalt(t, exe, vm.ISA1, 100)
+	if c.R[0] != 42 {
+		t.Fatalf("r0 = %d, want 42", c.R[0])
+	}
+}
+
+func TestAscizAndByteDirectives(t *testing.T) {
+	exe, err := Assemble(`
+start:  movi r1, msg
+        ldb  r0, r1
+        halt
+        .data
+msg:    .asciz "Hi"
+tag:    .byte 0x7f, 'A'
+pad:    .space 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exe.Data) != 3+2+3 {
+		t.Fatalf("data len = %d, want 8", len(exe.Data))
+	}
+	if string(exe.Data[:2]) != "Hi" || exe.Data[2] != 0 {
+		t.Fatalf("data = %q", exe.Data)
+	}
+	if exe.Data[3] != 0x7f || exe.Data[4] != 'A' {
+		t.Fatalf("bytes = %v", exe.Data[3:5])
+	}
+	c := runToHalt(t, exe, vm.ISA1, 100)
+	if c.R[0] != 'H' {
+		t.Fatalf("r0 = %q", rune(c.R[0]))
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	exe, err := Assemble(`
+        .entry main
+junk:   halt
+main:   movi r0, 5
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	if c.R[0] != 5 {
+		t.Fatalf("r0 = %d; entry not honored", c.R[0])
+	}
+}
+
+func TestDefaultEntryIsStartLabel(t *testing.T) {
+	exe, err := Assemble(`
+first:  halt
+start:  movi r0, 1
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Entry == 0 {
+		t.Fatal("entry should be the start label, not 0")
+	}
+}
+
+func TestSyscallByName(t *testing.T) {
+	exe, err := Assemble("start: sys write\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Text[0] != byte(vm.SYS) || exe.Text[1] != byte(vm.SysWrite) {
+		t.Fatalf("text = %v", exe.Text[:2])
+	}
+}
+
+func TestISALevelComputed(t *testing.T) {
+	exe1 := MustAssemble("start: movi r0, 1\n halt")
+	if exe1.ISA != vm.ISA1 {
+		t.Fatalf("isa = %v, want ISA1", exe1.ISA)
+	}
+	exe2 := MustAssemble("start: movi r0, 1\n bswap r0\n halt")
+	if exe2.ISA != vm.ISA2 {
+		t.Fatalf("isa = %v, want ISA2", exe2.ISA)
+	}
+}
+
+func TestSPRegister(t *testing.T) {
+	exe := MustAssemble(`
+start:  mov  r5, sp
+        push r5
+        pop  r6
+        halt
+`)
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	if c.R[5] != vm.StackTop || c.R[6] != vm.StackTop {
+		t.Fatalf("r5=%#x r6=%#x", c.R[5], c.R[6])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	_, err := Assemble(`
+; full-line comment
+# hash comment too
+start:  nop   ; trailing comment
+        halt  # another
+        .data
+s:      .asciz "semi;colon # inside"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringWithEscapes(t *testing.T) {
+	exe, err := Assemble(`
+start:  halt
+        .data
+s:      .asciz "a\nb\t\"q\""
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\nb\t\"q\"\x00"
+	if string(exe.Data) != want {
+		t.Fatalf("data = %q, want %q", exe.Data, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"start: frobnicate r0", "unknown instruction"},
+		{"start: movi r9, 1\nhalt", "bad register"},
+		{"start: jmp nowhere", "undefined symbol"},
+		{"a: nop\na: nop", "duplicate label"},
+		{"start: movi r0", "operand"},
+		{".space x", "bad .space"},
+		{".entry missing\nstart: halt", "undefined entry label"},
+		{".bogus 1", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("start: nop\n nop\n bogusop r0\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Fatalf("line = %d, want 3", aerr.Line)
+	}
+}
+
+func TestLabelArithmetic(t *testing.T) {
+	exe, err := Assemble(`
+start:  ld r0, tab+8
+        halt
+        .data
+tab:    .word 10, 20, 30
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runToHalt(t, exe, vm.ISA1, 10)
+	if c.R[0] != 30 {
+		t.Fatalf("r0 = %d, want 30", c.R[0])
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	exe := MustAssemble(`
+start:  movi r0, 0x10
+        add  r0, r1
+        push r0
+        sys  exit
+        halt
+`)
+	lines := Disasm(exe.Text)
+	if len(lines) != 5 {
+		t.Fatalf("disasm lines = %d: %v", len(lines), lines)
+	}
+	for _, want := range []string{"movi", "add", "push", "sys", "halt"} {
+		found := false
+		for _, l := range lines {
+			if strings.Contains(l, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("disasm missing %q: %v", want, lines)
+		}
+	}
+}
+
+// Property: aout encode/decode round-trips whatever the assembler emits.
+func TestAoutRoundTripProperty(t *testing.T) {
+	f := func(words []uint32, entrySeed uint8) bool {
+		var sb strings.Builder
+		sb.WriteString("start: nop\n halt\n .data\n")
+		if len(words) > 32 {
+			words = words[:32]
+		}
+		for _, w := range words {
+			sb.WriteString(" .word ")
+			sb.WriteString(strings.TrimSpace(strings.ReplaceAll(strings.ToLower(hex(w)), " ", "")))
+			sb.WriteString("\n")
+		}
+		exe, err := Assemble(sb.String())
+		if err != nil {
+			return false
+		}
+		enc := exe.Encode()
+		dec, err := aout.Decode(enc)
+		if err != nil {
+			return false
+		}
+		return dec.Entry == exe.Entry && dec.ISA == exe.ISA &&
+			string(dec.Text) == string(exe.Text) && string(dec.Data) == string(exe.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := []byte("0x00000000")
+	for i := 0; i < 8; i++ {
+		out[9-i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(out)
+}

@@ -1,0 +1,191 @@
+// Package vm implements the workstation processor used by the simulated
+// cluster: a small big-endian register machine standing in for the Motorola
+// 680x0 CPUs of the paper's Sun-2 and Sun-3 workstations.
+//
+// The essential property the paper's mechanism needs from a CPU is that the
+// complete execution state of a user process — text, data, stack, registers
+// — is a capturable, restorable byte image. This VM provides exactly that:
+// the kernel dumps CPU state into the a.out/stack files and rebuilds a
+// process from them on another machine.
+//
+// Two instruction-set levels model the paper's heterogeneity constraint
+// (§7): ISA1 plays the Sun-2's 68010 and ISA2 the Sun-3's 68020, a strict
+// superset. Programs containing ISA2 instructions trap with an illegal
+// instruction fault on an ISA1 machine, reproducing "we can migrate from a
+// Sun 2 to a Sun 3 but not in the other direction".
+package vm
+
+// Level is an instruction-set level. Higher levels are strict supersets.
+type Level int
+
+const (
+	// ISA1 models the Sun-2's MC68010.
+	ISA1 Level = 1
+	// ISA2 models the Sun-3's MC68020 (superset of ISA1).
+	ISA2 Level = 2
+)
+
+func (l Level) String() string {
+	switch l {
+	case ISA1:
+		return "isa1 (68010)"
+	case ISA2:
+		return "isa2 (68020)"
+	default:
+		return "isa?"
+	}
+}
+
+// Opcode identifies an instruction.
+type Opcode byte
+
+// Instruction opcodes. The operand encoding for each is given by its
+// OperandKind in Instrs.
+const (
+	NOP Opcode = iota
+	HALT
+	MOVI // reg, imm32: reg = imm
+	MOV  // reg, reg: dst = src
+	LD   // reg, imm32: reg = mem32[imm]
+	ST   // reg, imm32: mem32[imm] = reg
+	LDR  // reg, reg: dst = mem32[src]
+	STR  // reg, reg: mem32[dst] = src
+	LDB  // reg, reg: dst = membyte[src] (zero-extended)
+	STB  // reg, reg: membyte[dst] = low byte of src
+	ADD  // reg, reg
+	ADDI // reg, imm32
+	SUB  // reg, reg
+	SUBI // reg, imm32
+	MUL  // reg, reg (software multiply on ISA1; see MULL for the ISA2 form)
+	DIV  // reg, reg (traps on zero divisor)
+	MOD  // reg, reg (traps on zero divisor)
+	AND  // reg, reg
+	OR   // reg, reg
+	XOR  // reg, reg
+	SHL  // reg, reg
+	SHR  // reg, reg
+	CMP  // reg, reg: set flags from dst-src
+	CMPI // reg, imm32
+	JMP  // imm32
+	JEQ  // imm32
+	JNE  // imm32
+	JLT  // imm32
+	JGT  // imm32
+	JLE  // imm32
+	JGE  // imm32
+	PUSH // reg
+	POP  // reg
+	CALL // imm32
+	RET  //
+	SYS  // imm8: syscall number; args in r0..r3, result in r0, errno in r1
+
+	// ISA2-only instructions (the 68020-style extensions).
+	MULL  // reg, reg: full 32x32 hardware multiply
+	DIVL  // reg, reg: hardware 32-bit divide (traps on zero divisor)
+	BSWAP // reg: byte-swap
+	FFS   // reg: find first set bit (1-based; 0 if none)
+
+	numOpcodes // sentinel
+)
+
+// OperandKind describes how an instruction's operands are encoded after the
+// opcode byte.
+type OperandKind int
+
+const (
+	OpNone   OperandKind = iota // no operands
+	OpReg                       // 1 byte register
+	OpRegReg                    // 2 bytes: dst, src
+	OpRegImm                    // 1 byte register + 4 bytes big-endian immediate
+	OpImm32                     // 4 bytes big-endian immediate (addresses)
+	OpImm8                      // 1 byte immediate (syscall numbers)
+)
+
+// Size reports the encoded size of the operands in bytes.
+func (k OperandKind) Size() int {
+	switch k {
+	case OpNone:
+		return 0
+	case OpReg, OpImm8:
+		return 1
+	case OpRegReg:
+		return 2
+	case OpImm32:
+		return 4
+	case OpRegImm:
+		return 5
+	default:
+		panic("vm: bad operand kind")
+	}
+}
+
+// InstrInfo describes one instruction for the interpreter, assembler and
+// disassembler.
+type InstrInfo struct {
+	Name    string
+	Kind    OperandKind
+	MinISA  Level
+	Defined bool
+}
+
+// Instrs is the instruction table, indexed by Opcode.
+var Instrs = [numOpcodes]InstrInfo{
+	NOP:   {"nop", OpNone, ISA1, true},
+	HALT:  {"halt", OpNone, ISA1, true},
+	MOVI:  {"movi", OpRegImm, ISA1, true},
+	MOV:   {"mov", OpRegReg, ISA1, true},
+	LD:    {"ld", OpRegImm, ISA1, true},
+	ST:    {"st", OpRegImm, ISA1, true},
+	LDR:   {"ldr", OpRegReg, ISA1, true},
+	STR:   {"str", OpRegReg, ISA1, true},
+	LDB:   {"ldb", OpRegReg, ISA1, true},
+	STB:   {"stb", OpRegReg, ISA1, true},
+	ADD:   {"add", OpRegReg, ISA1, true},
+	ADDI:  {"addi", OpRegImm, ISA1, true},
+	SUB:   {"sub", OpRegReg, ISA1, true},
+	SUBI:  {"subi", OpRegImm, ISA1, true},
+	MUL:   {"mul", OpRegReg, ISA1, true},
+	DIV:   {"div", OpRegReg, ISA1, true},
+	MOD:   {"mod", OpRegReg, ISA1, true},
+	AND:   {"and", OpRegReg, ISA1, true},
+	OR:    {"or", OpRegReg, ISA1, true},
+	XOR:   {"xor", OpRegReg, ISA1, true},
+	SHL:   {"shl", OpRegReg, ISA1, true},
+	SHR:   {"shr", OpRegReg, ISA1, true},
+	CMP:   {"cmp", OpRegReg, ISA1, true},
+	CMPI:  {"cmpi", OpRegImm, ISA1, true},
+	JMP:   {"jmp", OpImm32, ISA1, true},
+	JEQ:   {"jeq", OpImm32, ISA1, true},
+	JNE:   {"jne", OpImm32, ISA1, true},
+	JLT:   {"jlt", OpImm32, ISA1, true},
+	JGT:   {"jgt", OpImm32, ISA1, true},
+	JLE:   {"jle", OpImm32, ISA1, true},
+	JGE:   {"jge", OpImm32, ISA1, true},
+	PUSH:  {"push", OpReg, ISA1, true},
+	POP:   {"pop", OpReg, ISA1, true},
+	CALL:  {"call", OpImm32, ISA1, true},
+	RET:   {"ret", OpNone, ISA1, true},
+	SYS:   {"sys", OpImm8, ISA1, true},
+	MULL:  {"mull", OpRegReg, ISA2, true},
+	DIVL:  {"divl", OpRegReg, ISA2, true},
+	BSWAP: {"bswap", OpReg, ISA2, true},
+	FFS:   {"ffs", OpReg, ISA2, true},
+}
+
+// OpcodeByName maps lower-case mnemonics to opcodes.
+var OpcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op, info := range Instrs {
+		if info.Defined {
+			m[info.Name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+// Register numbers. Registers 0-7 are general purpose; register 8 is the
+// stack pointer, addressable by name in most instructions.
+const (
+	NumRegs = 9
+	RegSP   = 8
+)

@@ -1,0 +1,269 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runALU executes "movi r0,x; movi r1,y; OP r0,r1; halt" and returns r0
+// and the flags.
+func runALU(t *testing.T, op Opcode, x, y uint32) (uint32, bool, bool, StepResult) {
+	t.Helper()
+	var b tb
+	b.op(MOVI, b.regimm(0, x)...)
+	b.op(MOVI, b.regimm(1, y)...)
+	b.op(op, 0, 1)
+	b.op(HALT)
+	c := New(b.b, nil, ISA2)
+	for i := 0; i < 10; i++ {
+		res := c.Step()
+		if res == StepHalt {
+			return c.R[0], c.Z, c.N, res
+		}
+		if res == StepFault {
+			return c.R[0], c.Z, c.N, res
+		}
+	}
+	t.Fatal("did not stop")
+	return 0, false, false, StepFault
+}
+
+// Property: every two-register ALU op matches Go's uint32 semantics and
+// sets Z/N from the result.
+func TestALUSemanticsProperty(t *testing.T) {
+	type spec struct {
+		op Opcode
+		fn func(x, y uint32) (uint32, bool) // result, defined
+	}
+	specs := []spec{
+		{ADD, func(x, y uint32) (uint32, bool) { return x + y, true }},
+		{SUB, func(x, y uint32) (uint32, bool) { return x - y, true }},
+		{MUL, func(x, y uint32) (uint32, bool) { return x * y, true }},
+		{MULL, func(x, y uint32) (uint32, bool) { return x * y, true }},
+		{AND, func(x, y uint32) (uint32, bool) { return x & y, true }},
+		{OR, func(x, y uint32) (uint32, bool) { return x | y, true }},
+		{XOR, func(x, y uint32) (uint32, bool) { return x ^ y, true }},
+		{SHL, func(x, y uint32) (uint32, bool) { return x << (y & 31), true }},
+		{SHR, func(x, y uint32) (uint32, bool) { return x >> (y & 31), true }},
+		{DIV, func(x, y uint32) (uint32, bool) {
+			if y == 0 {
+				return 0, false
+			}
+			return uint32(int32(x) / int32(y)), true
+		}},
+		{MOD, func(x, y uint32) (uint32, bool) {
+			if y == 0 {
+				return 0, false
+			}
+			return uint32(int32(x) % int32(y)), true
+		}},
+	}
+	f := func(x, y uint32) bool {
+		for _, s := range specs {
+			want, defined := s.fn(x, y)
+			got, z, n, res := runALU(t, s.op, x, y)
+			if !defined {
+				if res != StepFault {
+					return false
+				}
+				continue
+			}
+			if res != StepHalt || got != want {
+				return false
+			}
+			if z != (want == 0) || n != (int32(want) < 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge: int32 division overflow case must at least not diverge from
+	// Go for representable operands (skip MinInt32 / -1, which Go panics
+	// on and C leaves undefined) — just assert the VM doesn't crash Go.
+	var b tb
+	b.op(MOVI, b.regimm(0, 0x80000000)...)
+	b.op(MOVI, b.regimm(1, ^uint32(0))...) // -1
+	b.op(DIV, 0, 1)
+	b.op(HALT)
+	c := New(b.b, nil, ISA1)
+	defer func() {
+		if recover() != nil {
+			t.Fatal("MinInt32 / -1 panicked the simulator")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if res := c.Step(); res != StepOK {
+			break
+		}
+	}
+}
+
+// Property: signed comparison branches agree with Go's int32 ordering.
+func TestBranchSemanticsProperty(t *testing.T) {
+	branch := func(op Opcode, x, y uint32) bool {
+		var b tb
+		b.op(MOVI, b.regimm(0, x)...)
+		b.op(MOVI, b.regimm(1, y)...)
+		b.op(CMP, 0, 1)               // at 12, 3 bytes
+		b.op(op, b.imm32(27)...)      // at 15: taken → jump to 27
+		b.op(MOVI, b.regimm(7, 0)...) // at 20: not taken
+		b.op(HALT)                    // at 26
+		b.op(MOVI, b.regimm(7, 1)...) // at 27: taken
+		b.op(HALT)
+		c := New(b.b, nil, ISA1)
+		for i := 0; i < 20; i++ {
+			if res := c.Step(); res == StepHalt {
+				return c.R[7] == 1
+			} else if res != StepOK {
+				return false
+			}
+		}
+		return false
+	}
+	f := func(x, y uint32) bool {
+		sx, sy := int32(x), int32(y)
+		d := sx - sy // flags come from the 32-bit subtraction
+		lt := d < 0 && d != 0
+		eq := d == 0
+		cases := map[Opcode]bool{
+			JEQ: eq,
+			JNE: !eq,
+			JLT: lt,
+			JLE: lt || eq,
+			JGT: !lt && !eq,
+			JGE: !lt,
+		}
+		for op, want := range cases {
+			if branch(op, x, y) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PUSH then POP round-trips any value and leaves SP unchanged.
+func TestPushPopProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		var b tb
+		for i, v := range vals {
+			b.op(MOVI, b.regimm(byte(i%7), v)...)
+			b.op(PUSH, byte(i%7))
+		}
+		for range vals {
+			b.op(POP, 7)
+		}
+		b.op(HALT)
+		c := New(b.b, nil, ISA1)
+		for {
+			res := c.Step()
+			if res == StepHalt {
+				break
+			}
+			if res != StepOK {
+				return false
+			}
+		}
+		if c.SP() != StackTop {
+			return false
+		}
+		// Last POP yields the first pushed value.
+		return len(vals) == 0 || c.R[7] == vals[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StackImage/SetStackImage round-trips arbitrary stack contents.
+func TestStackImageProperty(t *testing.T) {
+	f := func(img []byte) bool {
+		if len(img) > MaxStack/2 {
+			img = img[:MaxStack/2]
+		}
+		c := New([]byte{byte(NOP)}, nil, ISA1)
+		c.SetStackImage(img)
+		got := c.StackImage()
+		if len(img) == 0 {
+			return len(got) == 0
+		}
+		return string(got) == string(img) && c.SP() == StackTop-uint32(len(img))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinISA is monotone — appending an ISA2 instruction never
+// lowers the level.
+func TestMinISAMonotoneProperty(t *testing.T) {
+	f := func(seed []byte) bool {
+		var b tb
+		// Build a random-but-valid ISA1 text from the seed.
+		for _, s := range seed {
+			switch s % 4 {
+			case 0:
+				b.op(NOP)
+			case 1:
+				b.op(ADD, 0, 1)
+			case 2:
+				b.op(MOVI, b.regimm(2, uint32(s))...)
+			case 3:
+				b.op(CMP, 3, 4)
+			}
+		}
+		if MinISA(b.b) != ISA1 {
+			return false
+		}
+		b.op(BSWAP, 0)
+		return MinISA(b.b) == ISA2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSWAPAndFFS(t *testing.T) {
+	cases := []struct {
+		in, swapped, ffs uint32
+	}{
+		{0x00000000, 0x00000000, 0},
+		{0x00000001, 0x01000000, 1},
+		{0x80000000, 0x00000080, 32},
+		{0x12345678, 0x78563412, 4},
+		{0xFF00FF00, 0x00FF00FF, 9},
+	}
+	for _, tc := range cases {
+		var b tb
+		b.op(MOVI, b.regimm(0, tc.in)...)
+		b.op(MOV, 1, 0)
+		b.op(BSWAP, 0)
+		b.op(FFS, 1)
+		b.op(HALT)
+		c := New(b.b, nil, ISA2)
+		for {
+			res := c.Step()
+			if res == StepHalt {
+				break
+			}
+			if res != StepOK {
+				t.Fatalf("%#x: %v", tc.in, c.Fault)
+			}
+		}
+		if c.R[0] != tc.swapped {
+			t.Errorf("bswap(%#x) = %#x, want %#x", tc.in, c.R[0], tc.swapped)
+		}
+		if c.R[1] != tc.ffs {
+			t.Errorf("ffs(%#x) = %d, want %d", tc.in, c.R[1], tc.ffs)
+		}
+	}
+}

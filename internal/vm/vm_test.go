@@ -1,0 +1,350 @@
+package vm
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// buildText assembles instructions by hand (the asm package has its own
+// tests and depends on this one being right).
+type tb struct{ b []byte }
+
+func (t *tb) op(op Opcode, args ...byte) { t.b = append(append(t.b, byte(op)), args...) }
+func (t *tb) imm32(v uint32) []byte      { var w [4]byte; binary.BigEndian.PutUint32(w[:], v); return w[:] }
+func (t *tb) regimm(r byte, v uint32) []byte {
+	return append([]byte{r}, t.imm32(v)...)
+}
+
+func run(t *testing.T, c *CPU, maxSteps int) StepResult {
+	t.Helper()
+	for i := 0; i < maxSteps; i++ {
+		res := c.Step()
+		if res != StepOK {
+			return res
+		}
+	}
+	t.Fatalf("program did not stop in %d steps", maxSteps)
+	return StepFault
+}
+
+func TestArithmeticAndHalt(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 7)...)
+	b.op(MOVI, b.regimm(1, 5)...)
+	b.op(ADD, 0, 1) // r0 = 12
+	b.op(MUL, 0, 1) // r0 = 60
+	b.op(SUBI, b.regimm(0, 10)...)
+	b.op(HALT)
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 100); res != StepHalt {
+		t.Fatalf("res = %v fault=%v", res, c.Fault)
+	}
+	if c.R[0] != 50 {
+		t.Fatalf("r0 = %d, want 50", c.R[0])
+	}
+}
+
+func TestDataSegmentLoadStore(t *testing.T) {
+	var b tb
+	data := make([]byte, 8)
+	base := DataBase(24) // we'll pad text to 24 bytes below
+	b.op(MOVI, b.regimm(0, 0xdeadbeef)...)
+	b.op(ST, b.regimm(0, base+4)...)
+	b.op(LD, b.regimm(1, base+4)...)
+	b.op(HALT)
+	for len(b.b) < 24 {
+		b.b = append(b.b, byte(NOP))
+	}
+	c := New(b.b, data, ISA1)
+	if res := run(t, c, 100); res != StepHalt {
+		t.Fatalf("res = %v fault=%v", res, c.Fault)
+	}
+	if c.R[1] != 0xdeadbeef {
+		t.Fatalf("r1 = %#x", c.R[1])
+	}
+	if got := binary.BigEndian.Uint32(data[4:]); got != 0xdeadbeef {
+		t.Fatalf("data word = %#x", got)
+	}
+}
+
+func TestWriteToTextFaults(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 1)...)
+	b.op(ST, b.regimm(0, 0)...) // store into text
+	b.op(HALT)
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 10); res != StepFault {
+		t.Fatalf("res = %v, want fault", res)
+	}
+	if c.Fault.Kind != FaultMemory {
+		t.Fatalf("fault = %v", c.Fault)
+	}
+}
+
+func TestPushPopCallRet(t *testing.T) {
+	var b tb
+	// call sub; r1=after-call-marker; halt. sub: pop arg? just set r2, ret.
+	b.op(MOVI, b.regimm(0, 42)...) // 0: len 6
+	b.op(CALL, b.imm32(20)...)     // 6: len 5
+	b.op(MOVI, b.regimm(1, 9)...)  // 11: len 6
+	b.op(HALT)                     // 17: len 1
+	b.op(NOP)                      // 18
+	b.op(NOP)                      // 19
+	b.op(PUSH, 0)                  // 20: sub: push r0
+	b.op(POP, 2)                   // 22: pop r2
+	b.op(RET)                      // 24
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 100); res != StepHalt {
+		t.Fatalf("res = %v fault=%v", res, c.Fault)
+	}
+	if c.R[2] != 42 || c.R[1] != 9 {
+		t.Fatalf("r2 = %d, r1 = %d", c.R[2], c.R[1])
+	}
+	if c.SP() != StackTop {
+		t.Fatalf("sp = %#x, want balanced stack", c.SP())
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// Loop: r0 counts 0..9.
+	var b tb
+	b.op(MOVI, b.regimm(0, 0)...)  // 0
+	b.op(ADDI, b.regimm(0, 1)...)  // 6: loop
+	b.op(CMPI, b.regimm(0, 10)...) // 12
+	b.op(JLT, b.imm32(6)...)       // 18
+	b.op(HALT)                     // 23
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 1000); res != StepHalt {
+		t.Fatalf("res = %v fault=%v", res, c.Fault)
+	}
+	if c.R[0] != 10 {
+		t.Fatalf("r0 = %d, want 10", c.R[0])
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 10)...)
+	b.op(MOVI, b.regimm(1, 0)...)
+	b.op(DIV, 0, 1)
+	b.op(HALT)
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 10); res != StepFault || c.Fault.Kind != FaultDivide {
+		t.Fatalf("res = %v fault = %v", res, c.Fault)
+	}
+}
+
+func TestISA2InstructionFaultsOnISA1(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 0x11223344)...)
+	b.op(BSWAP, 0)
+	b.op(HALT)
+
+	c1 := New(b.b, nil, ISA1)
+	if res := run(t, c1, 10); res != StepFault || c1.Fault.Kind != FaultISA {
+		t.Fatalf("ISA1: res = %v fault = %v, want ISA fault", res, c1.Fault)
+	}
+
+	c2 := New(append([]byte(nil), b.b...), nil, ISA2)
+	if res := run(t, c2, 10); res != StepHalt {
+		t.Fatalf("ISA2: res = %v fault=%v", res, c2.Fault)
+	}
+	if c2.R[0] != 0x44332211 {
+		t.Fatalf("bswap = %#x", c2.R[0])
+	}
+}
+
+func TestMinISA(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 1)...)
+	b.op(HALT)
+	if got := MinISA(b.b); got != ISA1 {
+		t.Fatalf("MinISA = %v, want ISA1", got)
+	}
+	b.op(FFS, 0)
+	if got := MinISA(b.b); got != ISA2 {
+		t.Fatalf("MinISA = %v, want ISA2", got)
+	}
+}
+
+func TestSyscallStep(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 123)...)
+	b.op(SYS, byte(SysWrite))
+	b.op(HALT)
+	c := New(b.b, nil, ISA1)
+	res := run(t, c, 10)
+	if res != StepSyscall || c.SyscallNum != SysWrite {
+		t.Fatalf("res = %v num = %d", res, c.SyscallNum)
+	}
+	// Kernel would now set r0/r1; resuming continues after the SYS.
+	c.R[0] = 7
+	if res := run(t, c, 10); res != StepHalt {
+		t.Fatalf("resume: res = %v", res)
+	}
+	if c.R[0] != 7 {
+		t.Fatalf("r0 clobbered: %d", c.R[0])
+	}
+}
+
+func TestStackGrowthAndImage(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 0xaabbccdd)...)
+	b.op(PUSH, 0)
+	b.op(PUSH, 0)
+	b.op(SYS, byte(SysExit)) // stop so we can snapshot
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 10); res != StepSyscall {
+		t.Fatalf("res = %v", res)
+	}
+	img := c.StackImage()
+	if len(img) != 8 {
+		t.Fatalf("stack image %d bytes, want 8", len(img))
+	}
+	if binary.BigEndian.Uint32(img) != 0xaabbccdd {
+		t.Fatalf("stack top word = %#x", binary.BigEndian.Uint32(img))
+	}
+	if c.SP() != StackTop-8 {
+		t.Fatalf("sp = %#x", c.SP())
+	}
+}
+
+func TestStackImageRoundTrip(t *testing.T) {
+	var b tb
+	b.op(MOVI, b.regimm(0, 1)...)
+	b.op(PUSH, 0)
+	b.op(MOVI, b.regimm(0, 2)...)
+	b.op(PUSH, 0)
+	b.op(SYS, byte(SysExit))
+	b.op(POP, 3) // resumed here after restore
+	b.op(POP, 4)
+	b.op(HALT)
+	c := New(b.b, nil, ISA1)
+	if res := run(t, c, 20); res != StepSyscall {
+		t.Fatalf("res = %v", res)
+	}
+	regs := c.Snapshot()
+	img := c.StackImage()
+
+	// Rebuild a fresh CPU from the snapshot, as rest_proc does.
+	c2 := New(append([]byte(nil), b.b...), nil, ISA1)
+	c2.SetStackImage(img)
+	sp := c2.SP()
+	c2.Restore(regs)
+	if c2.SP() != sp {
+		t.Fatalf("restore moved sp: %#x vs %#x", c2.SP(), sp)
+	}
+	if res := run(t, c2, 20); res != StepHalt {
+		t.Fatalf("resumed: res = %v fault=%v", res, c2.Fault)
+	}
+	if c2.R[3] != 2 || c2.R[4] != 1 {
+		t.Fatalf("r3=%d r4=%d, want 2,1", c2.R[3], c2.R[4])
+	}
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	var b tb
+	b.op(PUSH, 0)            // loop: push
+	b.op(JMP, b.imm32(0)...) // forever
+	c := New(b.b, nil, ISA1)
+	res := StepOK
+	for i := 0; i < MaxStack; i++ {
+		res = c.Step()
+		if res != StepOK {
+			break
+		}
+	}
+	if res != StepFault || c.Fault.Kind != FaultStackLimit {
+		t.Fatalf("res = %v fault = %v", res, c.Fault)
+	}
+}
+
+func TestIllegalOpcodeFaults(t *testing.T) {
+	c := New([]byte{0xff}, nil, ISA1)
+	if res := c.Step(); res != StepFault || c.Fault.Kind != FaultIllegal {
+		t.Fatalf("res = %v fault = %v", res, c.Fault)
+	}
+}
+
+func TestPCOffTextFaults(t *testing.T) {
+	var b tb
+	b.op(NOP)
+	c := New(b.b, nil, ISA1) // NOP runs, then PC=1 = off end
+	if res := c.Step(); res != StepOK {
+		t.Fatal("nop failed")
+	}
+	if res := c.Step(); res != StepFault || c.Fault.Kind != FaultMemory {
+		t.Fatalf("res = %v fault = %v", res, c.Fault)
+	}
+}
+
+func TestCStringHelpers(t *testing.T) {
+	text := []byte{byte(NOP), 0, 0, 0} // pad to 4 so data base = 4
+	data := append([]byte("hello"), 0)
+	c := New(text, data, ISA1)
+	s, ok := c.ReadCString(DataBase(len(text)), 64)
+	if !ok || s != "hello" {
+		t.Fatalf("ReadCString = %q, %v", s, ok)
+	}
+	if _, ok := c.ReadCString(DataBase(len(text)), 3); ok {
+		t.Fatal("unterminated string within max should fail")
+	}
+}
+
+// Property: ADD/SUB/MUL match Go uint32 semantics, flags match result.
+func TestArithmeticProperty(t *testing.T) {
+	f := func(x, y uint32) bool {
+		var b tb
+		b.op(MOVI, b.regimm(0, x)...)
+		b.op(MOVI, b.regimm(1, y)...)
+		b.op(MOV, 2, 0)
+		b.op(ADD, 2, 1)
+		b.op(MOV, 3, 0)
+		b.op(SUB, 3, 1)
+		b.op(MOV, 4, 0)
+		b.op(MUL, 4, 1)
+		b.op(HALT)
+		c := New(b.b, nil, ISA1)
+		for {
+			res := c.Step()
+			if res == StepHalt {
+				break
+			}
+			if res != StepOK {
+				return false
+			}
+		}
+		mulOK := c.R[4] == x*y
+		flagsOK := c.Z == (c.R[4] == 0) && c.N == (int32(c.R[4]) < 0)
+		return c.R[2] == x+y && c.R[3] == x-y && mulOK && flagsOK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bytes written with WriteBytes read back identically via
+// ReadBytes anywhere in the data segment.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, off uint8) bool {
+		if len(payload) > 128 {
+			payload = payload[:128]
+		}
+		text := []byte{byte(NOP), 0, 0, 0}
+		data := make([]byte, 512)
+		c := New(text, data, ISA1)
+		addr := DataBase(len(text)) + uint32(off)
+		if !c.WriteBytes(addr, payload) {
+			return false
+		}
+		got, ok := c.ReadBytes(addr, uint32(len(payload)))
+		if !ok {
+			return false
+		}
+		return string(got) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -184,6 +184,28 @@ func BenchmarkAblationLoadBalance(b *testing.B) {
 	reportSeconds(b, "sim_balanced", r.Balanced)
 }
 
+// BenchmarkAblationPrecopy regenerates A6: stop-and-copy vs streaming
+// stop-and-copy vs pre-copy migration, freeze window and total time per
+// image size.
+func BenchmarkAblationPrecopy(b *testing.B) {
+	var pts []*experiments.A6Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.A6Precopy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	labels := map[string]string{"64K/8K": "64k", "256K/16K": "256k", "512K/32K": "512k"}
+	for _, pt := range pts {
+		l := labels[pt.Label]
+		reportSeconds(b, "sim_stop_total_"+l, pt.StopTotal)
+		reportSeconds(b, "sim_stream_freeze_"+l, pt.StreamFreeze)
+		reportSeconds(b, "sim_precopy_freeze_"+l, pt.PreFreeze)
+		b.ReportMetric(float64(pt.StopTotal)/float64(pt.PreFreeze), "ratio_freeze_gain_"+l)
+	}
+}
+
 // --- simulator micro-benchmarks (real wall time) -----------------------------
 
 // BenchmarkVMExecution measures raw interpreter speed (simulated

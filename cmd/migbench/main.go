@@ -6,6 +6,7 @@
 //
 //	migbench            # everything
 //	migbench -fig 2     # one figure
+//	migbench -fig a6    # the pre-copy ablation table
 //	migbench -ablations # only the ablations
 package main
 
@@ -18,25 +19,31 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "run only this figure (1-4)")
+	fig := flag.String("fig", "", "run only this figure (1-4, a6)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	flag.Parse()
 
-	all := *fig == 0 && !*ablations
-	var err error
-	switch {
-	case *fig == 1 || all:
-		err = fig1()
+	switch *fig {
+	case "", "1", "2", "3", "4", "a6":
+	default:
+		fmt.Fprintln(os.Stderr, "migbench: unknown figure", *fig)
+		os.Exit(2)
 	}
-	check(err)
-	if *fig == 2 || all {
+	all := *fig == "" && !*ablations
+	if *fig == "1" || all {
+		check(fig1())
+	}
+	if *fig == "2" || all {
 		check(fig2())
 	}
-	if *fig == 3 || all {
+	if *fig == "3" || all {
 		check(fig3())
 	}
-	if *fig == 4 || all {
+	if *fig == "4" || all {
 		check(fig4())
+	}
+	if *fig == "a6" || all {
+		check(a6())
 	}
 	if *ablations || all {
 		check(runAblations())
@@ -113,14 +120,39 @@ func fig4() error {
 		return err
 	}
 	header("Figure 4 — migrate vs dumpproc+restart run separately (real time, normalized)")
-	fmt.Printf("%-8s %12s %10s %16s %18s\n", "case", "paper", "measured", "migrate (sim)", "separate (sim)")
+	fmt.Printf("%-8s %12s %10s %16s %18s %10s %12s\n",
+		"case", "paper", "measured", "migrate (sim)", "separate (sim)", "net msgs", "net bytes")
 	paper := map[string]string{"L→L": "≈1", "L→R": "mid", "R→L": "mid", "R→R": "up to ≈10"}
 	for _, fc := range cases {
-		fmt.Printf("%-8s %12s %10.2f %16v %18v\n",
-			fc.Name, paper[fc.Name], fc.Ratio(), fc.MigrateReal, fc.SeparateReal)
+		fmt.Printf("%-8s %12s %10.2f %16v %18v %10d %12d\n",
+			fc.Name, paper[fc.Name], fc.Ratio(), fc.MigrateReal, fc.SeparateReal,
+			fc.NetMsgs, fc.NetBytes)
 	}
 	fmt.Println("(L/R are relative to the machine migrate is typed on; the R→R case is the")
-	fmt.Println(" paper's \"almost half a minute\" scenario, dominated by rsh connection setup)")
+	fmt.Println(" paper's \"almost half a minute\" scenario, dominated by rsh connection setup;")
+	fmt.Println(" net columns count every message and payload byte during the migrate run)")
+	return nil
+}
+
+func a6() error {
+	pts, err := experiments.A6Precopy()
+	if err != nil {
+		return err
+	}
+	header("A6 — stop-and-copy vs streaming vs pre-copy (fmigrate -s), per image size")
+	fmt.Printf("%-10s %-9s %12s %12s %12s %12s\n",
+		"image/ws", "mode", "freeze (sim)", "total (sim)", "dest NFS B", "net bytes")
+	for _, pt := range pts {
+		fmt.Printf("%-10s %-9s %12v %12v %12d %12d\n",
+			pt.Label, "stop", pt.StopFreeze, pt.StopTotal, pt.StopDestNFS, pt.StopNetBytes)
+		fmt.Printf("%-10s %-9s %12v %12v %12d %12d\n",
+			"", "stream", pt.StreamFreeze, pt.StreamTotal, pt.StreamDestNFS, pt.StreamNetBytes)
+		fmt.Printf("%-10s %-9s %12v %12v %12d %12d\n",
+			"", "pre-copy", pt.PreFreeze, pt.PreTotal, pt.PreDestNFS, pt.PreNetBytes)
+	}
+	fmt.Println("(freeze: source kernel's dump window — for the streaming modes the final")
+	fmt.Println(" transfer, destination spool, and restart; stop's freeze covers only the")
+	fmt.Println(" dump files, its process stays dead through the NFS restart too)")
 	return nil
 }
 

@@ -74,7 +74,7 @@ func runAndWait(sys *kernel.Sys, path string, args ...string) int {
 
 // CkptMain implements the ckpt command.
 func CkptMain(sys *kernel.Sys, args []string) int {
-	flags := parseFlags(args[1:])
+	flags := core.ParseFlags(args[1:])
 	pid, err1 := strconv.Atoi(flags["p"])
 	interval, err2 := strconv.Atoi(flags["i"])
 	count, err3 := strconv.Atoi(flags["n"])
@@ -149,7 +149,7 @@ func CkptMain(sys *kernel.Sys, args []string) int {
 
 // CkptRestoreMain implements the ckptrestore command.
 func CkptRestoreMain(sys *kernel.Sys, args []string) int {
-	flags := parseFlags(args[1:])
+	flags := core.ParseFlags(args[1:])
 	n, err := strconv.Atoi(flags["n"])
 	dir := flags["d"]
 	if err != nil || dir == "" || n <= 0 {

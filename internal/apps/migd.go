@@ -1,0 +1,227 @@
+package apps
+
+import (
+	"strconv"
+
+	"procmig/internal/core"
+	"procmig/internal/errno"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+	"procmig/internal/vm"
+)
+
+// Streaming migration ports: migd's pre-copy orchestrator and the image
+// stream it opens to the destination's migd. Separate from MigdPort so the
+// classic request format (and the Fig.4 byte counts) stay untouched.
+const (
+	MigdPrecopyPort = 516
+	MigdStreamPort  = 517
+)
+
+// precopyReq asks the migd on the source machine to stream pid's image to
+// Dest: Rounds pre-copy rounds while the process keeps running, then
+// SIGDUMP and the dirty-page delta. Rounds == 0 is a streaming
+// stop-and-copy: freeze first, ship everything once.
+type precopyReq struct {
+	UID, GID int
+	PID      int
+	Dest     string
+	Rounds   int
+}
+
+// startStreamMigd wires the two streaming endpoints into m's migd.
+func startStreamMigd(m *kernel.Machine, host *netsim.Host) error {
+	if err := host.Listen(MigdPrecopyPort, func(t *sim.Task, raw []byte) []byte {
+		return handlePrecopy(t, m, host, raw)
+	}); err != nil {
+		return err
+	}
+	return host.ListenStream(MigdStreamPort, func(_ *sim.Task, _ string, hello []byte) (netsim.StreamSink, error) {
+		asm, err := core.NewImageAssembler(hello)
+		if err != nil {
+			return nil, err
+		}
+		return &migdSink{m: m, asm: asm}, nil
+	})
+}
+
+// handlePrecopy runs on the source machine, in the requesting client's
+// task: open the image stream, pre-copy while the victim keeps running,
+// then arm the streaming dump and deliver SIGDUMP.
+func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte) []byte {
+	var req precopyReq
+	if err := decode(raw, &req); err != nil {
+		return encode(&remoteResp{Status: -1, Err: "bad request"})
+	}
+	fail := func(msg string) []byte {
+		return encode(&remoteResp{Status: -1, Err: msg})
+	}
+	if t != nil {
+		t.Sleep(MigdRequestCost)
+	}
+	p, ok := m.FindProc(req.PID)
+	if !ok || p.State != kernel.ProcRunning || p.VM == nil {
+		return fail(errno.ESRCH.Error())
+	}
+	// Same permission rule Kill applies; checked up front so an
+	// unauthorized request ships no image bytes at all.
+	creds := kernel.Creds{UID: req.UID, GID: req.GID, EUID: req.UID, EGID: req.GID}
+	if !creds.Root() && creds.UID != p.Creds.UID && creds.UID != p.Creds.EUID {
+		return fail(errno.EPERM.Error())
+	}
+
+	hello := &core.StreamHello{
+		PID:     uint32(req.PID),
+		ISA:     vm.MinISA(p.VM.Text),
+		Entry:   p.ExecEntry,
+		TextLen: uint32(len(p.VM.Text)),
+		DataLen: uint32(len(p.VM.Data)),
+		Source:  m.Name,
+	}
+	st, err := host.OpenStream(t, req.Dest, MigdStreamPort, hello.Encode())
+	if err != nil {
+		return fail("stream to " + req.Dest + ": " + err.Error())
+	}
+	sess := &core.StreamSession{Stream: st}
+	// Pre-copy CPU work contends with the victim for the source CPU.
+	charge := func(d sim.Duration) {
+		if t != nil {
+			m.CPU().Use(t, d, nil)
+		}
+	}
+	abort := func(msg string) []byte {
+		p.VM.SetDirtyTracking(false)
+		st.Close(t)
+		return fail(msg)
+	}
+	if req.Rounds > 0 {
+		p.VM.SetDirtyTracking(true)
+		for i := 0; i < req.Rounds; i++ {
+			if err := sess.SendRound(t, p.VM, m.Costs, charge); err != nil {
+				return abort("pre-copy: " + err.Error())
+			}
+		}
+	}
+	core.ArmStreamDump(m, req.PID, sess)
+	if e := m.Kill(creds, req.PID, kernel.SIGDUMP); e != 0 {
+		core.DisarmStreamDump(m, req.PID)
+		return abort("dump: " + e.Error())
+	}
+	// The dump hook sends the final delta and collects the remote restart
+	// status as the process dies.
+	for p.State == kernel.ProcRunning {
+		t.Wait(&p.ExitQ)
+	}
+	if sess.Err != nil {
+		return fail("transfer: " + sess.Err.Error())
+	}
+	return encode(&remoteResp{Status: sess.Status})
+}
+
+// migdSink is the destination side of one streaming migration: reassemble
+// the image, spool the three dump files to the local /usr/tmp, and restart
+// from them — no remote reads for the image.
+type migdSink struct {
+	m   *kernel.Machine
+	asm *core.ImageAssembler
+	err error
+}
+
+func (s *migdSink) Chunk(t *sim.Task, rec []byte) {
+	if s.err != nil {
+		return
+	}
+	// Receive-side processing on the destination CPU.
+	if t != nil {
+		s.m.CPU().Use(t, s.m.Costs.StreamChunkBase+
+			sim.Duration(len(rec))*s.m.Costs.StreamPerByte, nil)
+	}
+	s.err = s.asm.Apply(rec)
+}
+
+func (s *migdSink) Done(t *sim.Task) []byte {
+	if s.err != nil {
+		return core.EncodeStreamStatus(-1)
+	}
+	aoutRaw, filesRaw, stackRaw, err := s.asm.Spool()
+	if err != nil {
+		return core.EncodeStreamStatus(-1)
+	}
+	creds, _, err := core.DecodeStackHeader(stackRaw)
+	if err != nil {
+		return core.EncodeStreamStatus(-1)
+	}
+	pid := int(s.asm.Hello().PID)
+	aoutPath, filesPath, stackPath := core.DumpPaths("", pid)
+	costs := s.m.Costs
+	for _, out := range []struct {
+		path string
+		data []byte
+	}{
+		{filesPath, filesRaw},
+		{stackPath, stackRaw},
+		{aoutPath, aoutRaw},
+	} {
+		if t != nil {
+			t.Sleep(costs.DiskLatency + sim.Duration(len(out.data))*costs.DiskPerByte)
+		}
+		if werr := s.m.NS().WriteFile(out.path, out.data, 0o700, creds.UID, creds.GID); werr != nil {
+			return core.EncodeStreamStatus(-1)
+		}
+	}
+	// restart -p pid with no -h: the image comes off the local spool.
+	pty := tty.NewNetworkPTY(s.m.Engine(), "migd-pty")
+	kcreds := kernel.Creds{UID: creds.UID, GID: creds.GID, EUID: creds.UID, EGID: creds.GID}
+	stdio := s.m.NewTerminalFile(kernel.NewTTYDevice(pty))
+	rp, err := s.m.Spawn(kernel.SpawnSpec{
+		Path:       "/bin/" + core.ProgRestart,
+		Args:       []string{core.ProgRestart, "-p", strconv.Itoa(pid)},
+		Creds:      kcreds,
+		CWD:        "/",
+		TTY:        pty,
+		InheritFDs: []*kernel.File{stdio, stdio, stdio},
+	})
+	if err != nil {
+		return core.EncodeStreamStatus(-1)
+	}
+	status, _ := rp.AwaitExitOrMigrated(t)
+	return core.EncodeStreamStatus(status)
+}
+
+// streamingMigrate is fmigrate's -s path: one request to the source migd,
+// which streams the image straight to the destination migd.
+func streamingMigrate(sys *kernel.Sys, host *netsim.Host, flags map[string]string, pid int, from, to string) int {
+	rounds := 2
+	if r, ok := flags["r"]; ok {
+		v, err := strconv.Atoi(r)
+		if err != nil || v < 0 {
+			sys.Write(2, []byte("fmigrate: bad -r\n"))
+			return 2
+		}
+		rounds = v
+	}
+	req := &precopyReq{
+		UID: sys.Getuid(), GID: sys.Proc().Creds.GID,
+		PID: pid, Dest: to, Rounds: rounds,
+	}
+	raw, err := host.Call(nil, from, MigdPrecopyPort, encode(req))
+	if err != nil {
+		sys.Write(2, []byte("fmigrate: "+from+": "+err.Error()+"\n"))
+		return 1
+	}
+	var resp remoteResp
+	if decode(raw, &resp) != nil {
+		return 1
+	}
+	if resp.Status != 0 {
+		msg := resp.Err
+		if msg == "" {
+			msg = "migration failed"
+		}
+		sys.Write(2, []byte("fmigrate: "+msg+"\n"))
+		return 1
+	}
+	return 0
+}

@@ -7,7 +7,9 @@ package apps
 import (
 	"bytes"
 	"encoding/gob"
+	"strconv"
 
+	"procmig/internal/core"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
 	"procmig/internal/sim"
@@ -130,7 +132,7 @@ func NewRsh(host *netsim.Host) kernel.HostedProg {
 // simply send messages to the daemon, who will start the processes on
 // their behalf" — a well-known port, no per-invocation connection setup.
 func StartMigd(m *kernel.Machine, host *netsim.Host) error {
-	return host.Listen(MigdPort, func(t *sim.Task, raw []byte) []byte {
+	if err := host.Listen(MigdPort, func(t *sim.Task, raw []byte) []byte {
 		var req remoteReq
 		if err := decode(raw, &req); err != nil {
 			return encode(&remoteResp{Status: -1, Err: "bad request"})
@@ -139,17 +141,27 @@ func StartMigd(m *kernel.Machine, host *netsim.Host) error {
 			t.Sleep(MigdRequestCost)
 		}
 		return encode(runRemoteCommand(t, m, &req))
-	})
+	}); err != nil {
+		return err
+	}
+	return startStreamMigd(m, host)
 }
 
 // NewFastMigrate builds the improved migrate that talks to migd instead
-// of shelling out through rsh. Usage: fmigrate -p pid [-f from] [-t to].
+// of shelling out through rsh. Usage:
+//
+//	fmigrate -p pid [-f from] [-t to] [-s [-r rounds]]
+//
+// With -s the image is streamed migd-to-migd (pre-copy; -r sets the number
+// of copy rounds before the freeze, 0 meaning freeze-then-stream) instead
+// of going through the dump files on the source's /usr/tmp.
 func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
 	return func(sys *kernel.Sys, args []string) int {
-		flags := parseFlags(args[1:])
+		flags := core.ParseFlags(args[1:])
 		pidStr := flags["p"]
-		if pidStr == "" {
-			sys.Write(2, []byte("usage: fmigrate -p pid [-f fromhost] [-t tohost]\n"))
+		pid, perr := strconv.Atoi(pidStr)
+		if pidStr == "" || perr != nil {
+			sys.Write(2, []byte("usage: fmigrate -p pid [-f fromhost] [-t tohost] [-s [-r rounds]]\n"))
 			return 2
 		}
 		local := sys.Gethostname()
@@ -159,6 +171,9 @@ func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
 		}
 		if to == "" {
 			to = local
+		}
+		if _, streaming := flags["s"]; streaming {
+			return streamingMigrate(sys, host, flags, pid, from, to)
 		}
 		runOn := func(target, cmd string, cargs ...string) int {
 			if target == local {
@@ -206,16 +221,3 @@ func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
 	}
 }
 
-// parseFlags parses "-x value" options (duplicated from core to keep the
-// packages independent).
-func parseFlags(args []string) map[string]string {
-	out := map[string]string{}
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		if len(a) > 1 && a[0] == '-' && i+1 < len(args) {
-			out[a[1:]] = args[i+1]
-			i++
-		}
-	}
-	return out
-}

@@ -1,0 +1,24 @@
+package core
+
+import "strings"
+
+// ParseFlags parses the migration commands' minimal "-x value" option
+// style, shared by this package's programs and the apps package. A flag
+// followed by another flag (or by nothing) is boolean and maps to "";
+// check presence with the comma-ok idiom.
+func ParseFlags(args []string) map[string]string {
+	out := map[string]string{}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) < 2 || a[0] != '-' {
+			continue
+		}
+		if i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") {
+			out[a[1:]] = args[i+1]
+			i++
+		} else {
+			out[a[1:]] = ""
+		}
+	}
+	return out
+}

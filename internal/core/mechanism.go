@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"procmig/internal/aout"
 	"procmig/internal/errno"
 	"procmig/internal/kernel"
@@ -23,6 +25,11 @@ func Install(m *kernel.Machine) {
 // The a.out file is written last so that a user program polling for it
 // (dumpproc) finds all three files once it appears.
 func Dump(p *kernel.Proc) errno.Errno {
+	if sess := takeStreamSession(p.M, p.PID); sess != nil {
+		// A streaming migration armed this dump: ship the final delta
+		// over the open stream instead of writing the dump files.
+		return streamDumpFinal(p, sess)
+	}
 	m := p.M
 	if p.VM == nil {
 		// Hosted utility programs have no dumpable machine image.
@@ -35,31 +42,7 @@ func Dump(p *kernel.Proc) errno.Errno {
 	}
 	aoutPath, filesPath, stackPath := DumpPaths("", p.PID)
 
-	// files file: host, cwd, open file table, terminal flags.
-	ff := &FilesFile{Host: m.Name, CWD: p.CWD}
-	for i, f := range p.FDs {
-		switch {
-		case f == nil:
-			ff.FDs[i] = FDEntry{Kind: FDUnused}
-		case f.Kind == kernel.FileInode || f.Kind == kernel.FileDevice:
-			ff.FDs[i] = FDEntry{
-				Kind:   FDFile,
-				Path:   f.Name,
-				Flags:  uint32(f.Flags),
-				Offset: uint32(f.Offset),
-			}
-		case f.Kind == kernel.FileSocket && m.Config.SocketMigration &&
-			f.Sock != nil && f.Sock.Port != 0:
-			// Extension: remember the bound port so restart can re-bind
-			// it and have the old machine forward.
-			ff.FDs[i] = FDEntry{Kind: FDSocketBound, Port: uint16(f.Sock.Port)}
-		default: // pipes and (unbound or base-mechanism) sockets
-			ff.FDs[i] = FDEntry{Kind: FDSocket}
-		}
-	}
-	if p.TTY != nil {
-		ff.TTY = p.TTY.Flags()
-	}
+	ff := buildFilesFile(p)
 
 	// stack file: credentials, stack, registers, signal dispositions.
 	sf := &StackFile{
@@ -94,6 +77,38 @@ func Dump(p *kernel.Proc) errno.Errno {
 		}
 	}
 	return 0
+}
+
+// buildFilesFile captures the files-file contents for p: host, cwd, open
+// file table, and terminal flags. Shared by the classic dump and the
+// streaming final round.
+func buildFilesFile(p *kernel.Proc) *FilesFile {
+	m := p.M
+	ff := &FilesFile{Host: m.Name, CWD: p.CWD}
+	for i, f := range p.FDs {
+		switch {
+		case f == nil:
+			ff.FDs[i] = FDEntry{Kind: FDUnused}
+		case f.Kind == kernel.FileInode || f.Kind == kernel.FileDevice:
+			ff.FDs[i] = FDEntry{
+				Kind:   FDFile,
+				Path:   f.Name,
+				Flags:  uint32(f.Flags),
+				Offset: uint32(f.Offset),
+			}
+		case f.Kind == kernel.FileSocket && m.Config.SocketMigration &&
+			f.Sock != nil && f.Sock.Port != 0:
+			// Extension: remember the bound port so restart can re-bind
+			// it and have the old machine forward.
+			ff.FDs[i] = FDEntry{Kind: FDSocketBound, Port: uint16(f.Sock.Port)}
+		default: // pipes and (unbound or base-mechanism) sockets
+			ff.FDs[i] = FDEntry{Kind: FDSocket}
+		}
+	}
+	if p.TTY != nil {
+		ff.TTY = p.TTY.Flags()
+	}
+	return ff
 }
 
 // RestProc implements the rest_proc(aoutPath, stackPath) system call
@@ -160,7 +175,7 @@ func readFilesForHost(p *kernel.Proc, aoutPath, stackPath string) string {
 		return ""
 	}
 	// .../stackXXXXX -> .../filesXXXXX
-	i := lastIndex(stackPath, "/"+StackPrefix)
+	i := strings.LastIndex(stackPath, "/"+StackPrefix)
 	if i < 0 {
 		return ""
 	}
@@ -174,13 +189,4 @@ func readFilesForHost(p *kernel.Proc, aoutPath, stackPath string) string {
 		return ""
 	}
 	return ff.Host
-}
-
-func lastIndex(s, sub string) int {
-	for i := len(s) - len(sub); i >= 0; i-- {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
-	}
-	return -1
 }

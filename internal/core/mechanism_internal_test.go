@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"procmig/internal/aout"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+)
+
+// TestReadFilesForHostFailurePaths exercises the best-effort host recovery
+// in readFilesForHost: every failure must come back as "" (the spoofing
+// extension then simply stays off), never an error or a panic.
+func TestReadFilesForHostFailurePaths(t *testing.T) {
+	eng := sim.NewEngine()
+	m := kernel.NewMachine(eng, "solo", vm.ISA1, kernel.Config{TrackNames: true})
+	ns := m.NS()
+	for _, d := range []string{"/bin", "/usr/tmp"} {
+		if err := ns.MkdirAll(d, 0o777, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ns.WriteFile("/bin/probe", aout.EncodeHosted("probe"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	m.RegisterProgram("probe", func(sys *kernel.Sys, args []string) int {
+		p := sys.Proc()
+		probe := func(stackPath string) {
+			got = append(got, readFilesForHost(p, "", stackPath))
+		}
+		probe("x")                   // shorter than the stack prefix
+		probe("stack00042")          // no "/stack" path component
+		probe("/usr/tmp/stack00042") // files file absent
+		ns.WriteFile("/usr/tmp/files00042", []byte{1, 2, 3}, 0o644, 0, 0)
+		probe("/usr/tmp/stack00042") // files file corrupt
+		ff := &FilesFile{Host: "brick", CWD: "/home"}
+		ns.WriteFile("/usr/tmp/files00042", ff.Encode(), 0o644, 0, 0)
+		probe("/usr/tmp/stack00042") // healthy
+		return 0
+	})
+	p, err := m.Spawn(kernel.SpawnSpec{Path: "/bin/probe", Args: []string{"probe"}, CWD: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitStatus != 0 {
+		t.Fatalf("probe exited %d", p.ExitStatus)
+	}
+	want := []string{"", "", "", "", "brick"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("probe %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -40,19 +40,6 @@ func Programs() map[string]kernel.HostedProg {
 
 // --- small libc -------------------------------------------------------------
 
-// parseFlags parses "-x value" style options.
-func parseFlags(args []string) map[string]string {
-	out := map[string]string{}
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		if strings.HasPrefix(a, "-") && len(a) > 1 && i+1 < len(args) {
-			out[a[1:]] = args[i+1]
-			i++
-		}
-	}
-	return out
-}
-
 // eprint writes a diagnostic to stderr, best-effort.
 func eprint(sys *kernel.Sys, msg string) {
 	sys.Write(2, []byte(msg+"\n"))
@@ -181,7 +168,7 @@ func isTerminal(sys *kernel.Sys, path string) bool {
 // pathnames work from any machine — resolve symlinks, map terminals to
 // /dev/tty, and prepend /n/<machinename> to local names.
 func DumpprocMain(sys *kernel.Sys, args []string) int {
-	flags := parseFlags(args[1:])
+	flags := ParseFlags(args[1:])
 	pid, err := strconv.Atoi(flags["p"])
 	if err != nil || pid <= 0 {
 		eprint(sys, "usage: dumpproc -p pid")
@@ -277,7 +264,7 @@ func DumpprocMain(sys *kernel.Sys, args []string) int {
 // the terminal for unreopenable stdio), restore the terminal modes, and
 // call rest_proc.
 func RestartMain(sys *kernel.Sys, args []string) int {
-	flags := parseFlags(args[1:])
+	flags := ParseFlags(args[1:])
 	pid, err := strconv.Atoi(flags["p"])
 	if err != nil || pid <= 0 {
 		eprint(sys, "usage: restart -p pid [-h host]")
@@ -409,7 +396,7 @@ func RestartMain(sys *kernel.Sys, args []string) int {
 // host and restart on the destination, glued together — via rsh when
 // either end is remote, which is where all of Figure 4's overhead lives.
 func MigrateMain(sys *kernel.Sys, args []string) int {
-	flags := parseFlags(args[1:])
+	flags := ParseFlags(args[1:])
 	pidStr := flags["p"]
 	if _, err := strconv.Atoi(pidStr); err != nil {
 		eprint(sys, "usage: migrate -p pid [-f fromhost] [-t tohost]")

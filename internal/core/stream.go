@@ -1,0 +1,444 @@
+package core
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync"
+
+	"procmig/internal/aout"
+	"procmig/internal/errno"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+)
+
+// This file implements the streaming (pre-copy) migration image format and
+// the source-side transfer engine. Instead of writing the three §4.3 dump
+// files to /usr/tmp and having the destination read them back over NFS, a
+// streaming migration ships the image directly migd-to-migd over a byte
+// stream: text and a full set of data/stack pages while the process keeps
+// running, then — after SIGDUMP freezes it — only the pages it dirtied
+// since, plus the files/stack metadata. The destination reassembles the
+// same three files locally, so restart needs no NFS reads for the image.
+
+// StreamMagic continues the paper's octal numbering: 444 stack, 445 files,
+// 446 stream hello.
+const StreamMagic = 0o446
+
+// Stream record types. Every Send on the stream carries exactly one record.
+const (
+	RecText byte = 1 // u32 offset, u32 n, n text bytes
+	RecPage byte = 2 // u32 page number, u32 n (= vm.PageSize), n bytes
+	RecMeta byte = 3 // u32 stackLen, u32 filesLen, files, u32 sfLen, stack file (sans stack)
+)
+
+// TextChunk is how much text one RecText record carries.
+const TextChunk = 4096
+
+// StreamHello opens a streaming migration: enough of the image geometry
+// for the destination to pre-size its buffers.
+type StreamHello struct {
+	PID     uint32 // source pid (names the spooled dump files)
+	ISA     vm.Level
+	Entry   uint32
+	TextLen uint32
+	DataLen uint32
+	Source  string // source host name, for the files file
+}
+
+// Encode serializes a hello.
+func (h *StreamHello) Encode() []byte {
+	b := make([]byte, 0, 32+len(h.Source))
+	b = binary.BigEndian.AppendUint16(b, StreamMagic)
+	b = binary.BigEndian.AppendUint32(b, h.PID)
+	b = append(b, byte(h.ISA))
+	b = binary.BigEndian.AppendUint32(b, h.Entry)
+	b = binary.BigEndian.AppendUint32(b, h.TextLen)
+	b = binary.BigEndian.AppendUint32(b, h.DataLen)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(h.Source)))
+	b = append(b, h.Source...)
+	return b
+}
+
+// DecodeStreamHello parses a hello, verifying its magic number.
+func DecodeStreamHello(raw []byte) (*StreamHello, error) {
+	r := &reader{buf: raw}
+	if r.u16() != StreamMagic {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, ErrBadMagic
+	}
+	h := &StreamHello{}
+	h.PID = r.u32()
+	if b := r.take(1); b != nil {
+		h.ISA = vm.Level(b[0])
+	}
+	h.Entry = r.u32()
+	h.TextLen = r.u32()
+	h.DataLen = r.u32()
+	h.Source = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return h, nil
+}
+
+// EncodeStreamStatus is the 4-byte close response: the restart status on
+// the destination (0 on success).
+func EncodeStreamStatus(status int) []byte {
+	return binary.BigEndian.AppendUint32(nil, uint32(int32(status)))
+}
+
+// DecodeStreamStatus parses a close response; anything malformed is a
+// generic failure.
+func DecodeStreamStatus(raw []byte) int {
+	if len(raw) != 4 {
+		return -1
+	}
+	return int(int32(binary.BigEndian.Uint32(raw)))
+}
+
+func encodeTextRec(off uint32, data []byte) []byte {
+	b := make([]byte, 0, 9+len(data))
+	b = append(b, RecText)
+	b = binary.BigEndian.AppendUint32(b, off)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+func encodePageRec(pg uint32, data []byte) []byte {
+	b := make([]byte, 0, 9+len(data))
+	b = append(b, RecPage)
+	b = binary.BigEndian.AppendUint32(b, pg)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+func encodeMetaRec(stackLen int, filesRaw, sfRaw []byte) []byte {
+	b := make([]byte, 0, 13+len(filesRaw)+len(sfRaw))
+	b = append(b, RecMeta)
+	b = binary.BigEndian.AppendUint32(b, uint32(stackLen))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(filesRaw)))
+	b = append(b, filesRaw...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(sfRaw)))
+	return append(b, sfRaw...)
+}
+
+// --- source side ------------------------------------------------------------
+
+// StreamSession is the source-side state of one streaming migration: the
+// open stream plus what has been shipped so far. The orchestrator (migd)
+// drives pre-copy rounds with SendRound, then arms the session and posts
+// SIGDUMP; the dump hook sends the final delta and metadata with the
+// process frozen.
+type StreamSession struct {
+	Stream *netsim.Stream
+
+	textSent bool
+	fullSent bool
+
+	WireBytes int64 // payload bytes handed to the stream
+	Rounds    int   // SendRound calls so far (including the final one)
+	Status    int   // destination restart status, set after the final round
+	Err       error // transfer failure, set instead of Status
+}
+
+// SendRound ships one copy round: the text (first round only), then either
+// the full set of image pages (until a full set has been sent once) or the
+// pages dirtied since the previous round. Page contents are read at send
+// time, and the dirty set is cleared at the start of the round, so a page
+// re-dirtied mid-round is conservatively resent next round — the standard
+// pre-copy invariant. charge receives the CPU cost of each scan and copy
+// (the caller decides which clock it bills: the daemon's task during
+// pre-copy, the dying process's system time during the final round).
+func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, charge func(sim.Duration)) error {
+	send := func(rec []byte) error {
+		charge(costs.StreamChunkBase + sim.Duration(len(rec))*costs.StreamPerByte)
+		if err := s.Stream.Send(t, rec); err != nil {
+			return err
+		}
+		s.WireBytes += int64(len(rec))
+		return nil
+	}
+	if !s.textSent {
+		for off := 0; off < len(cpu.Text); off += TextChunk {
+			end := off + TextChunk
+			if end > len(cpu.Text) {
+				end = len(cpu.Text)
+			}
+			if err := send(encodeTextRec(uint32(off), cpu.Text[off:end])); err != nil {
+				return err
+			}
+		}
+		s.textSent = true
+	}
+	var pages []uint32
+	if !s.fullSent {
+		pages = cpu.ImagePages()
+		s.fullSent = true
+	} else {
+		pages = cpu.DirtyPages()
+	}
+	if cpu.DirtyTracking() {
+		cpu.ClearDirty()
+		charge(sim.Duration(len(pages)) * costs.DirtyScanPerPage)
+	}
+	for _, pg := range pages {
+		if err := send(encodePageRec(pg, cpu.PageData(pg))); err != nil {
+			return err
+		}
+	}
+	s.Rounds++
+	return nil
+}
+
+// Armed streaming sessions, keyed by machine and pid: when the SIGDUMP
+// dump action finds one, it streams the final delta instead of writing the
+// dump files. Global (not per-machine) so the kernel package needs no
+// knowledge of streaming; the mutex covers concurrent test engines.
+var (
+	streamMu sync.Mutex
+	armed    = map[*kernel.Machine]map[int]*StreamSession{}
+)
+
+// ArmStreamDump registers sess so that the next SIGDUMP dump of pid on m
+// completes the streaming migration.
+func ArmStreamDump(m *kernel.Machine, pid int, sess *StreamSession) {
+	streamMu.Lock()
+	defer streamMu.Unlock()
+	if armed[m] == nil {
+		armed[m] = map[int]*StreamSession{}
+	}
+	armed[m][pid] = sess
+}
+
+// DisarmStreamDump removes a previously armed session (e.g. after a
+// pre-copy failure, so a later plain dumpproc behaves normally).
+func DisarmStreamDump(m *kernel.Machine, pid int) {
+	streamMu.Lock()
+	defer streamMu.Unlock()
+	delete(armed[m], pid)
+}
+
+func takeStreamSession(m *kernel.Machine, pid int) *StreamSession {
+	streamMu.Lock()
+	defer streamMu.Unlock()
+	sess := armed[m][pid]
+	if sess != nil {
+		delete(armed[m], pid)
+	}
+	return sess
+}
+
+// streamDumpFinal is the streaming counterpart of Dump: with the process
+// frozen in the signal path, ship the last dirty-page delta and the
+// files/stack metadata, then close the stream and collect the remote
+// restart status. Runs in the dying process's context, so its CPU time is
+// the migration's freeze cost.
+func streamDumpFinal(p *kernel.Proc, sess *StreamSession) errno.Errno {
+	m := p.M
+	fail := func(e errno.Errno) errno.Errno {
+		sess.Err = e
+		sess.Status = -1
+		return e
+	}
+	if p.VM == nil {
+		return fail(errno.ENOEXEC)
+	}
+	if !m.Config.TrackNames {
+		return fail(errno.EINVAL)
+	}
+	t := p.Task()
+
+	// Final copy round: only pages dirtied since the last pre-copy round
+	// (or the whole image, for a streaming stop-and-copy with no rounds).
+	if err := sess.SendRound(t, p.VM, m.Costs, p.ChargeSys); err != nil {
+		sess.Err = err
+		sess.Status = -1
+		return errno.EIO
+	}
+
+	// files file, with the path fixups dumpproc applies at user level
+	// (§4.4) done lexically in the kernel: terminal-backed files become
+	// /dev/tty, everything else is reached back through /n/<source>.
+	// Unlike dumpproc we cannot chase symlinks here; lexical names are
+	// what §5.1 tracking recorded anyway.
+	ff := buildFilesFile(p)
+	for i, f := range p.FDs {
+		if f != nil && f.Kind == kernel.FileDevice && kernel.IsTerminalDevice(f.Dev) {
+			ff.FDs[i] = FDEntry{Kind: FDFile, Path: "/dev/tty", Flags: ff.FDs[i].Flags}
+		}
+	}
+	prefix := "/n/" + m.Name
+	remote := func(path string) string {
+		if path == "" || strings.HasPrefix(path, "/n/") {
+			return path
+		}
+		return prefix + path
+	}
+	ff.CWD = remote(ff.CWD)
+	for i := range ff.FDs {
+		if ff.FDs[i].Kind == FDFile && ff.FDs[i].Path != "/dev/tty" {
+			ff.FDs[i].Path = remote(ff.FDs[i].Path)
+		}
+	}
+
+	// stack file metadata: registers post-rewind, credentials, signal
+	// dispositions. The stack bytes themselves traveled as pages; only
+	// the length goes here.
+	sf := &StackFile{
+		Creds:      p.Creds,
+		Regs:       p.VM.Snapshot(),
+		SigActions: p.SigActions,
+		OldPID:     uint32(p.PID),
+	}
+	stackLen := len(p.VM.StackImage())
+
+	meta := encodeMetaRec(stackLen, ff.Encode(), sf.Encode())
+	p.ChargeSys(m.Costs.StreamChunkBase + sim.Duration(len(meta))*m.Costs.StreamPerByte)
+	if err := sess.Stream.Send(t, meta); err != nil {
+		sess.Err = err
+		sess.Status = -1
+		return errno.EIO
+	}
+	sess.WireBytes += int64(len(meta))
+
+	resp, err := sess.Stream.Close(t)
+	if err != nil {
+		sess.Err = err
+		sess.Status = -1
+		return errno.EIO
+	}
+	sess.Status = DecodeStreamStatus(resp)
+	if sess.Status != 0 {
+		return errno.EIO
+	}
+	return 0
+}
+
+// --- destination side -------------------------------------------------------
+
+// ImageAssembler rebuilds the three §4.3 dump files from stream records on
+// the destination. Later records overwrite earlier ones, so re-sent pages
+// simply land on top of their stale copies.
+type ImageAssembler struct {
+	hello    StreamHello
+	text     []byte
+	textGot  int
+	pages    map[uint32][]byte
+	stackLen int
+	filesRaw []byte
+	sfRaw    []byte
+	metaSeen bool
+}
+
+// NewImageAssembler starts reassembly for one streaming migration.
+func NewImageAssembler(helloRaw []byte) (*ImageAssembler, error) {
+	h, err := DecodeStreamHello(helloRaw)
+	if err != nil {
+		return nil, err
+	}
+	return &ImageAssembler{
+		hello: *h,
+		text:  make([]byte, h.TextLen),
+		pages: map[uint32][]byte{},
+	}, nil
+}
+
+// Hello returns the geometry the stream was opened with.
+func (a *ImageAssembler) Hello() StreamHello { return a.hello }
+
+// Apply consumes one stream record.
+func (a *ImageAssembler) Apply(rec []byte) error {
+	if len(rec) < 1 {
+		return ErrTruncated
+	}
+	r := &reader{buf: rec[1:]}
+	switch rec[0] {
+	case RecText:
+		off := r.u32()
+		n := int(r.u32())
+		data := r.take(n)
+		if r.err != nil {
+			return r.err
+		}
+		if int(off)+n > len(a.text) {
+			return ErrTruncated
+		}
+		copy(a.text[off:], data)
+		a.textGot += n
+	case RecPage:
+		pg := r.u32()
+		n := int(r.u32())
+		data := r.take(n)
+		if r.err != nil {
+			return r.err
+		}
+		if n != vm.PageSize {
+			return ErrTruncated
+		}
+		a.pages[pg] = append([]byte(nil), data...)
+	case RecMeta:
+		a.stackLen = int(r.u32())
+		a.filesRaw = append([]byte(nil), r.take(int(r.u32()))...)
+		a.sfRaw = append([]byte(nil), r.take(int(r.u32()))...)
+		if r.err != nil {
+			return r.err
+		}
+		a.metaSeen = true
+	default:
+		return ErrBadMagic
+	}
+	return nil
+}
+
+// overlay copies the intersection of page (at pageBase) into dst (at
+// dstBase in the same address space).
+func overlay(dst []byte, dstBase uint32, page []byte, pageBase uint32) {
+	lo, hi := dstBase, dstBase+uint32(len(dst))
+	plo, phi := pageBase, pageBase+uint32(len(page))
+	if plo > lo {
+		lo = plo
+	}
+	if phi < hi {
+		hi = phi
+	}
+	if lo >= hi {
+		return
+	}
+	copy(dst[lo-dstBase:hi-dstBase], page[lo-pageBase:hi-pageBase])
+}
+
+// Spool produces the three dump files — a.out, files, stack — exactly as a
+// local SIGDUMP would have written them, ready to be spooled to /usr/tmp
+// and restarted with no remote image reads.
+func (a *ImageAssembler) Spool() (aoutRaw, filesRaw, stackRaw []byte, err error) {
+	if !a.metaSeen {
+		return nil, nil, nil, ErrTruncated
+	}
+	if a.textGot < len(a.text) {
+		return nil, nil, nil, ErrTruncated
+	}
+	sf, err := DecodeStack(a.sfRaw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Pages are absolute-addressed; carve the data segment and the stack
+	// back out of them. Pages never sent are unmaterialized, i.e. zero.
+	dataBase := vm.DataBase(int(a.hello.TextLen))
+	data := make([]byte, a.hello.DataLen)
+	stack := make([]byte, a.stackLen)
+	stackBase := uint32(vm.StackTop - a.stackLen)
+	for pg, contents := range a.pages {
+		base := pg << vm.PageShift
+		overlay(data, dataBase, contents, base)
+		overlay(stack, stackBase, contents, base)
+	}
+	sf.Stack = stack
+
+	exe := &aout.Exec{ISA: a.hello.ISA, Entry: a.hello.Entry, Text: a.text, Data: data}
+	return exe.Encode(), a.filesRaw, sf.Encode(), nil
+}

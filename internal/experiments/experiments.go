@@ -20,6 +20,7 @@ import (
 
 	"procmig/internal/cluster"
 	"procmig/internal/kernel"
+	"procmig/internal/netsim"
 	"procmig/internal/sim"
 	"procmig/internal/vm"
 )
@@ -286,6 +287,8 @@ type Fig4Case struct {
 	MigrateReal   sim.Duration // real time of the migrate command
 	SeparateReal  sim.Duration // dumpproc + restart run on the right machines
 	MigrateStatus int
+	NetMsgs       int64 // network messages during the migrate run
+	NetBytes      int64 // network payload bytes during the migrate run
 }
 
 // Ratio is migrate versus the separate commands (paper: up to ≈10×,
@@ -311,14 +314,22 @@ func Fig4() ([]*Fig4Case, error) {
 		}
 		fc.SeparateReal = base
 
-		mig, status, err := measureMigrate(fc.InvokedOn, fc.From, fc.To)
+		mig, status, traffic, err := measureMigrate(fc.InvokedOn, fc.From, fc.To)
 		if err != nil {
 			return nil, err
 		}
 		fc.MigrateReal = mig
 		fc.MigrateStatus = status
+		fc.NetMsgs, fc.NetBytes = traffic.Msgs, traffic.Bytes
 	}
 	return cases, nil
+}
+
+// netTraffic is a window over the network's global counters.
+type netTraffic struct{ Msgs, Bytes int64 }
+
+func trafficSince(n *netsim.Network, start netTraffic) netTraffic {
+	return netTraffic{Msgs: n.Messages - start.Msgs, Bytes: n.Bytes - start.Bytes}
 }
 
 func measureSeparate(from, to string) (sim.Duration, error) {
@@ -362,24 +373,29 @@ func measureSeparate(from, to string) (sim.Duration, error) {
 // returns its simulated duration and exit status (a convenience for the
 // end-to-end wall-clock benchmark).
 func MeasureOneMigration() (sim.Duration, int, error) {
-	return measureMigrate("alpha", "beta", "gamma")
+	d, status, _, err := measureMigrate("alpha", "beta", "gamma")
+	return d, status, err
 }
 
-func measureMigrate(on, from, to string) (sim.Duration, int, error) {
+func measureMigrate(on, from, to string) (sim.Duration, int, netTraffic, error) {
 	c, err := boot(kernel.Config{TrackNames: true}, "alpha", "beta", "gamma")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, netTraffic{}, err
 	}
 	var elapsed sim.Duration
 	var status int
+	var traffic netTraffic
+	net := c.NetHost(on).Network()
 	c.Eng.Go("driver", func(tk *sim.Task) {
 		v, _ := c.Spawn(from, nil, user, "/bin/counter")
 		tk.Sleep(2 * sim.Second)
 		t0 := tk.Now()
+		start := netTraffic{Msgs: net.Messages, Bytes: net.Bytes}
 		mig, _ := c.Spawn(on, nil, user, "/bin/migrate",
 			"-p", fmt.Sprint(v.PID), "-f", from, "-t", to)
 		status = mig.AwaitExit(tk)
 		elapsed = sim.Duration(tk.Now() - t0)
+		traffic = trafficSince(net, start)
 		// Kill the migrated process so the engine can quiesce.
 		for _, name := range c.Names() {
 			for _, p := range c.Machine(name).Procs() {
@@ -388,7 +404,7 @@ func measureMigrate(on, from, to string) (sim.Duration, int, error) {
 		}
 	})
 	if err := c.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, netTraffic{}, err
 	}
-	return elapsed, status, nil
+	return elapsed, status, traffic, nil
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestA6PrecopyProperties checks the properties the streaming path is sold
+// on, at every swept size: the pre-copy freeze beats even the total of the
+// stop-and-copy baseline, shipping only the dirty delta beats shipping
+// everything inside the freeze, and the destination stops pulling the
+// image over NFS.
+func TestA6PrecopyProperties(t *testing.T) {
+	pts, err := A6Precopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.PreFreeze >= pt.StopTotal {
+			t.Errorf("%s: pre-copy freeze %v not below stop-and-copy total %v",
+				pt.Label, pt.PreFreeze, pt.StopTotal)
+		}
+		if pt.PreFreeze >= pt.StreamFreeze {
+			t.Errorf("%s: pre-copy freeze %v not below streaming stop-and-copy freeze %v",
+				pt.Label, pt.PreFreeze, pt.StreamFreeze)
+		}
+		if pt.PreDestNFS >= pt.StopDestNFS {
+			t.Errorf("%s: pre-copy destination NFS bytes %d not below stop-and-copy's %d",
+				pt.Label, pt.PreDestNFS, pt.StopDestNFS)
+		}
+		if pt.StreamDestNFS >= pt.StopDestNFS {
+			t.Errorf("%s: streaming destination NFS bytes %d not below stop-and-copy's %d",
+				pt.Label, pt.StreamDestNFS, pt.StopDestNFS)
+		}
+		// More rounds can resend the working set, but pre-copy must still
+		// move less than rounds+1 full images.
+		if pt.PreNetBytes >= 3*pt.StopNetBytes {
+			t.Errorf("%s: pre-copy network bytes %d unreasonably high (stop: %d)",
+				pt.Label, pt.PreNetBytes, pt.StopNetBytes)
+		}
+	}
+}

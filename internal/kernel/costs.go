@@ -49,6 +49,13 @@ type Costs struct {
 
 	// Terminal.
 	TTYPerByte sim.Duration
+
+	// Streaming migration (the migd-to-migd pre-copy path). A chunk pays
+	// a fixed protocol cost plus a per-byte copy out of the image; each
+	// pre-copy round also pays a scan over the pages it considers.
+	StreamChunkBase  sim.Duration // per record: header, copyout, send setup
+	StreamPerByte    sim.Duration // formatting/copying streamed bytes (CPU)
+	DirtyScanPerPage sim.Duration // walking the dirty set each round
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -86,6 +93,10 @@ func DefaultCosts() Costs {
 		DumpDisk:      360 * sim.Millisecond,
 
 		TTYPerByte: 30 * sim.Microsecond,
+
+		StreamChunkBase:  250 * sim.Microsecond,
+		StreamPerByte:    1 * sim.Microsecond,
+		DirtyScanPerPage: 20 * sim.Microsecond,
 	}
 }
 

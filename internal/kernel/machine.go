@@ -294,6 +294,14 @@ func (d ttyDevice) Terminal() *tty.Terminal { return d.t }
 
 type terminalHolder interface{ Terminal() *tty.Terminal }
 
+// IsTerminalDevice reports whether d drives a terminal. Kernel-side dump
+// code uses it to map terminal-backed files to /dev/tty the way the
+// user-level dumpproc command does with isatty.
+func IsTerminalDevice(d Device) bool {
+	th, ok := d.(terminalHolder)
+	return ok && th.Terminal() != nil
+}
+
 // nullDevice is /dev/null.
 type nullDevice struct{}
 

@@ -29,6 +29,13 @@ type Network struct {
 	Bytes    int64
 }
 
+// HostStats counts one host's traffic (messages and payload bytes in each
+// direction) since boot.
+type HostStats struct {
+	MsgsOut, MsgsIn   int64
+	BytesOut, BytesIn int64
+}
+
 // New creates a network. A 10 Mbit Ethernet moves ~1 byte/µs after
 // protocol overhead; latency covers media access and protocol processing.
 func New(eng *sim.Engine, latency, byteTime sim.Duration) *Network {
@@ -43,15 +50,38 @@ type Host struct {
 	name     string
 	net      *Network
 	services map[int]Handler
+	streams  map[int]StreamServer
 	down     bool
+
+	stats HostStats
+	// clientBytes attributes payload bytes (both directions) to the
+	// server port this host talked to as a client — e.g. "how much NFS
+	// traffic did this host generate".
+	clientBytes map[int]int64
 }
 
 // AddHost attaches a new host.
 func (n *Network) AddHost(name string) *Host {
-	h := &Host{name: name, net: n, services: map[int]Handler{}}
+	h := &Host{
+		name: name, net: n,
+		services:    map[int]Handler{},
+		streams:     map[int]StreamServer{},
+		clientBytes: map[int]int64{},
+	}
 	n.hosts[name] = h
 	return h
 }
+
+// Stats returns the host's traffic counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// Network returns the network the host is attached to (for reading the
+// global traffic counters).
+func (h *Host) Network() *Network { return h.net }
+
+// ClientBytes reports the payload bytes this host has exchanged as a
+// client of the given server port (requests and responses, any server).
+func (h *Host) ClientBytes(port int) int64 { return h.clientBytes[port] }
 
 // Host finds an attached host by name.
 func (n *Network) Host(name string) (*Host, bool) {
@@ -78,11 +108,17 @@ func (h *Host) SetDown(down bool) { h.down = down }
 // Down reports whether the host is marked crashed.
 func (h *Host) Down() bool { return h.down }
 
-// transfer charges the wire cost of moving n bytes. Outside any actor
-// (setup code) it is free.
-func (n *Network) transfer(t *sim.Task, nbytes int) {
+// transfer charges the wire cost of moving n bytes from one host to
+// another on behalf of a client of the given server port. Outside any
+// actor (setup code) it is free but still counted.
+func (n *Network) transfer(t *sim.Task, from, to *Host, client *Host, port int, nbytes int) {
 	n.Messages++
 	n.Bytes += int64(nbytes)
+	from.stats.MsgsOut++
+	from.stats.BytesOut += int64(nbytes)
+	to.stats.MsgsIn++
+	to.stats.BytesIn += int64(nbytes)
+	client.clientBytes[port] += int64(nbytes)
 	if t != nil {
 		t.Sleep(n.Latency + sim.Duration(nbytes)*n.ByteTime)
 	}
@@ -106,8 +142,109 @@ func (h *Host) Call(t *sim.Task, to string, port int, req []byte) ([]byte, error
 	if !ok {
 		return nil, errno.ECONNREFUSED
 	}
-	h.net.transfer(t, len(req))
+	h.net.transfer(t, h, dst, h, port, len(req))
 	resp := fn(t, req)
-	h.net.transfer(t, len(resp))
+	h.net.transfer(t, dst, h, h, port, len(resp))
+	return resp, nil
+}
+
+// --- byte streams -----------------------------------------------------------
+
+// StreamSink consumes one inbound stream on the server side. Both methods
+// run in the sending task's context (like Handler); Done returns the
+// final response shipped back on Close.
+type StreamSink interface {
+	Chunk(t *sim.Task, data []byte)
+	Done(t *sim.Task) []byte
+}
+
+// StreamServer accepts a stream opened to a listening port, returning the
+// sink that will consume it. A non-nil error refuses the stream.
+type StreamServer func(t *sim.Task, from string, hello []byte) (StreamSink, error)
+
+// ListenStream registers a stream acceptor on a port (stream ports are a
+// separate namespace from Call ports).
+func (h *Host) ListenStream(port int, fn StreamServer) error {
+	if _, busy := h.streams[port]; busy {
+		return errno.EEXIST
+	}
+	h.streams[port] = fn
+	return nil
+}
+
+// Stream is an open byte stream from one host to another. Chunks pipeline:
+// each Send charges one message (latency + bytes) and hands the chunk to
+// the server's sink immediately, instead of one giant request at the end.
+type Stream struct {
+	net      *Network
+	from, to *Host
+	port     int
+	sink     StreamSink
+	closed   bool
+}
+
+// streamAckBytes models the handshake/close acknowledgement sizes.
+const streamAckBytes = 8
+
+// OpenStream opens a stream to the named host's stream port, performing a
+// charged hello/accept handshake. If t is nil the ambient engine task is
+// used (free outside actors, like Call).
+func (h *Host) OpenStream(t *sim.Task, to string, port int, hello []byte) (*Stream, error) {
+	if t == nil {
+		t = h.net.eng.Current()
+	}
+	if h.down {
+		return nil, errno.EHOSTDOWN
+	}
+	dst, ok := h.net.hosts[to]
+	if !ok || dst.down {
+		return nil, errno.EHOSTDOWN
+	}
+	fn, ok := dst.streams[port]
+	if !ok {
+		return nil, errno.ECONNREFUSED
+	}
+	h.net.transfer(t, h, dst, h, port, len(hello))
+	sink, err := fn(t, h.name, hello)
+	h.net.transfer(t, dst, h, h, port, streamAckBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{net: h.net, from: h, to: dst, port: port, sink: sink}, nil
+}
+
+// Send ships one chunk down the stream, charging its wire cost and
+// delivering it to the server's sink in the calling task's context.
+func (s *Stream) Send(t *sim.Task, chunk []byte) error {
+	if t == nil {
+		t = s.net.eng.Current()
+	}
+	if s.closed {
+		return errno.EPIPE
+	}
+	if s.from.down || s.to.down {
+		return errno.EHOSTDOWN
+	}
+	s.net.transfer(t, s.from, s.to, s.from, s.port, len(chunk))
+	s.sink.Chunk(t, chunk)
+	return nil
+}
+
+// Close ends the stream: the sink's Done runs (in the calling task's
+// context) and its response is shipped back, charged like any message.
+func (s *Stream) Close(t *sim.Task) ([]byte, error) {
+	if t == nil {
+		t = s.net.eng.Current()
+	}
+	if s.closed {
+		return nil, errno.EPIPE
+	}
+	s.closed = true
+	if s.from.down || s.to.down {
+		return nil, errno.EHOSTDOWN
+	}
+	s.net.transfer(t, s.from, s.to, s.from, s.port, streamAckBytes)
+	resp := s.sink.Done(t)
+	s.net.transfer(t, s.to, s.from, s.from, s.port, len(resp))
 	return resp, nil
 }

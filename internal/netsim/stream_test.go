@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+// collectSink gathers chunks and answers "ok" on close.
+type collectSink struct {
+	got   []byte
+	done  bool
+	hello []byte
+}
+
+func (s *collectSink) Chunk(_ *sim.Task, data []byte) { s.got = append(s.got, data...) }
+func (s *collectSink) Done(_ *sim.Task) []byte        { s.done = true; return []byte("ok") }
+
+func TestStreamRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, sim.Millisecond, sim.Microsecond)
+	a := net.AddHost("src")
+	b := net.AddHost("dst")
+	sink := &collectSink{}
+	if err := b.ListenStream(9, func(_ *sim.Task, from string, hello []byte) (StreamSink, error) {
+		if from != "src" {
+			t.Errorf("from = %q", from)
+		}
+		sink.hello = hello
+		return sink, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp []byte
+	var elapsed sim.Time
+	eng.Go("sender", func(tk *sim.Task) {
+		st, err := a.OpenStream(tk, "dst", 9, []byte("hi"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st.Send(tk, []byte("abc"))
+		st.Send(tk, []byte("defg"))
+		resp, err = st.Close(tk)
+		if err != nil {
+			t.Error(err)
+		}
+		elapsed = tk.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(sink.hello) != "hi" || !sink.done {
+		t.Fatalf("hello = %q done = %v", sink.hello, sink.done)
+	}
+	if !bytes.Equal(sink.got, []byte("abcdefg")) {
+		t.Fatalf("sink got %q", sink.got)
+	}
+	if string(resp) != "ok" {
+		t.Fatalf("close resp = %q", resp)
+	}
+	// 6 messages (hello, ack, 2 chunks, close, resp): 6 × 1ms latency
+	// + (2+8+3+4+8+2) bytes × 1µs.
+	want := sim.Time(6*sim.Millisecond + 27*sim.Microsecond)
+	if elapsed != want {
+		t.Fatalf("elapsed = %d, want %d", elapsed, want)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	if _, err := a.OpenStream(nil, "b", 9, nil); errno.Of(err) != errno.ECONNREFUSED {
+		t.Fatalf("no listener: err = %v", err)
+	}
+	b.ListenStream(9, func(_ *sim.Task, _ string, _ []byte) (StreamSink, error) {
+		return nil, errno.EACCES
+	})
+	if _, err := a.OpenStream(nil, "b", 9, nil); errno.Of(err) != errno.EACCES {
+		t.Fatalf("refused accept: err = %v", err)
+	}
+	if _, err := a.OpenStream(nil, "ghost", 9, nil); errno.Of(err) != errno.EHOSTDOWN {
+		t.Fatalf("no host: err = %v", err)
+	}
+	if err := b.ListenStream(9, func(_ *sim.Task, _ string, _ []byte) (StreamSink, error) {
+		return nil, nil
+	}); errno.Of(err) != errno.EEXIST {
+		t.Fatalf("duplicate stream port: err = %v", err)
+	}
+}
+
+func TestStreamUseAfterClose(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	b.ListenStream(9, func(_ *sim.Task, _ string, _ []byte) (StreamSink, error) {
+		return &collectSink{}, nil
+	})
+	st, err := a.OpenStream(nil, "b", 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(nil, []byte("x")); errno.Of(err) != errno.EPIPE {
+		t.Fatalf("send after close: err = %v", err)
+	}
+	if _, err := st.Close(nil); errno.Of(err) != errno.EPIPE {
+		t.Fatalf("double close: err = %v", err)
+	}
+}
+
+func TestPerHostCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, 0, 0)
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	b.Listen(7, func(_ *sim.Task, req []byte) []byte { return make([]byte, 10) })
+	if _, err := a.Call(nil, "b", 7, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.MsgsOut != 1 || as.BytesOut != 4 || as.MsgsIn != 1 || as.BytesIn != 10 {
+		t.Fatalf("a stats = %+v", as)
+	}
+	if bs.MsgsOut != 1 || bs.BytesOut != 10 || bs.MsgsIn != 1 || bs.BytesIn != 4 {
+		t.Fatalf("b stats = %+v", bs)
+	}
+	// Both directions attribute to the client a under server port 7.
+	if got := a.ClientBytes(7); got != 14 {
+		t.Fatalf("a.ClientBytes(7) = %d, want 14", got)
+	}
+	if got := b.ClientBytes(7); got != 0 {
+		t.Fatalf("b.ClientBytes(7) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,136 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// newTestCPU builds a CPU with a text segment of textLen NOPs and a data
+// segment of dataLen zero bytes.
+func newTestCPU(textLen, dataLen int) *CPU {
+	return New(make([]byte, textLen), make([]byte, dataLen), ISA1)
+}
+
+func TestDirtyTrackingOffByDefault(t *testing.T) {
+	c := newTestCPU(8, 4096)
+	if c.DirtyTracking() {
+		t.Fatal("tracking on by default")
+	}
+	if !c.WriteU32(c.dataBase, 0xdeadbeef) {
+		t.Fatal("write failed")
+	}
+	if got := c.DirtyPages(); got != nil {
+		t.Fatalf("DirtyPages = %v with tracking off", got)
+	}
+}
+
+func TestDirtyPagesMarkedAndCleared(t *testing.T) {
+	c := newTestCPU(8, 4*PageSize)
+	c.SetDirtyTracking(true)
+	addr := c.dataBase + 2*PageSize + 12
+	if !c.WriteU32(addr, 7) {
+		t.Fatal("write failed")
+	}
+	if !c.WriteByteAt(c.dataBase, 1) {
+		t.Fatal("byte write failed")
+	}
+	want := []uint32{c.dataBase >> PageShift, addr >> PageShift}
+	got := c.DirtyPages()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("DirtyPages = %v, want %v", got, want)
+	}
+	c.ClearDirty()
+	if got := c.DirtyPages(); got != nil {
+		t.Fatalf("DirtyPages after clear = %v", got)
+	}
+	if !c.DirtyTracking() {
+		t.Fatal("ClearDirty disabled tracking")
+	}
+}
+
+func TestDirtyUnalignedWriteCrossesPages(t *testing.T) {
+	c := newTestCPU(8, 4*PageSize)
+	c.SetDirtyTracking(true)
+	// A 4-byte write whose last byte lands in the next page must mark
+	// both. Pages are absolute-addressed, so the boundary is at a
+	// multiple of PageSize, not dataBase+PageSize.
+	addr := uint32(2*PageSize - 2)
+	if !c.WriteU32(addr, 0x01020304) {
+		t.Fatal("write failed")
+	}
+	got := c.DirtyPages()
+	if len(got) != 2 || got[1] != got[0]+1 {
+		t.Fatalf("DirtyPages = %v, want two adjacent pages", got)
+	}
+}
+
+func TestDirtyStackWrites(t *testing.T) {
+	c := newTestCPU(8, 16)
+	c.SetDirtyTracking(true)
+	addr := uint32(StackTop - 100)
+	if !c.WriteU32(addr, 42) {
+		t.Fatal("stack write failed")
+	}
+	got := c.DirtyPages()
+	if len(got) != 1 || got[0] != addr>>PageShift {
+		t.Fatalf("DirtyPages = %v, want [%d]", got, addr>>PageShift)
+	}
+}
+
+func TestPageDataReconstruction(t *testing.T) {
+	c := newTestCPU(6, 3*PageSize) // dataBase = 8: data straddles page 0
+	for i := range c.Data {
+		c.Data[i] = byte(i)
+	}
+	// Page 0 contains text (zeros, not returned) then data[0..].
+	pg0 := c.PageData(0)
+	if pg0[c.dataBase] != 0 || pg0[c.dataBase+1] != 1 {
+		t.Fatalf("page 0 data bytes wrong: % x", pg0[c.dataBase:c.dataBase+4])
+	}
+	for i := uint32(0); i < c.dataBase; i++ {
+		if pg0[i] != 0 {
+			t.Fatalf("page 0 text region not zero at %d", i)
+		}
+	}
+	// A later page is pure data.
+	pg1 := c.PageData(1)
+	off := PageSize - int(c.dataBase) // data index at start of page 1
+	if pg1[0] != byte(off) {
+		t.Fatalf("page 1 starts with %d, want %d", pg1[0], byte(off))
+	}
+	// Stack pages: write a value, read it back through PageData.
+	addr := uint32(StackTop - 8)
+	c.WriteU32(addr, 0xaabbccdd)
+	spg := c.PageData(addr >> PageShift)
+	idx := addr & (PageSize - 1)
+	if !bytes.Equal(spg[idx:idx+4], []byte{0xaa, 0xbb, 0xcc, 0xdd}) {
+		t.Fatalf("stack page bytes = % x", spg[idx:idx+4])
+	}
+}
+
+func TestImagePagesCoverDataAndStack(t *testing.T) {
+	c := newTestCPU(6, 3*PageSize)
+	c.WriteU32(StackTop-8, 1) // materialize a little stack
+	pages := c.ImagePages()
+	if len(pages) == 0 {
+		t.Fatal("no image pages")
+	}
+	// Rebuild data from pages and compare.
+	for i := range c.Data {
+		c.Data[i] = byte(i * 3)
+	}
+	rebuilt := make([]byte, len(c.Data))
+	for _, pg := range c.ImagePages() {
+		data := c.PageData(pg)
+		base := pg << PageShift
+		for i := 0; i < PageSize; i++ {
+			addr := base + uint32(i)
+			if addr >= c.dataBase && addr < c.dataBase+uint32(len(c.Data)) {
+				rebuilt[addr-c.dataBase] = data[i]
+			}
+		}
+	}
+	if !bytes.Equal(rebuilt, c.Data) {
+		t.Fatal("data not reconstructible from ImagePages/PageData")
+	}
+}

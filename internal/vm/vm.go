@@ -3,6 +3,7 @@ package vm
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Memory layout constants. Text begins at address 0; the data segment
@@ -11,6 +12,14 @@ import (
 const (
 	StackTop = 0x0100_0000 // one past the highest stack address
 	MaxStack = 1 << 16     // stack growth limit (64 KiB)
+)
+
+// Dirty-page tracking granularity: 1 KiB pages over the flat address
+// space. Page numbers are absolute (addr >> PageShift) — the data segment
+// is only word-aligned, so a page may straddle the text/data boundary.
+const (
+	PageShift = 10
+	PageSize  = 1 << PageShift
 )
 
 // FaultKind classifies a processor fault.
@@ -87,6 +96,10 @@ type CPU struct {
 	SyscallNum byte
 
 	dataBase uint32
+	// dirty holds the page numbers written since the last ClearDirty.
+	// nil means tracking is off (the common case: the write barrier is a
+	// single nil check).
+	dirty map[uint32]struct{}
 }
 
 // DataBase reports the address of the first data-segment byte for a text
@@ -128,6 +141,106 @@ func (c *CPU) StackImage() []byte {
 func (c *CPU) SetStackImage(img []byte) {
 	c.Stack = append([]byte(nil), img...)
 	c.R[RegSP] = StackTop - uint32(len(img))
+}
+
+// SetDirtyTracking enables or disables the 1 KiB-page write barrier.
+// Enabling starts with an empty dirty set; disabling drops it.
+func (c *CPU) SetDirtyTracking(on bool) {
+	if on {
+		if c.dirty == nil {
+			c.dirty = map[uint32]struct{}{}
+		}
+	} else {
+		c.dirty = nil
+	}
+}
+
+// DirtyTracking reports whether the write barrier is enabled.
+func (c *CPU) DirtyTracking() bool { return c.dirty != nil }
+
+// markDirty records the pages touched by a write of n bytes at addr.
+func (c *CPU) markDirty(addr, n uint32) {
+	if c.dirty == nil {
+		return
+	}
+	c.dirty[addr>>PageShift] = struct{}{}
+	if end := addr + n - 1; end>>PageShift != addr>>PageShift {
+		c.dirty[end>>PageShift] = struct{}{}
+	}
+}
+
+// DirtyPages returns the sorted page numbers written since the last
+// ClearDirty (empty when tracking is off).
+func (c *CPU) DirtyPages() []uint32 {
+	if len(c.dirty) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(c.dirty))
+	for pg := range c.dirty {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearDirty empties the dirty set, keeping tracking enabled.
+func (c *CPU) ClearDirty() {
+	for pg := range c.dirty {
+		delete(c.dirty, pg)
+	}
+}
+
+// copyPageRange copies into dst (one page starting at pageBase) the bytes
+// of seg (based at segBase) that fall inside the page.
+func copyPageRange(dst []byte, pageBase uint32, seg []byte, segBase uint32) {
+	if len(seg) == 0 {
+		return
+	}
+	lo, hi := pageBase, pageBase+uint32(len(dst))
+	slo, shi := segBase, segBase+uint32(len(seg))
+	if slo > lo {
+		lo = slo
+	}
+	if shi < hi {
+		hi = shi
+	}
+	if lo >= hi {
+		return
+	}
+	copy(dst[lo-pageBase:hi-pageBase], seg[lo-slo:hi-slo])
+}
+
+// PageData returns the PageSize bytes of page pg as seen by the process:
+// data and materialized stack contents where the page overlaps them,
+// zeros elsewhere (unmaterialized stack reads as zero anyway).
+func (c *CPU) PageData(pg uint32) []byte {
+	out := make([]byte, PageSize)
+	base := pg << PageShift
+	copyPageRange(out, base, c.Data, c.dataBase)
+	copyPageRange(out, base, c.Stack, uint32(StackTop-len(c.Stack)))
+	return out
+}
+
+// ImagePages returns the sorted page numbers covering the data segment
+// and the materialized stack — every page a full image transfer must ship.
+func (c *CPU) ImagePages() []uint32 {
+	seen := map[uint32]struct{}{}
+	addRange := func(base uint32, n int) {
+		if n == 0 {
+			return
+		}
+		for pg := base >> PageShift; pg <= (base + uint32(n) - 1) >> PageShift; pg++ {
+			seen[pg] = struct{}{}
+		}
+	}
+	addRange(c.dataBase, len(c.Data))
+	addRange(uint32(StackTop-len(c.Stack)), len(c.Stack))
+	out := make([]uint32, 0, len(seen))
+	for pg := range seen {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Snapshot returns the register state.
@@ -188,6 +301,7 @@ func (c *CPU) WriteU32(addr uint32, v uint32) bool {
 		return false
 	}
 	binary.BigEndian.PutUint32(buf[off:off+4], v)
+	c.markDirty(addr, 4)
 	return true
 }
 
@@ -210,6 +324,7 @@ func (c *CPU) WriteByteAt(addr uint32, v byte) bool {
 		return false
 	}
 	buf[off] = v
+	c.markDirty(addr, 1)
 	return true
 }
 

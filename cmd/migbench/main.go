@@ -7,6 +7,7 @@
 //	migbench            # everything
 //	migbench -fig 2     # one figure
 //	migbench -fig a6    # the pre-copy ablation table
+//	migbench -fig a7    # migration under network faults
 //	migbench -ablations # only the ablations
 package main
 
@@ -19,12 +20,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "run only this figure (1-4, a6)")
+	fig := flag.String("fig", "", "run only this figure (1-4, a6, a7)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	flag.Parse()
 
 	switch *fig {
-	case "", "1", "2", "3", "4", "a6":
+	case "", "1", "2", "3", "4", "a6", "a7":
 	default:
 		fmt.Fprintln(os.Stderr, "migbench: unknown figure", *fig)
 		os.Exit(2)
@@ -44,6 +45,9 @@ func main() {
 	}
 	if *fig == "a6" || all {
 		check(a6())
+	}
+	if *fig == "a7" || all {
+		check(a7())
 	}
 	if *ablations || all {
 		check(runAblations())
@@ -150,9 +154,38 @@ func a6() error {
 		fmt.Printf("%-10s %-9s %12v %12v %12d %12d\n",
 			"", "pre-copy", pt.PreFreeze, pt.PreTotal, pt.PreDestNFS, pt.PreNetBytes)
 	}
-	fmt.Println("(freeze: source kernel's dump window — for the streaming modes the final")
-	fmt.Println(" transfer, destination spool, and restart; stop's freeze covers only the")
-	fmt.Println(" dump files, its process stays dead through the NFS restart too)")
+	fmt.Println("(freeze: source kernel's dump window, the whole unavailable time on every")
+	fmt.Println(" path — streaming: final transfer + destination spool + restart; stop:")
+	fmt.Println(" dump files + the frozen wait for the destination's restart ACK)")
+	return nil
+}
+
+func a7() error {
+	pts, err := experiments.A7FaultSweep(1)
+	if err != nil {
+		return err
+	}
+	header("A7 — transactional migration under network faults (rmigrate -s -r 2, seed 1)")
+	fmt.Printf("%-10s %-10s %10s %10s %12s %12s %6s\n",
+		"image/ws", "fault", "outcome", "copy on", "freeze (sim)", "total (sim)", "live")
+	for _, pt := range pts {
+		fault := fmt.Sprintf("drop %d%%", pt.DropPct)
+		if pt.Crash {
+			fault = "mid crash"
+		}
+		outcome, where := "aborted", "source"
+		if pt.Committed {
+			outcome = "committed"
+		}
+		if pt.Migrated {
+			where = "dest"
+		}
+		fmt.Printf("%-10s %-10s %10s %10s %12v %12v %6d\n",
+			pt.Label, fault, outcome, where, pt.Freeze, pt.Total, pt.LiveCopies)
+	}
+	fmt.Println("(every row must end with exactly one live copy — a7Run fails otherwise;")
+	fmt.Println(" 'mid crash' kills the destination on a scripted mid-round stream message,")
+	fmt.Println(" the transaction aborts, and the source resumes the original)")
 	return nil
 }
 

@@ -49,11 +49,15 @@ func snapshotDir(dir string, n int) string {
 
 // copyFile copies src to dst through the syscall interface.
 func copyFile(sys *kernel.Sys, src, dst string) bool {
+	return copyFileMode(sys, src, dst, 0o600)
+}
+
+func copyFileMode(sys *kernel.Sys, src, dst string, mode uint16) bool {
 	data, e := core.ReadAll(sys, src)
 	if e != 0 {
 		return false
 	}
-	return core.WriteAll(sys, dst, data, 0o600) == 0
+	return core.WriteAll(sys, dst, data, mode) == 0
 }
 
 func runAndWait(sys *kernel.Sys, path string, args ...string) int {
@@ -142,6 +146,11 @@ func CkptMain(sys *kernel.Sys, args []string) int {
 			sys.Write(2, []byte("ckpt: restart failed\n"))
 			return 1
 		}
+		// The snapshot directory holds the checkpoint now; the /usr/tmp
+		// dump files were only a staging area and must not accumulate.
+		for _, p := range []string{aoutP, filesP, stackP} {
+			sys.Unlink(p)
+		}
 		cur = newPid
 	}
 	return 0
@@ -183,11 +192,12 @@ func CkptRestoreMain(sys *kernel.Sys, args []string) int {
 		return 1
 	}
 
-	// Put the dump files back under the original pid's names.
+	// Put the dump files back under the original pid's names, with the
+	// mode the kernel dump gives them (restart must execute the a.out).
 	aoutP, filesP, stackP := core.DumpPaths("", pid)
-	if !copyFile(sys, sdir+"/a.out", aoutP) ||
-		!copyFile(sys, sdir+"/files", filesP) ||
-		!copyFile(sys, sdir+"/stack", stackP) {
+	if !copyFileMode(sys, sdir+"/a.out", aoutP, 0o700) ||
+		!copyFileMode(sys, sdir+"/files", filesP, 0o700) ||
+		!copyFileMode(sys, sdir+"/stack", stackP, 0o700) {
 		sys.Write(2, []byte("ckptrestore: restoring dump files failed\n"))
 		return 1
 	}
@@ -207,6 +217,11 @@ func CkptRestoreMain(sys *kernel.Sys, args []string) int {
 	if st, e := sys.WaitRestarted(newPid); e != 0 || st != 0 {
 		sys.Write(2, []byte("ckptrestore: restart failed\n"))
 		return 1
+	}
+	// The restarted copy has read the staged dump files; the checkpoint
+	// itself lives on under the snapshot directory.
+	for _, p := range []string{aoutP, filesP, stackP} {
+		sys.Unlink(p)
 	}
 	return 0
 }

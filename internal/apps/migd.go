@@ -29,6 +29,7 @@ type precopyReq struct {
 	PID      int
 	Dest     string
 	Rounds   int
+	Txn      uint32 // migration transaction id (0: untracked, no retry safety)
 }
 
 // startStreamMigd wires the two streaming endpoints into m's migd.
@@ -43,7 +44,7 @@ func startStreamMigd(m *kernel.Machine, host *netsim.Host) error {
 		if err != nil {
 			return nil, err
 		}
-		return &migdSink{m: m, asm: asm}, nil
+		return &migdSink{m: m, st: migdStateFor(m), txn: asm.Hello().Txn, asm: asm}, nil
 	})
 }
 
@@ -60,6 +61,12 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 	}
 	if t != nil {
 		t.Sleep(MigdRequestCost)
+	}
+	st := migdStateFor(m)
+	if st.committed(req.Txn) {
+		// A duplicate of a transaction that already committed: the first
+		// answer was lost, the migration was not.
+		return encode(&remoteResp{Status: 0})
 	}
 	p, ok := m.FindProc(req.PID)
 	if !ok || p.State != kernel.ProcRunning || p.VM == nil {
@@ -78,13 +85,31 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 		Entry:   p.ExecEntry,
 		TextLen: uint32(len(p.VM.Text)),
 		DataLen: uint32(len(p.VM.Data)),
+		Txn:     req.Txn,
 		Source:  m.Name,
 	}
-	st, err := host.OpenStream(t, req.Dest, MigdStreamPort, hello.Encode())
+	// The open handshake retries like any transaction call; a half-open
+	// stream is torn down server-side, so reopening is safe.
+	var stream *netsim.Stream
+	var err error
+	for i := 0; i < streamOpenAttempts; i++ {
+		if i > 0 && t != nil {
+			t.Sleep(backoffDelay(i - 1))
+		}
+		stream, err = host.OpenStream(t, req.Dest, MigdStreamPort, hello.Encode())
+		if err == nil || !retryable(err) {
+			break
+		}
+	}
 	if err != nil {
 		return fail("stream to " + req.Dest + ": " + err.Error())
 	}
-	sess := &core.StreamSession{Stream: st}
+	sess := &core.StreamSession{Stream: stream, Txn: req.Txn}
+	if req.Txn != 0 {
+		sess.Resolve = func(rt *sim.Task) int {
+			return resolveTxn(rt, host, req.Dest, req.Txn)
+		}
+	}
 	// Pre-copy CPU work contends with the victim for the source CPU.
 	charge := func(d sim.Duration) {
 		if t != nil {
@@ -93,7 +118,7 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 	}
 	abort := func(msg string) []byte {
 		p.VM.SetDirtyTracking(false)
-		st.Close(t)
+		stream.Abort(t)
 		return fail(msg)
 	}
 	if req.Rounds > 0 {
@@ -109,24 +134,38 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 		core.DisarmStreamDump(m, req.PID)
 		return abort("dump: " + e.Error())
 	}
-	// The dump hook sends the final delta and collects the remote restart
-	// status as the process dies.
-	for p.State == kernel.ProcRunning {
-		t.Wait(&p.ExitQ)
+	// The dump hook settles the transaction as the final delta ships: on
+	// commit the process dies, on abort it resumes where it was — so wait
+	// on the session, not the process's exit.
+	for !sess.Settled && p.State == kernel.ProcRunning {
+		t.WaitTimeout(&sess.DoneQ, 250*sim.Millisecond)
+	}
+	if !sess.Settled {
+		return fail("process died before the transfer settled")
 	}
 	if sess.Err != nil {
 		return fail("transfer: " + sess.Err.Error())
+	}
+	if sess.Status == 0 {
+		st.record(req.Txn, 0)
 	}
 	return encode(&remoteResp{Status: sess.Status})
 }
 
 // migdSink is the destination side of one streaming migration: reassemble
 // the image, spool the three dump files to the local /usr/tmp, and restart
-// from them — no remote reads for the image.
+// from them — no remote reads for the image. The spool is pure staging:
+// whatever the outcome, the files are removed once the restart has run
+// (or the stream died), and the verdict is recorded in the machine's
+// transaction table so the source can resolve a lost answer.
 type migdSink struct {
-	m   *kernel.Machine
-	asm *core.ImageAssembler
-	err error
+	m       *kernel.Machine
+	st      *migdState
+	txn     uint32
+	asm     *core.ImageAssembler
+	err     error
+	spooled []string // spool files written so far, removed on any exit path
+	settled bool
 }
 
 func (s *migdSink) Chunk(t *sim.Task, rec []byte) {
@@ -141,17 +180,37 @@ func (s *migdSink) Chunk(t *sim.Task, rec []byte) {
 	s.err = s.asm.Apply(rec)
 }
 
+// discardSpool removes whatever dump files this stream spooled.
+func (s *migdSink) discardSpool() {
+	for _, path := range s.spooled {
+		s.m.NS().Remove(path)
+	}
+	s.spooled = nil
+}
+
+// seal records the stream's verdict in the transaction table.
+func (s *migdSink) seal(status int) {
+	s.settled = true
+	s.st.record(s.txn, status)
+}
+
+func (s *migdSink) fail() []byte {
+	s.discardSpool()
+	s.seal(-1)
+	return core.EncodeStreamStatus(-1)
+}
+
 func (s *migdSink) Done(t *sim.Task) []byte {
 	if s.err != nil {
-		return core.EncodeStreamStatus(-1)
+		return s.fail()
 	}
 	aoutRaw, filesRaw, stackRaw, err := s.asm.Spool()
 	if err != nil {
-		return core.EncodeStreamStatus(-1)
+		return s.fail()
 	}
 	creds, _, err := core.DecodeStackHeader(stackRaw)
 	if err != nil {
-		return core.EncodeStreamStatus(-1)
+		return s.fail()
 	}
 	pid := int(s.asm.Hello().PID)
 	aoutPath, filesPath, stackPath := core.DumpPaths("", pid)
@@ -168,8 +227,9 @@ func (s *migdSink) Done(t *sim.Task) []byte {
 			t.Sleep(costs.DiskLatency + sim.Duration(len(out.data))*costs.DiskPerByte)
 		}
 		if werr := s.m.NS().WriteFile(out.path, out.data, 0o700, creds.UID, creds.GID); werr != nil {
-			return core.EncodeStreamStatus(-1)
+			return s.fail()
 		}
+		s.spooled = append(s.spooled, out.path)
 	}
 	// restart -p pid with no -h: the image comes off the local spool.
 	pty := tty.NewNetworkPTY(s.m.Engine(), "migd-pty")
@@ -184,44 +244,24 @@ func (s *migdSink) Done(t *sim.Task) []byte {
 		InheritFDs: []*kernel.File{stdio, stdio, stdio},
 	})
 	if err != nil {
-		return core.EncodeStreamStatus(-1)
+		return s.fail()
 	}
 	status, _ := rp.AwaitExitOrMigrated(t)
+	// restart has read the spool into the (now live) copy, or failed;
+	// either way the staging files must not linger.
+	s.discardSpool()
+	s.seal(status)
 	return core.EncodeStreamStatus(status)
 }
 
-// streamingMigrate is fmigrate's -s path: one request to the source migd,
-// which streams the image straight to the destination migd.
-func streamingMigrate(sys *kernel.Sys, host *netsim.Host, flags map[string]string, pid int, from, to string) int {
-	rounds := 2
-	if r, ok := flags["r"]; ok {
-		v, err := strconv.Atoi(r)
-		if err != nil || v < 0 {
-			sys.Write(2, []byte("fmigrate: bad -r\n"))
-			return 2
-		}
-		rounds = v
+// Abort runs when the stream dies before a successful Close: the opener
+// gave up, or the half-open connection timed out. Partial spool files are
+// removed — they used to leak — and the transaction is sealed aborted so
+// a source resolve query gets a definite answer.
+func (s *migdSink) Abort(_ *sim.Task) {
+	if s.settled {
+		return
 	}
-	req := &precopyReq{
-		UID: sys.Getuid(), GID: sys.Proc().Creds.GID,
-		PID: pid, Dest: to, Rounds: rounds,
-	}
-	raw, err := host.Call(nil, from, MigdPrecopyPort, encode(req))
-	if err != nil {
-		sys.Write(2, []byte("fmigrate: "+from+": "+err.Error()+"\n"))
-		return 1
-	}
-	var resp remoteResp
-	if decode(raw, &resp) != nil {
-		return 1
-	}
-	if resp.Status != 0 {
-		msg := resp.Err
-		if msg == "" {
-			msg = "migration failed"
-		}
-		sys.Write(2, []byte("fmigrate: "+msg+"\n"))
-		return 1
-	}
-	return 0
+	s.discardSpool()
+	s.seal(-1)
 }

@@ -140,6 +140,18 @@ func StartMigd(m *kernel.Machine, host *netsim.Host) error {
 		if t != nil {
 			t.Sleep(MigdRequestCost)
 		}
+		// The transaction verbs (txn.go) share the port and request
+		// format with plain remote execution.
+		switch req.Cmd {
+		case cmdTxMigrate:
+			return encode(handleTxnMigrate(t, m, host, &req))
+		case cmdTxRestart:
+			return encode(handleTxnRestart(t, m, &req))
+		case cmdTxQuery:
+			return encode(handleTxnQuery(m, &req))
+		case cmdTxAbort:
+			return encode(handleTxnAbort(m, &req))
+		}
 		return encode(runRemoteCommand(t, m, &req))
 	}); err != nil {
 		return err
@@ -150,18 +162,31 @@ func StartMigd(m *kernel.Machine, host *netsim.Host) error {
 // NewFastMigrate builds the improved migrate that talks to migd instead
 // of shelling out through rsh. Usage:
 //
-//	fmigrate -p pid [-f from] [-t to] [-s [-r rounds]]
+//	fmigrate -p pid [-f from] [-t to] [-s [-r rounds]] [-n attempts]
 //
 // With -s the image is streamed migd-to-migd (pre-copy; -r sets the number
 // of copy rounds before the freeze, 0 meaning freeze-then-stream) instead
-// of going through the dump files on the source's /usr/tmp.
+// of going through the dump files on the source's /usr/tmp. Either way the
+// migration runs as a transaction (txn.go): the original survives, frozen,
+// until the destination acknowledges the restart, and resumes in place on
+// any failure. -n sets how often the whole transaction is retried.
 func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
+	return newMigrateClient(host, "fmigrate", 3)
+}
+
+// NewRMigrate builds rmigrate, the robust migrate: identical to fmigrate
+// but tuned for hostile networks — twice the transaction attempts by
+// default. Usage: rmigrate -p pid [-f from] [-t to] [-s [-r rounds]] [-n attempts].
+func NewRMigrate(host *netsim.Host) kernel.HostedProg {
+	return newMigrateClient(host, "rmigrate", 6)
+}
+
+func newMigrateClient(host *netsim.Host, name string, defaultAttempts int) kernel.HostedProg {
 	return func(sys *kernel.Sys, args []string) int {
 		flags := core.ParseFlags(args[1:])
-		pidStr := flags["p"]
-		pid, perr := strconv.Atoi(pidStr)
-		if pidStr == "" || perr != nil {
-			sys.Write(2, []byte("usage: fmigrate -p pid [-f fromhost] [-t tohost] [-s [-r rounds]]\n"))
+		pid, perr := strconv.Atoi(flags["p"])
+		if flags["p"] == "" || perr != nil {
+			sys.Write(2, []byte("usage: "+name+" -p pid [-f fromhost] [-t tohost] [-s [-r rounds]] [-n attempts]\n"))
 			return 2
 		}
 		local := sys.Gethostname()
@@ -172,49 +197,28 @@ func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
 		if to == "" {
 			to = local
 		}
-		if _, streaming := flags["s"]; streaming {
-			return streamingMigrate(sys, host, flags, pid, from, to)
-		}
-		runOn := func(target, cmd string, cargs ...string) int {
-			if target == local {
-				pid, e := sys.Spawn("/bin/"+cmd, append([]string{cmd}, cargs...), nil)
-				if e != 0 {
-					return -1
-				}
-				if cmd == "restart" {
-					status, e := sys.WaitRestarted(pid)
-					if e != 0 {
-						return -1
-					}
-					return status
-				}
-				for {
-					rp, status, e := sys.Wait()
-					if e != 0 {
-						return -1
-					}
-					if rp == pid {
-						return status >> 8
-					}
-				}
+		rounds := 2
+		if r, ok := flags["r"]; ok {
+			v, err := strconv.Atoi(r)
+			if err != nil || v < 0 {
+				sys.Write(2, []byte(name+": bad -r\n"))
+				return 2
 			}
-			req := &remoteReq{UID: sys.Getuid(), GID: sys.Proc().Creds.GID, Cmd: cmd, Args: cargs}
-			raw, err := host.Call(nil, target, MigdPort, encode(req))
-			if err != nil {
-				return -1
-			}
-			var resp remoteResp
-			if decode(raw, &resp) != nil {
-				return -1
-			}
-			return resp.Status
+			rounds = v
 		}
-		if st := runOn(from, "dumpproc", "-p", pidStr); st != 0 {
-			sys.Write(2, []byte("fmigrate: dumpproc failed\n"))
-			return 1
+		attempts := defaultAttempts
+		if n, ok := flags["n"]; ok {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 1 {
+				sys.Write(2, []byte(name+": bad -n\n"))
+				return 2
+			}
+			attempts = v
 		}
-		if st := runOn(to, "restart", "-p", pidStr, "-h", from); st != 0 {
-			sys.Write(2, []byte("fmigrate: restart failed\n"))
+		_, streaming := flags["s"]
+		status, msg := migrateTxn(sys, host, pid, from, to, streaming, rounds, attempts)
+		if status != 0 {
+			sys.Write(2, []byte(name+": "+msg+"\n"))
 			return 1
 		}
 		return 0

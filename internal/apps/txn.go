@@ -1,0 +1,386 @@
+package apps
+
+import (
+	"strconv"
+	"sync"
+
+	"procmig/internal/core"
+	"procmig/internal/errno"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+// Transactional migration (the robustness layer): a migration is a
+// transaction with the source as the decider. The victim stays
+// frozen-but-alive on the source — classic path: dump files retained,
+// streaming path: dirty tracking armed — until the destination
+// acknowledges a successful restart; only then does the source reap the
+// original and garbage-collect the dump files. On any failure or timeout
+// the victim resumes exactly where it was and the destination discards
+// its partial spool, so a migration can never lose the process.
+//
+// The verbs ride migd's port 515 request format. Handlers run
+// synchronously inside the delivered request (netsim semantics), so there
+// are no in-flight transaction states to race with: when a query says the
+// destination has no record of a transaction, no restart for it ever ran.
+const (
+	cmdTxMigrate = "txmigrate" // source migd: run one classic migration transaction
+	cmdTxRestart = "txrestart" // destination migd: restart from the source's dump files
+	cmdTxQuery   = "txquery"   // either side: what became of this transaction?
+	cmdTxAbort   = "txabort"   // destination migd: seal a transaction as aborted
+
+	txnSettled = "settled"
+	txnUnknown = "unknown"
+)
+
+// Retry policy. A lost message costs the caller the network timeout, then
+// a capped exponential backoff before the resend. At a 20% chunk-drop
+// rate a request/response pair fails with probability ~0.36, so ten
+// attempts leave ~4e-5.
+const (
+	txnCallAttempts    = 10
+	txnResolveAttempts = 12
+	streamOpenAttempts = 8
+)
+
+// backoffDelay is the capped exponential backoff before retry attempt+2:
+// 250ms, 500ms, 1s, 2s, then 4s flat.
+func backoffDelay(attempt int) sim.Duration {
+	d := 250 * sim.Millisecond
+	for ; attempt > 0 && d < 4*sim.Second; attempt-- {
+		d *= 2
+	}
+	if d > 4*sim.Second {
+		d = 4 * sim.Second
+	}
+	return d
+}
+
+// retryable reports whether a Call error is worth retrying: the message
+// (or its answer) was lost, or the host is down and may come back.
+func retryable(err error) bool {
+	return err == errno.ETIMEDOUT || err == errno.EHOSTDOWN
+}
+
+// callRetry is Call with the transaction retry policy. The request must be
+// idempotent: a lost response means the handler did run.
+func callRetry(t *sim.Task, host *netsim.Host, to string, port int, req []byte, attempts int) ([]byte, error) {
+	var raw []byte
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && t != nil {
+			t.Sleep(backoffDelay(i - 1))
+		}
+		raw, err = host.Call(t, to, port, req)
+		if err == nil {
+			return raw, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// migdState is one machine's migd transaction table: the latest settled
+// status per transaction id. Only a recorded success is final — a failed
+// attempt may legitimately be retried under the same id, so lookups that
+// short-circuit duplicates check committed(), while txquery reports
+// whatever was last recorded.
+type migdState struct {
+	mu   sync.Mutex
+	done map[uint32]int
+}
+
+var (
+	migdMu     sync.Mutex
+	migdStates = map[*kernel.Machine]*migdState{}
+)
+
+func migdStateFor(m *kernel.Machine) *migdState {
+	migdMu.Lock()
+	defer migdMu.Unlock()
+	st := migdStates[m]
+	if st == nil {
+		st = &migdState{done: map[uint32]int{}}
+		migdStates[m] = st
+	}
+	return st
+}
+
+func (s *migdState) record(txn uint32, status int) {
+	if txn == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done[txn] = status
+}
+
+// abortIfAbsent seals txn as aborted unless an outcome is already on
+// record (an explicit abort must never overwrite a real verdict).
+func (s *migdState) abortIfAbsent(txn uint32) {
+	if txn == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.done[txn]; !ok {
+		s.done[txn] = -1
+	}
+}
+
+func (s *migdState) lookup(txn uint32) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status, ok := s.done[txn]
+	return status, ok
+}
+
+// committed reports whether txn has already succeeded — the only outcome
+// that makes a duplicate request a no-op.
+func (s *migdState) committed(txn uint32) bool {
+	if txn == 0 {
+		return false
+	}
+	status, ok := s.lookup(txn)
+	return ok && status == 0
+}
+
+// parseTxnArgs reads the leading "txn pid" arguments common to the verbs.
+func parseTxnArgs(args []string) (txn uint32, pid int, ok bool) {
+	if len(args) < 2 {
+		return 0, 0, false
+	}
+	t64, err1 := strconv.ParseUint(args[0], 10, 32)
+	p, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || p <= 0 {
+		return 0, 0, false
+	}
+	return uint32(t64), p, true
+}
+
+// handleTxnMigrate runs on the source machine's migd: one classic-path
+// migration transaction. Phase one freezes the victim with its dump files
+// on disk (a DumpHold parks it instead of letting SIGDUMP kill it) and
+// runs dumpproc's §4.4 pathname fixups; phase two drives the restart on
+// the destination with retries and resolves commit-or-abort.
+func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *remoteReq) *remoteResp {
+	txn, pid, ok := parseTxnArgs(req.Args)
+	if !ok || len(req.Args) != 3 {
+		return &remoteResp{Status: -1, Err: "bad txmigrate request"}
+	}
+	dest := req.Args[2]
+	st := migdStateFor(m)
+	if st.committed(txn) {
+		// A duplicate of a transaction that already committed: the first
+		// answer was lost, the work was not.
+		return &remoteResp{Status: 0}
+	}
+	p, ok := m.FindProc(pid)
+	if !ok || p.State != kernel.ProcRunning {
+		return &remoteResp{Status: -1, Err: errno.ESRCH.Error()}
+	}
+	creds := kernel.Creds{UID: req.UID, GID: req.GID, EUID: req.UID, EGID: req.GID}
+	if !creds.Root() && creds.UID != p.Creds.UID && creds.UID != p.Creds.EUID {
+		return &remoteResp{Status: -1, Err: errno.EPERM.Error()}
+	}
+
+	hold := core.ArmDumpHold(m, pid)
+	abort := func(msg string) *remoteResp {
+		core.ResolveDumpHold(m, hold, false)
+		return &remoteResp{Status: -1, Err: msg}
+	}
+	// dumpproc delivers SIGDUMP and rewrites the files file's pathnames;
+	// with the hold armed the victim parks after writing the dump files
+	// instead of dying, so dumpproc sees exactly what it always saw.
+	dres := runRemoteCommand(t, m, &remoteReq{
+		UID: req.UID, GID: req.GID,
+		Cmd: core.ProgDumpproc, Args: []string{"-p", req.Args[1]},
+	})
+	if dres.Status != 0 {
+		return abort("dumpproc failed: " + dres.Err)
+	}
+	if !hold.AwaitFrozen(t, p) {
+		if e := hold.DumpFailed(); e != 0 {
+			return abort("dump: " + e.Error())
+		}
+		return abort("process died before freezing")
+	}
+
+	// Victim frozen, image on our /usr/tmp. Drive the destination restart;
+	// the request is idempotent under txn, so lost answers just retry.
+	rreq := &remoteReq{
+		UID: req.UID, GID: req.GID,
+		Cmd: cmdTxRestart, Args: []string{req.Args[0], req.Args[1], m.Name},
+	}
+	status := -1
+	raw, cerr := callRetry(t, host, dest, MigdPort, encode(rreq), txnCallAttempts)
+	if cerr == nil {
+		var rresp remoteResp
+		if decode(raw, &rresp) == nil {
+			status = rresp.Status
+		}
+	} else {
+		// Out of retries with the outcome unknown: ask the destination
+		// what actually happened before deciding, so a restart whose
+		// answer was lost cannot end as two live copies.
+		status = resolveTxn(t, host, dest, txn)
+	}
+	if status == 0 {
+		core.ResolveDumpHold(m, hold, true) // reap the original, GC the dump files
+		st.record(txn, 0)
+		return &remoteResp{Status: 0}
+	}
+	core.ResolveDumpHold(m, hold, false) // resume the victim, GC the dump files
+	// Seal the abort on the destination, best effort, so a later query
+	// gets a definite answer.
+	host.Call(t, dest, MigdPort, encode(&remoteReq{Cmd: cmdTxAbort, Args: []string{req.Args[0], req.Args[1]}}))
+	return &remoteResp{Status: -1, Err: "restart on " + dest + " failed"}
+}
+
+// handleTxnRestart runs on the destination machine's migd: restart pid
+// from the dump files retained on the (frozen) source, recording the
+// outcome under txn so the source can resolve a lost answer.
+func handleTxnRestart(t *sim.Task, m *kernel.Machine, req *remoteReq) *remoteResp {
+	txn, _, ok := parseTxnArgs(req.Args)
+	if !ok || len(req.Args) != 3 {
+		return &remoteResp{Status: -1, Err: "bad txrestart request"}
+	}
+	from := req.Args[2]
+	st := migdStateFor(m)
+	if st.committed(txn) {
+		return &remoteResp{Status: 0}
+	}
+	resp := runRemoteCommand(t, m, &remoteReq{
+		UID: req.UID, GID: req.GID,
+		Cmd: core.ProgRestart, Args: []string{"-p", req.Args[1], "-h", from},
+	})
+	st.record(txn, resp.Status)
+	return resp
+}
+
+// handleTxnQuery reports what this machine's migd recorded for txn.
+func handleTxnQuery(m *kernel.Machine, req *remoteReq) *remoteResp {
+	txn, _, ok := parseTxnArgs(req.Args)
+	if !ok {
+		return &remoteResp{Status: -1, Err: "bad txquery request"}
+	}
+	if status, found := migdStateFor(m).lookup(txn); found {
+		return &remoteResp{Status: status, Output: txnSettled}
+	}
+	return &remoteResp{Status: -1, Output: txnUnknown}
+}
+
+// handleTxnAbort seals txn as aborted (unless it already settled).
+func handleTxnAbort(m *kernel.Machine, req *remoteReq) *remoteResp {
+	txn, _, ok := parseTxnArgs(req.Args)
+	if !ok {
+		return &remoteResp{Status: -1, Err: "bad txabort request"}
+	}
+	migdStateFor(m).abortIfAbsent(txn)
+	return &remoteResp{Status: 0}
+}
+
+// resolveTxn asks dest's migd what became of txn, with retries. It
+// returns the recorded status, or -1 when aborting is provably safe:
+// the destination answered "unknown" (handlers run synchronously inside
+// the delivered request, so no restart for txn ever ran), it is down (a
+// crash took any copy with it), or it stayed unreachable through every
+// attempt (then no commit was ever confirmed to anyone).
+func resolveTxn(t *sim.Task, host *netsim.Host, dest string, txn uint32) int {
+	if txn == 0 {
+		return -1
+	}
+	req := encode(&remoteReq{Cmd: cmdTxQuery, Args: []string{strconv.FormatUint(uint64(txn), 10), "1"}})
+	for i := 0; i < txnResolveAttempts; i++ {
+		if i > 0 && t != nil {
+			t.Sleep(backoffDelay(i - 1))
+		}
+		raw, err := host.Call(t, dest, MigdPort, req)
+		if err == errno.EHOSTDOWN {
+			return -1
+		}
+		if err != nil {
+			continue
+		}
+		var resp remoteResp
+		if decode(raw, &resp) != nil {
+			continue
+		}
+		if resp.Output == txnSettled {
+			return resp.Status
+		}
+		return -1
+	}
+	return -1
+}
+
+// newTxnID derives a transaction id from the simulation clock and the
+// victim's pid — unique per migration (one victim migrates once at a
+// time), stable across the client's retries, and deterministic for a
+// fixed seed (no wall clock, ever).
+func newTxnID(sys *kernel.Sys, pid int) uint32 {
+	x := uint64(sys.Gettime())*2654435761 + uint64(pid)*40503 + uint64(sys.Getpid())
+	txn := uint32(x ^ x>>32)
+	if txn == 0 {
+		txn = 1
+	}
+	return txn
+}
+
+// migrateTxn is the transactional client shared by fmigrate and rmigrate:
+// run one migration as a transaction against the source migd, retrying
+// the whole transaction — same id, every verb idempotent — with capped
+// exponential backoff. Returns the final status and an error message.
+func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, streaming bool, rounds, attempts int) (int, string) {
+	txn := newTxnID(sys, pid)
+	lastErr := "migration failed"
+	status := -1
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			sys.Sleep(backoffDelay(i - 1))
+		}
+		var raw []byte
+		var err error
+		if streaming {
+			raw, err = host.Call(nil, from, MigdPrecopyPort, encode(&precopyReq{
+				UID: sys.Getuid(), GID: sys.Proc().Creds.GID,
+				PID: pid, Dest: to, Rounds: rounds, Txn: txn,
+			}))
+		} else {
+			raw, err = host.Call(nil, from, MigdPort, encode(&remoteReq{
+				UID: sys.Getuid(), GID: sys.Proc().Creds.GID,
+				Cmd: cmdTxMigrate,
+				Args: []string{strconv.FormatUint(uint64(txn), 10),
+					strconv.Itoa(pid), to},
+			}))
+		}
+		if err != nil {
+			lastErr = from + ": " + err.Error()
+			if !retryable(err) {
+				return -1, lastErr
+			}
+			continue
+		}
+		var resp remoteResp
+		if decode(raw, &resp) != nil {
+			lastErr = from + ": bad response"
+			continue
+		}
+		if resp.Status == 0 {
+			return 0, ""
+		}
+		status = resp.Status
+		if resp.Err != "" {
+			lastErr = resp.Err
+		}
+		// Permission and existence failures are permanent; retrying
+		// cannot change them.
+		if resp.Err == errno.EPERM.Error() || resp.Err == errno.ESRCH.Error() {
+			break
+		}
+	}
+	return status, lastErr
+}

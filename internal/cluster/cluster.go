@@ -179,6 +179,17 @@ func New(opts Options) (*Cluster, error) {
 		}
 		progs["rsh"] = apps.NewRsh(nh)
 		progs["fmigrate"] = apps.NewFastMigrate(nh)
+		progs["rmigrate"] = apps.NewRMigrate(nh)
+
+		// A host crash (scripted or explicit) takes the machine's running
+		// processes with it — the fault-injection experiments depend on a
+		// crashed destination really losing its half-restored copy.
+		machine := m
+		nh.SetCrashHook(func() {
+			for _, pi := range machine.PS() {
+				machine.Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
+			}
+		})
 		for pname, fn := range progs {
 			m.RegisterProgram(pname, fn)
 			if err := ns.WriteFile("/bin/"+pname, aout.EncodeHosted(pname), 0o755, 0, 0); err != nil {
@@ -279,6 +290,15 @@ func (c *Cluster) Spawn(host string, term *tty.Terminal, creds kernel.Creds, pat
 		TTY:        term,
 		InheritFDs: []*kernel.File{stdio, stdio, stdio},
 	})
+}
+
+// Crash takes a machine down mid-run: the host drops off the network and
+// every process on it is killed, like a power failure. (SetDown(true) on
+// the NetHost alone models a partition — the machine keeps running.)
+func (c *Cluster) Crash(name string) {
+	if h, ok := c.hosts[name]; ok {
+		h.Crash()
+	}
 }
 
 // Run drives the simulation to quiescence.

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"procmig/internal/core"
+)
+
+// FuzzDecodeCommit throws arbitrary bytes at the commit-record decoder.
+// The trailer arrives over the (fault-injected) network, so the decoder
+// must reject anything malformed without panicking, and every record it
+// does accept must re-encode to exactly the bytes it was decoded from.
+func FuzzDecodeCommit(f *testing.F) {
+	good := &core.CommitRecord{Txn: 0xdeadbeef, PID: 1042, TextLen: 8192, PageCount: 17, StackLen: 2048}
+	raw := good.Encode()
+	f.Add(raw)
+	f.Add(raw[:len(raw)-1])
+	f.Add(raw[:1])
+	f.Add([]byte{})
+	f.Add([]byte{core.RecCommit})
+	f.Add(append(append([]byte{}, raw...), 0)) // trailing garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := core.DecodeCommit(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.Encode(), data) {
+			t.Fatalf("accepted record does not round-trip: %x", data)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmig/internal/apps"
+	"procmig/internal/cluster"
+	"procmig/internal/core"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+// These tests drive the source-survival guarantee: a migration that dies —
+// at any phase, on either path — must leave the original process running
+// on the source exactly where it was, with no half-restored copy and no
+// leaked dump or spool files anywhere.
+
+// killAll quiesces a cluster so the engine can drain.
+func killAll(c *cluster.Cluster) {
+	for _, name := range c.Names() {
+		for _, pi := range c.Machine(name).PS() {
+			c.Machine(name).Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
+		}
+	}
+}
+
+// streamMsgCount measures, on a pristine cluster, how many stream-port
+// messages a clean streaming migration of the counter program delivers to
+// the destination — the clock the phase-kill table below scripts crashes
+// against.
+func streamMsgCount(t *testing.T) int {
+	t.Helper()
+	c := boot(t, "brick", "schooner")
+	src := c.Console("brick")
+	var msgs int64
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		counter := spawnOK(t, c, "brick", src, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		src.Type("one\n")
+		tk.Sleep(2 * sim.Second)
+		mig := spawnOK(t, c, "brick", nil, "/bin/fmigrate",
+			"-p", fmt.Sprint(counter.PID), "-f", "brick", "-t", "schooner",
+			"-s", "-r", "2")
+		if status := mig.AwaitExit(tk); status != 0 {
+			t.Errorf("clean fmigrate -s exit = %d", status)
+		}
+		msgs = c.NetHost("schooner").PortMsgsIn(apps.MigdStreamPort)
+		killAll(c)
+	})
+	run(t, c)
+	return int(msgs)
+}
+
+// TestStreamMigrationDestCrashPhases kills the destination at every stream
+// phase — the hello, the first text chunk, mid pre-copy round, the final
+// delta, and the close that would commit — and checks the victim resumes
+// on the source and runs on to completion.
+func TestStreamMigrationDestCrashPhases(t *testing.T) {
+	total := streamMsgCount(t)
+	if total < 5 {
+		t.Fatalf("clean migration delivered only %d stream messages", total)
+	}
+	phases := []struct {
+		name  string
+		crash int // crash on the nth stream-port message
+	}{
+		{"hello", 1},
+		{"text", 2},
+		{"mid-round", total / 2},
+		{"final-delta", total - 1},
+		{"commit-close", total},
+	}
+	for _, ph := range phases {
+		ph := ph
+		t.Run(ph.name, func(t *testing.T) {
+			c := boot(t, "brick", "schooner")
+			src := c.Console("brick")
+			var counter, mig *kernel.Proc
+			var migStatus int
+			c.Eng.Go("driver", func(tk *sim.Task) {
+				counter = spawnOK(t, c, "brick", src, "/bin/counter")
+				tk.Sleep(2 * sim.Second)
+				src.Type("one\n")
+				tk.Sleep(2 * sim.Second)
+
+				c.NetHost("schooner").CrashAfter(apps.MigdStreamPort, ph.crash)
+				mig = spawnOK(t, c, "brick", nil, "/bin/fmigrate",
+					"-p", fmt.Sprint(counter.PID), "-f", "brick", "-t", "schooner",
+					"-s", "-r", "2", "-n", "1")
+				migStatus = mig.AwaitExit(tk)
+
+				// The victim must be alive on the source and resume exactly
+				// where it was: the next input line continues the sequence.
+				if counter.State != kernel.ProcRunning {
+					t.Errorf("victim state = %v after failed migration", counter.State)
+				}
+				tk.Sleep(2 * sim.Second)
+				src.Type("two\n")
+				tk.Sleep(2 * sim.Second)
+				killAll(c)
+			})
+			run(t, c)
+
+			if migStatus == 0 {
+				t.Fatal("fmigrate reported success with the destination dead")
+			}
+			out := src.Output()
+			if !strings.Contains(out, "R3 D3 S3\n") {
+				t.Fatalf("victim did not continue after abort (console %q)", out)
+			}
+			if strings.Count(out, "R1 D1 S1\n") != 1 {
+				t.Fatalf("victim restarted from scratch (console %q)", out)
+			}
+			data, err := c.Machine("brick").NS().ReadFile("/home/out")
+			if err != nil || string(data) != "one\ntwo\n" {
+				t.Fatalf("output file = %q, %v", data, err)
+			}
+			if mp := findMigrated(c.Machine("schooner")); mp != nil {
+				t.Fatalf("half-restored copy (pid %d) survives on the crashed destination", mp.PID)
+			}
+			aoutP, filesP, stackP := core.DumpPaths("", counter.PID)
+			for _, m := range []string{"brick", "schooner"} {
+				for _, path := range []string{aoutP, filesP, stackP} {
+					if _, err := c.Machine(m).NS().ReadFile(path); err == nil {
+						t.Errorf("file %s leaked on %s", path, m)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClassicMigrationDestCrash kills the destination as the transactional
+// restart request arrives: the classic path must resume the frozen victim
+// and garbage-collect its dump files.
+func TestClassicMigrationDestCrash(t *testing.T) {
+	c := boot(t, "brick", "schooner")
+	src := c.Console("brick")
+	var counter, mig *kernel.Proc
+	var migStatus int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		counter = spawnOK(t, c, "brick", src, "/bin/counter")
+		tk.Sleep(2 * sim.Second)
+		src.Type("one\n")
+		tk.Sleep(2 * sim.Second)
+
+		// The only migd-port message the destination sees is the
+		// txrestart request; crash on it.
+		c.NetHost("schooner").CrashAfter(apps.MigdPort, 1)
+		mig = spawnOK(t, c, "brick", nil, "/bin/fmigrate",
+			"-p", fmt.Sprint(counter.PID), "-f", "brick", "-t", "schooner", "-n", "1")
+		migStatus = mig.AwaitExit(tk)
+
+		if counter.State != kernel.ProcRunning {
+			t.Errorf("victim state = %v after failed migration", counter.State)
+		}
+		tk.Sleep(2 * sim.Second)
+		src.Type("two\n")
+		tk.Sleep(2 * sim.Second)
+		killAll(c)
+	})
+	run(t, c)
+
+	if migStatus == 0 {
+		t.Fatal("classic fmigrate reported success with the destination dead")
+	}
+	out := src.Output()
+	if !strings.Contains(out, "R3 D3 S3\n") {
+		t.Fatalf("victim did not continue after abort (console %q)", out)
+	}
+	data, err := c.Machine("brick").NS().ReadFile("/home/out")
+	if err != nil || string(data) != "one\ntwo\n" {
+		t.Fatalf("output file = %q, %v", data, err)
+	}
+	// The retained dump files were transaction state; the abort owns their
+	// garbage collection.
+	aoutP, filesP, stackP := core.DumpPaths("", counter.PID)
+	for _, path := range []string{aoutP, filesP, stackP} {
+		if _, err := c.Machine("brick").NS().ReadFile(path); err == nil {
+			t.Errorf("dump file %s leaked on brick after aborted migration", path)
+		}
+	}
+}
+
+// TestMigrationSurvivesLossyNetwork runs both paths over a 10%-lossy
+// network: the retry layers must carry the migration through, and the
+// classic path must reap the original only after the destination committed.
+func TestMigrationSurvivesLossyNetwork(t *testing.T) {
+	for _, mode := range []string{"classic", "stream"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			c := boot(t, "brick", "schooner")
+			c.Eng.Seed(7)
+			src := c.Console("brick")
+			lossy := netsim.FaultSpec{Drop: 0.10, Dup: 0.05}
+			var counter, mig, mp *kernel.Proc
+			var migStatus int
+			c.Eng.Go("driver", func(tk *sim.Task) {
+				counter = spawnOK(t, c, "brick", src, "/bin/counter")
+				tk.Sleep(2 * sim.Second)
+				src.Type("one\n")
+				tk.Sleep(2 * sim.Second)
+
+				c.Net.FaultPort(apps.MigdPort, lossy)
+				c.Net.FaultPort(apps.MigdPrecopyPort, lossy)
+				c.Net.FaultPort(apps.MigdStreamPort, lossy)
+				args := []string{"-p", fmt.Sprint(counter.PID), "-f", "brick", "-t", "schooner"}
+				if mode == "stream" {
+					args = append(args, "-s", "-r", "2")
+				}
+				mig = spawnOK(t, c, "brick", nil, "/bin/rmigrate", args...)
+				migStatus = mig.AwaitExit(tk)
+				c.Net.ClearFaults()
+				tk.Sleep(2 * sim.Second)
+				mp = findMigrated(c.Machine("schooner"))
+				killAll(c)
+			})
+			run(t, c)
+
+			if migStatus != 0 {
+				t.Fatalf("rmigrate exit = %d over a 10%% lossy network", migStatus)
+			}
+			if counter.KilledBy != kernel.SIGDUMP {
+				t.Fatalf("original killed by %v, want a committed SIGDUMP", counter.KilledBy)
+			}
+			if mp == nil {
+				t.Fatal("no migrated copy on schooner")
+			}
+		})
+	}
+}

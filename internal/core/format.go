@@ -45,8 +45,9 @@ func DumpPaths(prefix string, pid int) (aoutPath, filesPath, stackPath string) {
 
 // Errors.
 var (
-	ErrBadMagic  = errors.New("core: bad dump file magic")
-	ErrTruncated = errors.New("core: truncated dump file")
+	ErrBadMagic     = errors.New("core: bad dump file magic")
+	ErrTruncated    = errors.New("core: truncated dump file")
+	ErrNotCommitted = errors.New("core: stream image has no matching commit record")
 )
 
 // FDKind classifies one open-file-table entry in the files file.

@@ -28,34 +28,39 @@ const StreamMagic = 0o446
 
 // Stream record types. Every Send on the stream carries exactly one record.
 const (
-	RecText byte = 1 // u32 offset, u32 n, n text bytes
-	RecPage byte = 2 // u32 page number, u32 n (= vm.PageSize), n bytes
-	RecMeta byte = 3 // u32 stackLen, u32 filesLen, files, u32 sfLen, stack file (sans stack)
+	RecText   byte = 1 // u32 offset, u32 n, n text bytes
+	RecPage   byte = 2 // u32 page number, u32 n (= vm.PageSize), n bytes
+	RecMeta   byte = 3 // u32 stackLen, u32 filesLen, files, u32 sfLen, stack file (sans stack)
+	RecCommit byte = 4 // two-phase-commit trailer, see CommitRecord
 )
 
 // TextChunk is how much text one RecText record carries.
 const TextChunk = 4096
 
 // StreamHello opens a streaming migration: enough of the image geometry
-// for the destination to pre-size its buffers.
+// for the destination to pre-size its buffers, plus the transaction id
+// the destination records its verdict under (so a source whose close
+// response was lost can ask what actually happened).
 type StreamHello struct {
 	PID     uint32 // source pid (names the spooled dump files)
 	ISA     vm.Level
 	Entry   uint32
 	TextLen uint32
 	DataLen uint32
+	Txn     uint32 // migration transaction id (0: untracked)
 	Source  string // source host name, for the files file
 }
 
 // Encode serializes a hello.
 func (h *StreamHello) Encode() []byte {
-	b := make([]byte, 0, 32+len(h.Source))
+	b := make([]byte, 0, 36+len(h.Source))
 	b = binary.BigEndian.AppendUint16(b, StreamMagic)
 	b = binary.BigEndian.AppendUint32(b, h.PID)
 	b = append(b, byte(h.ISA))
 	b = binary.BigEndian.AppendUint32(b, h.Entry)
 	b = binary.BigEndian.AppendUint32(b, h.TextLen)
 	b = binary.BigEndian.AppendUint32(b, h.DataLen)
+	b = binary.BigEndian.AppendUint32(b, h.Txn)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(h.Source)))
 	b = append(b, h.Source...)
 	return b
@@ -78,6 +83,7 @@ func DecodeStreamHello(raw []byte) (*StreamHello, error) {
 	h.Entry = r.u32()
 	h.TextLen = r.u32()
 	h.DataLen = r.u32()
+	h.Txn = r.u32()
 	h.Source = r.str()
 	if r.err != nil {
 		return nil, r.err
@@ -126,6 +132,54 @@ func encodeMetaRec(stackLen int, filesRaw, sfRaw []byte) []byte {
 	return append(b, sfRaw...)
 }
 
+// CommitRecord is the two-phase-commit trailer of a streaming image: the
+// source's statement, sent with the victim frozen, of what a complete
+// transfer contains. The destination refuses to spool (phase two) unless a
+// commit record arrived and matches what it assembled — a stream that dies
+// early can never produce a half-restored process.
+type CommitRecord struct {
+	Txn       uint32 // migration transaction id (matches the hello)
+	PID       uint32
+	TextLen   uint32 // total text bytes shipped
+	PageCount uint32 // distinct data/stack pages shipped
+	StackLen  uint32 // live stack bytes at freeze time
+}
+
+// Encode serializes a commit record, leading type byte included.
+func (c *CommitRecord) Encode() []byte {
+	b := make([]byte, 0, 21)
+	b = append(b, RecCommit)
+	b = binary.BigEndian.AppendUint32(b, c.Txn)
+	b = binary.BigEndian.AppendUint32(b, c.PID)
+	b = binary.BigEndian.AppendUint32(b, c.TextLen)
+	b = binary.BigEndian.AppendUint32(b, c.PageCount)
+	b = binary.BigEndian.AppendUint32(b, c.StackLen)
+	return b
+}
+
+// DecodeCommit parses a commit record (leading type byte included),
+// rejecting short input and trailing garbage.
+func DecodeCommit(raw []byte) (*CommitRecord, error) {
+	if len(raw) < 1 || raw[0] != RecCommit {
+		return nil, ErrBadMagic
+	}
+	r := &reader{buf: raw[1:]}
+	c := &CommitRecord{
+		Txn:       r.u32(),
+		PID:       r.u32(),
+		TextLen:   r.u32(),
+		PageCount: r.u32(),
+		StackLen:  r.u32(),
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, ErrTruncated
+	}
+	return c, nil
+}
+
 // --- source side ------------------------------------------------------------
 
 // StreamSession is the source-side state of one streaming migration: the
@@ -135,14 +189,52 @@ func encodeMetaRec(stackLen int, filesRaw, sfRaw []byte) []byte {
 // process frozen.
 type StreamSession struct {
 	Stream *netsim.Stream
+	Txn    uint32 // migration transaction id, echoed in the commit record
 
-	textSent bool
-	fullSent bool
+	// Resolve, when set, is consulted after a transfer failure with the
+	// victim frozen: ask the destination (with its own retries) whether
+	// the restart actually happened despite the lost answer. It returns 0
+	// for a confirmed commit; anything else — including "unreachable" —
+	// aborts, which is safe because a destination that cannot confirm its
+	// copy either never completed it or crashed with it.
+	Resolve func(t *sim.Task) int
+
+	textSent  bool
+	fullSent  bool
+	sentPages map[uint32]struct{} // distinct pages shipped, for the commit record
 
 	WireBytes int64 // payload bytes handed to the stream
 	Rounds    int   // SendRound calls so far (including the final one)
 	Status    int   // destination restart status, set after the final round
 	Err       error // transfer failure, set instead of Status
+
+	// Settled flips once the final round has decided the outcome either
+	// way; DoneQ wakes the orchestrator waiting on it (the victim itself
+	// may resume rather than exit, so waiting on its ExitQ is not enough).
+	Settled bool
+	DoneQ   sim.Queue
+}
+
+// streamSendRetries bounds how often one lost record is resent before the
+// transfer gives up. Records are idempotent on the assembler, so resending
+// is always safe; at a 20% drop rate eight retries leave a per-record
+// failure probability of ~2.6e-6.
+const streamSendRetries = 8
+
+// sendRec ships one record, retrying records lost to drop faults.
+func (s *StreamSession) sendRec(t *sim.Task, rec []byte) error {
+	var err error
+	for i := 0; i <= streamSendRetries; i++ {
+		err = s.Stream.Send(t, rec)
+		if err != errno.ETIMEDOUT {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	s.WireBytes += int64(len(rec))
+	return nil
 }
 
 // SendRound ships one copy round: the text (first round only), then either
@@ -154,13 +246,12 @@ type StreamSession struct {
 // (the caller decides which clock it bills: the daemon's task during
 // pre-copy, the dying process's system time during the final round).
 func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, charge func(sim.Duration)) error {
+	if s.sentPages == nil {
+		s.sentPages = map[uint32]struct{}{}
+	}
 	send := func(rec []byte) error {
 		charge(costs.StreamChunkBase + sim.Duration(len(rec))*costs.StreamPerByte)
-		if err := s.Stream.Send(t, rec); err != nil {
-			return err
-		}
-		s.WireBytes += int64(len(rec))
-		return nil
+		return s.sendRec(t, rec)
 	}
 	if !s.textSent {
 		for off := 0; off < len(cpu.Text); off += TextChunk {
@@ -189,6 +280,7 @@ func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, 
 		if err := send(encodePageRec(pg, cpu.PageData(pg))); err != nil {
 			return err
 		}
+		s.sentPages[pg] = struct{}{}
 	}
 	s.Rounds++
 	return nil
@@ -233,31 +325,58 @@ func takeStreamSession(m *kernel.Machine, pid int) *StreamSession {
 }
 
 // streamDumpFinal is the streaming counterpart of Dump: with the process
-// frozen in the signal path, ship the last dirty-page delta and the
-// files/stack metadata, then close the stream and collect the remote
-// restart status. Runs in the dying process's context, so its CPU time is
-// the migration's freeze cost.
+// frozen in the signal path, ship the last dirty-page delta, the
+// files/stack metadata and the commit record, then close the stream and
+// collect the remote restart status. Runs in the (possibly dying)
+// process's context, so its CPU time is the migration's freeze cost.
+//
+// It returns 0 only when the destination confirmed a successful restart
+// (the SIGDUMP path then reaps the original) and ERESTART on every
+// failure: the transfer died, the restart failed, or the outcome could
+// not be confirmed and Resolve did not report a commit — the victim then
+// resumes exactly where it was.
 func streamDumpFinal(p *kernel.Proc, sess *StreamSession) errno.Errno {
+	e := streamDumpSend(p, sess)
+	sess.Settled = true
+	sess.DoneQ.WakeAll()
+	return e
+}
+
+func streamDumpSend(p *kernel.Proc, sess *StreamSession) errno.Errno {
 	m := p.M
-	fail := func(e errno.Errno) errno.Errno {
+	t := p.Task()
+	// abort resolves a transfer failure with the victim frozen: unless
+	// the destination confirms the migration actually committed (our view
+	// of the close response may simply have been lost), resume the victim
+	// with dirty tracking disarmed and the stream torn down so the
+	// destination discards its partial spool.
+	abort := func(e errno.Errno) errno.Errno {
+		if sess.Resolve != nil {
+			if sess.Resolve(t) == 0 {
+				sess.Status = 0
+				sess.Err = nil
+				return 0
+			}
+		}
 		sess.Err = e
 		sess.Status = -1
-		return e
+		if p.VM != nil {
+			p.VM.SetDirtyTracking(false)
+		}
+		sess.Stream.Abort(t)
+		return errno.ERESTART
 	}
 	if p.VM == nil {
-		return fail(errno.ENOEXEC)
+		return abort(errno.ENOEXEC)
 	}
 	if !m.Config.TrackNames {
-		return fail(errno.EINVAL)
+		return abort(errno.EINVAL)
 	}
-	t := p.Task()
 
 	// Final copy round: only pages dirtied since the last pre-copy round
 	// (or the whole image, for a streaming stop-and-copy with no rounds).
 	if err := sess.SendRound(t, p.VM, m.Costs, p.ChargeSys); err != nil {
-		sess.Err = err
-		sess.Status = -1
-		return errno.EIO
+		return abort(errno.Of(err))
 	}
 
 	// files file, with the path fixups dumpproc applies at user level
@@ -298,22 +417,39 @@ func streamDumpFinal(p *kernel.Proc, sess *StreamSession) errno.Errno {
 
 	meta := encodeMetaRec(stackLen, ff.Encode(), sf.Encode())
 	p.ChargeSys(m.Costs.StreamChunkBase + sim.Duration(len(meta))*m.Costs.StreamPerByte)
-	if err := sess.Stream.Send(t, meta); err != nil {
-		sess.Err = err
-		sess.Status = -1
-		return errno.EIO
+	if err := sess.sendRec(t, meta); err != nil {
+		return abort(errno.Of(err))
 	}
-	sess.WireBytes += int64(len(meta))
 
+	// Phase one of the commit: tell the destination exactly what a
+	// complete image contains. It refuses to spool without this.
+	commit := &CommitRecord{
+		Txn:       sess.Txn,
+		PID:       uint32(p.PID),
+		TextLen:   uint32(len(p.VM.Text)),
+		PageCount: uint32(len(sess.sentPages)),
+		StackLen:  uint32(stackLen),
+	}
+	rec := commit.Encode()
+	p.ChargeSys(m.Costs.StreamChunkBase + sim.Duration(len(rec))*m.Costs.StreamPerByte)
+	if err := sess.sendRec(t, rec); err != nil {
+		return abort(errno.Of(err))
+	}
+
+	// Phase two: Close runs the destination's spool-and-restart and ships
+	// the verdict back. A lost close aborts the sink server-side; a lost
+	// response leaves the outcome to Resolve.
 	resp, err := sess.Stream.Close(t)
 	if err != nil {
-		sess.Err = err
-		sess.Status = -1
-		return errno.EIO
+		return abort(errno.Of(err))
 	}
 	sess.Status = DecodeStreamStatus(resp)
 	if sess.Status != 0 {
-		return errno.EIO
+		// The destination ran to a verdict and it was "failed": nothing
+		// to resolve, resume the victim.
+		sess.Err = errno.EIO
+		p.VM.SetDirtyTracking(false)
+		return errno.ERESTART
 	}
 	return 0
 }
@@ -332,6 +468,7 @@ type ImageAssembler struct {
 	filesRaw []byte
 	sfRaw    []byte
 	metaSeen bool
+	commit   *CommitRecord
 }
 
 // NewImageAssembler starts reassembly for one streaming migration.
@@ -388,10 +525,29 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 			return r.err
 		}
 		a.metaSeen = true
+	case RecCommit:
+		c, err := DecodeCommit(rec)
+		if err != nil {
+			return err
+		}
+		a.commit = c
 	default:
 		return ErrBadMagic
 	}
 	return nil
+}
+
+// Committed reports whether a commit record has arrived and matches both
+// the hello and what was actually assembled — the gate Spool enforces.
+func (a *ImageAssembler) Committed() bool {
+	c := a.commit
+	return c != nil && a.metaSeen &&
+		c.Txn == a.hello.Txn &&
+		c.PID == a.hello.PID &&
+		c.TextLen == a.hello.TextLen &&
+		int(c.TextLen) <= a.textGot &&
+		int(c.PageCount) == len(a.pages) &&
+		int(c.StackLen) == a.stackLen
 }
 
 // overlay copies the intersection of page (at pageBase) into dst (at
@@ -420,6 +576,12 @@ func (a *ImageAssembler) Spool() (aoutRaw, filesRaw, stackRaw []byte, err error)
 	}
 	if a.textGot < len(a.text) {
 		return nil, nil, nil, ErrTruncated
+	}
+	if !a.Committed() {
+		// No commit record, or one disagreeing with what arrived: the
+		// transfer never completed its first phase; refuse to build a
+		// half image.
+		return nil, nil, nil, ErrNotCommitted
 	}
 	sf, err := DecodeStack(a.sfRaw)
 	if err != nil {

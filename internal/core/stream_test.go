@@ -133,6 +133,18 @@ func TestStreamImageRoundTrip(t *testing.T) {
 	if err := st.Send(nil, meta); err != nil {
 		t.Fatal(err)
 	}
+	// Before the commit record arrives the assembler must refuse to spool.
+	if _, _, _, err := sink.asm.Spool(); err != ErrNotCommitted {
+		t.Fatalf("pre-commit spool err = %v, want ErrNotCommitted", err)
+	}
+	commit := &CommitRecord{
+		PID: 7, TextLen: uint32(len(text)),
+		PageCount: uint32(len(sess.sentPages)),
+		StackLen:  uint32(len(c.StackImage())),
+	}
+	if err := st.Send(nil, commit.Encode()); err != nil {
+		t.Fatal(err)
+	}
 	resp, err := st.Close(nil)
 	if err != nil {
 		t.Fatal(err)
@@ -219,5 +231,19 @@ func TestAssemblerRejectsBadInput(t *testing.T) {
 	}
 	if _, _, _, err := asm.Spool(); err == nil {
 		t.Fatal("spool with missing text accepted")
+	}
+	// Truncated commit records must be rejected, and a commit that
+	// disagrees with the hello must not open the spool gate.
+	crec := (&CommitRecord{PID: 1, TextLen: 100}).Encode()
+	for n := 1; n < len(crec); n++ {
+		if err := asm.Apply(crec[:n]); err == nil {
+			t.Fatalf("truncated commit record (%d bytes) accepted", n)
+		}
+	}
+	if err := asm.Apply((&CommitRecord{PID: 2, TextLen: 100}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Committed() {
+		t.Fatal("commit record for the wrong PID accepted")
 	}
 }

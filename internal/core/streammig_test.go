@@ -77,16 +77,14 @@ func TestStreamingMigration(t *testing.T) {
 				t.Fatalf("output file = %q, %v", data, err)
 			}
 
-			// The image was spooled locally on the destination...
-			imageBytes := 0
+			// The spool on the destination was pure staging — removed once
+			// the restart consumed it — and the source never wrote dump
+			// files at all.
 			aoutPath, filesPath, stackPath := core.DumpPaths("", counter.PID)
 			for _, path := range []string{aoutPath, filesPath, stackPath} {
-				data, err := c.Machine("schooner").NS().ReadFile(path)
-				if err != nil {
-					t.Errorf("spooled %s missing on schooner: %v", path, err)
+				if _, err := c.Machine("schooner").NS().ReadFile(path); err == nil {
+					t.Errorf("spool file %s leaked on schooner after restart", path)
 				}
-				imageBytes += len(data)
-				// ...and never written on the source.
 				if _, err := c.Machine("brick").NS().ReadFile(path); err == nil {
 					t.Errorf("dump file %s exists on brick: streaming fell back to disk", path)
 				}
@@ -96,8 +94,7 @@ func TestStreamingMigration(t *testing.T) {
 			// re-opens). With a big image the gap widens — A6 measures
 			// that; here a fixed cap catches any image read sneaking back.
 			if nfsBytes := destNFSAfter - destNFSBefore; nfsBytes > 4096 {
-				t.Errorf("destination moved %d NFS bytes during streaming migration (image is %d)",
-					nfsBytes, imageBytes)
+				t.Errorf("destination moved %d NFS bytes during streaming migration", nfsBytes)
 			}
 		})
 	}

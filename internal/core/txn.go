@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+
+	"procmig/internal/errno"
+	"procmig/internal/kernel"
+	"procmig/internal/sim"
+)
+
+// Classic-path migration transactions: a DumpHold armed before SIGDUMP
+// makes the dump action park the victim frozen-but-alive after writing its
+// dump files, instead of dying. The coordinator (migd's txmigrate handler)
+// then drives the destination restart and resolves the hold: commit reaps
+// the process, abort resumes it exactly where it was — the source survives
+// every failure. The dump files are retained until the verdict and
+// garbage-collected either way.
+
+// Hold verdicts.
+const (
+	holdNone = iota
+	holdCommit
+	holdAbort
+)
+
+// DumpHold is one armed classic-path transaction.
+type DumpHold struct {
+	pid     int
+	frozen  bool        // dump files written, victim parked
+	dumpErr errno.Errno // the dump itself failed; victim resumed
+	verdict int
+
+	waitQ sim.Queue // the parked victim
+	doneQ sim.Queue // the coordinator awaiting the freeze
+}
+
+var (
+	holdMu sync.Mutex
+	holds  = map[*kernel.Machine]map[int]*DumpHold{}
+)
+
+// ArmDumpHold registers a hold so the next SIGDUMP dump of pid on m
+// freezes the process instead of killing it.
+func ArmDumpHold(m *kernel.Machine, pid int) *DumpHold {
+	holdMu.Lock()
+	defer holdMu.Unlock()
+	if holds[m] == nil {
+		holds[m] = map[int]*DumpHold{}
+	}
+	h := &DumpHold{pid: pid}
+	holds[m][pid] = h
+	return h
+}
+
+// DisarmDumpHold removes the hold if it is still registered (resolved or
+// not), so a later plain dumpproc behaves classically.
+func DisarmDumpHold(m *kernel.Machine, pid int) {
+	holdMu.Lock()
+	defer holdMu.Unlock()
+	delete(holds[m], pid)
+}
+
+func holdFor(m *kernel.Machine, pid int) *DumpHold {
+	holdMu.Lock()
+	defer holdMu.Unlock()
+	return holds[m][pid]
+}
+
+// Frozen reports whether the victim has written its dump files and parked.
+func (h *DumpHold) Frozen() bool { return h.frozen }
+
+// DumpFailed reports the dump error, if the dump itself failed (the victim
+// resumed on its own; there is nothing to commit).
+func (h *DumpHold) DumpFailed() errno.Errno { return h.dumpErr }
+
+// park runs in the victim's context at the end of a successful dump: wake
+// the coordinator and sleep until the verdict. Commit lets the SIGDUMP
+// path reap the process; abort resumes it.
+func (h *DumpHold) park(p *kernel.Proc) errno.Errno {
+	h.frozen = true
+	h.doneQ.WakeAll()
+	t := p.Task()
+	for h.verdict == holdNone {
+		t.Wait(&h.waitQ)
+	}
+	if h.verdict == holdCommit {
+		return 0
+	}
+	return errno.ERESTART
+}
+
+// fail runs in the victim's context when the dump errored with the hold
+// armed: record the error, wake the coordinator, and resume the victim
+// (a failed migration must not kill the process).
+func (h *DumpHold) fail(e errno.Errno) errno.Errno {
+	h.frozen = false
+	h.dumpErr = e
+	h.doneQ.WakeAll()
+	return errno.ERESTART
+}
+
+// AwaitFrozen blocks the coordinator until the victim is parked (true) or
+// the dump failed / the process died some other way (false).
+func (h *DumpHold) AwaitFrozen(t *sim.Task, p *kernel.Proc) bool {
+	for !h.frozen && h.dumpErr == 0 {
+		if p.State != kernel.ProcRunning {
+			return false
+		}
+		t.WaitTimeout(&h.doneQ, 250*sim.Millisecond)
+	}
+	return h.frozen
+}
+
+// ResolveDumpHold delivers the verdict, wakes the victim, and
+// garbage-collects the dump files (committed images have been read by the
+// destination; aborted ones must not linger for a manual retry — the
+// transaction owns them now). It is idempotent.
+func ResolveDumpHold(m *kernel.Machine, h *DumpHold, commit bool) {
+	if h.verdict == holdNone {
+		if commit {
+			h.verdict = holdCommit
+		} else {
+			h.verdict = holdAbort
+		}
+		h.waitQ.WakeAll()
+	}
+	DisarmDumpHold(m, h.pid)
+	if h.frozen {
+		aoutP, filesP, stackP := DumpPaths("", h.pid)
+		for _, path := range []string{aoutP, filesP, stackP} {
+			m.NS().Remove(path)
+		}
+	}
+}

@@ -8,6 +8,12 @@ import "fmt"
 // Errno is a Unix error number. The zero value means "no error".
 type Errno int
 
+// ERESTART is a kernel-internal sentinel (negative, never shown to user
+// code, matching the BSD convention): returned by the SIGDUMP dump hook
+// when a transactional migration aborted and the process must resume
+// exactly where it was instead of dying.
+const ERESTART Errno = -1
+
 // Error numbers (4.2BSD values).
 const (
 	EPERM        Errno = 1
@@ -50,6 +56,7 @@ const (
 )
 
 var names = map[Errno]string{
+	ERESTART:     "restart interrupted operation",
 	EPERM:        "operation not permitted",
 	ENOENT:       "no such file or directory",
 	ESRCH:        "no such process",

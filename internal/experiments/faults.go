@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"procmig/internal/apps"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+// --- A7: migration under network faults ---------------------------------------
+
+// A7Point is one migration run of the a6 memory hog under an adversarial
+// network: a per-port chunk drop/duplication rate, or a scripted
+// destination crash in the middle of the first pre-copy round.
+//
+// The invariant the sweep checks — the whole point of the transactional
+// protocol — is LiveCopies == 1 in every row: however the run ends, there
+// is exactly one live copy of the process, on the destination when the
+// transaction committed and still on the source when it aborted. Freeze
+// and Total show what the faults cost: retries stretch the transfer, but
+// only faults inside the final frozen round stretch the freeze.
+type A7Point struct {
+	Label      string // image/working-set size
+	DropPct    int    // chunk drop percentage (duplication runs at half)
+	Crash      bool   // scripted mid-round destination crash instead of drops
+	Committed  bool   // rmigrate reported success
+	Migrated   bool   // the live copy is on the destination
+	LiveCopies int    // total live copies of the process, must be 1
+
+	Freeze sim.Duration // source kernel's dump window
+	Total  sim.Duration // rmigrate real time
+}
+
+// a7Sizes is the A7 sweep; two sizes keep the whole table cheap enough to
+// run per-commit.
+var a7Sizes = []struct {
+	Label     string
+	Total, WS int
+}{
+	{"64K/8K", 64 << 10, 8 << 10},
+	{"256K/16K", 256 << 10, 16 << 10},
+}
+
+// a7Drops are the chunk-drop percentages swept for each size.
+var a7Drops = []int{0, 5, 10, 20}
+
+// a7CrashAfter is the stream-port message the scripted crash rides on:
+// past the hello and the first few chunks, well inside round one of the
+// pre-copy for every a7 size.
+const a7CrashAfter = 10
+
+// A7FaultSweep runs the fault matrix. The same seed reproduces the same
+// table bit for bit — every drop, duplication, and retry is drawn from the
+// cluster engine's PRNG.
+func A7FaultSweep(seed uint64) ([]*A7Point, error) {
+	var out []*A7Point
+	run := 0
+	for _, sz := range a7Sizes {
+		for _, drop := range a7Drops {
+			run++
+			pt, err := a7Run(sz.Label, sz.Total, sz.WS, drop, false, seed+uint64(run)*0x9e3779b9)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+		run++
+		pt, err := a7Run(sz.Label, sz.Total, sz.WS, 0, true, seed+uint64(run)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func a7Run(label string, totalBytes, wsBytes, dropPct int, crash bool, seed uint64) (*A7Point, error) {
+	pt := &A7Point{Label: label, DropPct: dropPct, Crash: crash}
+	c, err := boot(kernel.Config{TrackNames: true}, "alpha", "beta", "gamma")
+	if err != nil {
+		return nil, err
+	}
+	c.Eng.Seed(seed)
+	if err := c.InstallVM("/bin/a7hog", a6HogSrc(totalBytes, wsBytes)); err != nil {
+		return nil, err
+	}
+	var fail error
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		hog, serr := c.Spawn("alpha", nil, user, "/bin/a7hog")
+		if serr != nil {
+			fail = serr
+			return
+		}
+		for hog.VM == nil && hog.State == kernel.ProcRunning {
+			tk.Sleep(sim.Second)
+		}
+		tk.Sleep(2 * sim.Second)
+
+		if crash {
+			c.NetHost("beta").CrashAfter(apps.MigdStreamPort, a7CrashAfter)
+		} else if dropPct > 0 {
+			spec := netsim.FaultSpec{
+				Drop: float64(dropPct) / 100,
+				Dup:  float64(dropPct) / 200,
+			}
+			c.Net.FaultPort(apps.MigdPort, spec)
+			c.Net.FaultPort(apps.MigdPrecopyPort, spec)
+			c.Net.FaultPort(apps.MigdStreamPort, spec)
+		}
+		t0 := tk.Now()
+		mig, serr := c.Spawn("gamma", nil, user, "/bin/rmigrate",
+			"-p", fmt.Sprint(hog.PID), "-f", "alpha", "-t", "beta",
+			"-s", "-r", "2", "-n", "4")
+		if serr != nil {
+			fail = serr
+			return
+		}
+		status := mig.AwaitExit(tk)
+		pt.Total = sim.Duration(tk.Now() - t0)
+		pt.Freeze = c.Machine("alpha").Metrics.LastDump.Real
+		pt.Committed = status == 0
+		c.Net.ClearFaults()
+		tk.Sleep(2 * sim.Second)
+
+		// Exactly-one-live-copy census: the original on the source plus any
+		// restarted copy on the destination.
+		if hog.State == kernel.ProcRunning {
+			pt.LiveCopies++
+		}
+		for _, pi := range c.Machine("beta").PS() {
+			if p, ok := c.Machine("beta").FindProc(pi.PID); ok && p.Migrated && p.State == kernel.ProcRunning {
+				pt.LiveCopies++
+				pt.Migrated = true
+			}
+		}
+
+		// The hogs spin forever; kill everything to quiesce.
+		for _, name := range c.Names() {
+			for _, p := range c.Machine(name).Procs() {
+				c.Machine(name).Kill(kernel.Creds{}, p.PID, kernel.SIGKILL)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		return nil, err
+	}
+	if fail != nil {
+		return nil, fail
+	}
+	if pt.LiveCopies != 1 {
+		return nil, fmt.Errorf("a7 %s drop=%d crash=%v: %d live copies, want exactly 1",
+			label, dropPct, crash, pt.LiveCopies)
+	}
+	if pt.Committed != pt.Migrated {
+		return nil, fmt.Errorf("a7 %s drop=%d crash=%v: committed=%v but migrated=%v",
+			label, dropPct, crash, pt.Committed, pt.Migrated)
+	}
+	return pt, nil
+}

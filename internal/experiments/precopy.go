@@ -41,11 +41,11 @@ wsend:  .space %d
 //     and ship only the dirty delta (fmigrate -s -r 2).
 //
 // Total is the fmigrate command's real time. Freeze is the source kernel's
-// LastDump window: for the streaming modes that spans the final transfer,
-// the destination spool, and the restart — the whole time the process is
-// unavailable. For stop it covers only writing the dump files; the process
-// stays dead through the NFS restart too, so its true unavailability is
-// close to Total.
+// LastDump window — since migration became transactional, the whole time
+// the process is unavailable on every path. For the streaming modes that
+// spans the final transfer, the destination spool, and the restart; for
+// stop it spans writing the dump files plus the frozen wait for the
+// destination's restart acknowledgement.
 type A6Point struct {
 	Label      string
 	ImageBytes int // hog data-segment size

@@ -369,12 +369,29 @@ func (p *Proc) deliverSignals() bool {
 			case sig == SIGDUMP:
 				if p.M.Hooks.Dump != nil {
 					p.M.trace(p, "sigdump", "dumping to /usr/tmp")
+					// A transactional dump may abort and resume the
+					// process; remember the pre-rewind PC so an
+					// in-progress syscall is not re-executed on resume.
+					var resumePC uint32
+					if p.VM != nil {
+						resumePC = p.VM.PC
+					}
 					p.RewindSyscall()
 					start, scpu := p.task.Now(), p.STime
-					p.M.Hooks.Dump(p)
+					e := p.M.Hooks.Dump(p)
 					p.M.Metrics.LastDump = OpTiming{
 						CPU:  p.STime - scpu,
 						Real: sim.Duration(p.task.Now() - start),
+					}
+					if e == errno.ERESTART {
+						// The migration aborted with the process intact:
+						// put the PC back and keep running exactly where
+						// it was.
+						if p.VM != nil {
+							p.VM.PC = resumePC
+						}
+						p.M.trace(p, "sigdump", "migration aborted, resuming")
+						continue
 					}
 				}
 				p.die(0, sig)

@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+// Fault injection: per-link and per-port message faults (loss, duplication,
+// extra delay) plus scripted host crashes, all deterministic off the sim
+// engine's PRNG seed. The healthy path consumes no randomness at all, so
+// existing timings are unchanged until a fault is configured.
+
+// FaultSpec describes the unreliability of a link or port. The zero value
+// is a perfect wire.
+type FaultSpec struct {
+	Drop  float64      // probability a message is lost in transit
+	Dup   float64      // probability a delivered message arrives twice
+	Delay sim.Duration // extra one-way latency per message
+}
+
+func (f FaultSpec) zero() bool { return f.Drop == 0 && f.Dup == 0 && f.Delay == 0 }
+
+// combine overlays a second spec: independent loss/duplication, additive
+// delay.
+func (f FaultSpec) combine(g FaultSpec) FaultSpec {
+	return FaultSpec{
+		Drop:  1 - (1-f.Drop)*(1-g.Drop),
+		Dup:   1 - (1-f.Dup)*(1-g.Dup),
+		Delay: f.Delay + g.Delay,
+	}
+}
+
+type linkKey struct{ from, to string }
+
+// FaultLink injects faults on every message sent from one named host to
+// another (one direction only).
+func (n *Network) FaultLink(from, to string, f FaultSpec) {
+	if n.linkFaults == nil {
+		n.linkFaults = map[linkKey]FaultSpec{}
+	}
+	n.linkFaults[linkKey{from, to}] = f
+}
+
+// FaultPort injects faults on every message addressed to the given service
+// or stream port, on any link and in both directions of an exchange.
+func (n *Network) FaultPort(port int, f FaultSpec) {
+	if n.portFaults == nil {
+		n.portFaults = map[int]FaultSpec{}
+	}
+	n.portFaults[port] = f
+}
+
+// ClearFaults removes all link and port fault specs.
+func (n *Network) ClearFaults() {
+	n.linkFaults = nil
+	n.portFaults = nil
+}
+
+// faultFor resolves the spec applying to one message.
+func (n *Network) faultFor(from, to string, port int) FaultSpec {
+	f := n.linkFaults[linkKey{from, to}]
+	if pf, ok := n.portFaults[port]; ok {
+		f = f.combine(pf)
+	}
+	return f
+}
+
+// CrashAfter scripts the host to crash upon arrival of the nth subsequent
+// message delivered to port (that message is lost; n < 1 means the very
+// next one). Dropped messages never arrive and do not advance the count,
+// so with no random faults configured the crash point is exact — tests use
+// this to kill a destination at a chosen stream phase.
+func (h *Host) CrashAfter(port, n int) {
+	if n < 1 {
+		n = 1
+	}
+	if h.crashAt == nil {
+		h.crashAt = map[int]int{}
+	}
+	h.crashAt[port] = n
+}
+
+// SetCrashHook registers fn to run when the host crashes (via CrashAfter
+// or Crash). The cluster layer uses it to kill the machine's processes.
+func (h *Host) SetCrashHook(fn func()) { h.crashHook = fn }
+
+// Crash is the extended SetDown(true): besides making the host
+// unreachable it runs the crash hook, so the machine behind it loses its
+// running processes too.
+func (h *Host) Crash() {
+	if h.down {
+		return
+	}
+	h.down = true
+	if h.crashHook != nil {
+		h.crashHook()
+	}
+}
+
+// crashArm decrements the scripted-crash counter for port, reporting true
+// when this message is the one that takes the host down.
+func (h *Host) crashArm(port int) bool {
+	c, ok := h.crashAt[port]
+	if !ok {
+		return false
+	}
+	if c > 1 {
+		h.crashAt[port] = c - 1
+		return false
+	}
+	delete(h.crashAt, port)
+	return true
+}
+
+// chargeTimeout makes the sender wait out the configured deadline — the
+// cost of discovering that a message went unanswered.
+func (n *Network) chargeTimeout(t *sim.Task) {
+	if t != nil {
+		t.Sleep(n.Timeout)
+	}
+}
+
+// deliver is the fault-aware message primitive under Call and the stream
+// operations: count and charge one message from -> to on behalf of client,
+// apply any configured faults, and run scripted crashes. On error the
+// receiver never saw the message, and the sender has waited out the
+// network deadline (plus the wire time of whatever was transmitted). dup
+// reports that the message arrived twice; the caller re-delivers the
+// payload only to idempotent consumers (stream sinks).
+func (n *Network) deliver(t *sim.Task, from, to *Host, client *Host, port int, nbytes int) (dup bool, err error) {
+	f := n.faultFor(from.name, to.name, port)
+	wire := n.Latency + sim.Duration(nbytes)*n.ByteTime + f.Delay
+	n.count(from, to, client, port, nbytes)
+	if to.down {
+		n.chargeTimeout(t)
+		return false, errno.EHOSTDOWN
+	}
+	if f.Drop > 0 && n.eng.RandFloat() < f.Drop {
+		if t != nil {
+			t.Sleep(wire)
+		}
+		n.chargeTimeout(t)
+		return false, errno.ETIMEDOUT
+	}
+	if to.crashArm(port) {
+		to.Crash()
+		n.chargeTimeout(t)
+		return false, errno.EHOSTDOWN
+	}
+	if f.Dup > 0 && n.eng.RandFloat() < f.Dup {
+		dup = true
+		n.count(from, to, client, port, nbytes)
+		wire += n.Latency + sim.Duration(nbytes)*n.ByteTime
+	}
+	to.portMsgsIn[port]++
+	if t != nil {
+		t.Sleep(wire)
+	}
+	return dup, nil
+}
+
+// count records one transmitted message in the global, per-host and
+// per-client-port counters (lost messages still went on the wire).
+func (n *Network) count(from, to, client *Host, port int, nbytes int) {
+	n.Messages++
+	n.Bytes += int64(nbytes)
+	from.stats.MsgsOut++
+	from.stats.BytesOut += int64(nbytes)
+	to.stats.MsgsIn++
+	to.stats.BytesIn += int64(nbytes)
+	client.clientBytes[port] += int64(nbytes)
+}

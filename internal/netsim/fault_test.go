@@ -1,0 +1,302 @@
+package netsim
+
+import (
+	"testing"
+
+	"procmig/internal/errno"
+	"procmig/internal/sim"
+)
+
+// faultRig is a two-host network with an echo service and a byte-counting
+// stream sink on port 9 of "dst".
+type faultRig struct {
+	eng      *sim.Engine
+	net      *Network
+	src, dst *Host
+	sink     *countSink
+}
+
+type countSink struct {
+	chunks  int
+	bytes   int
+	done    bool
+	aborted bool
+}
+
+func (s *countSink) Chunk(_ *sim.Task, data []byte) { s.chunks++; s.bytes += len(data) }
+func (s *countSink) Done(_ *sim.Task) []byte        { s.done = true; return []byte("ok") }
+func (s *countSink) Abort(_ *sim.Task)              { s.aborted = true }
+
+func newFaultRig(t *testing.T, seed uint64) *faultRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.Seed(seed)
+	net := New(eng, sim.Millisecond, 0)
+	r := &faultRig{eng: eng, net: net, src: net.AddHost("src"), dst: net.AddHost("dst"), sink: &countSink{}}
+	r.dst.Listen(7, func(_ *sim.Task, req []byte) []byte { return req })
+	r.dst.ListenStream(9, func(_ *sim.Task, _ string, _ []byte) (StreamSink, error) {
+		return r.sink, nil
+	})
+	return r
+}
+
+func (r *faultRig) run(t *testing.T, fn func(tk *sim.Task)) {
+	t.Helper()
+	r.eng.Go("driver", fn)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCallToDownHostChargesTimeout: discovering that a host is down costs
+// the network deadline, never zero — an experiment cannot under-report the
+// latency of talking to a crashed machine.
+func TestCallToDownHostChargesTimeout(t *testing.T) {
+	r := newFaultRig(t, 1)
+	r.dst.SetDown(true)
+	var before, after sim.Time
+	var err error
+	r.run(t, func(tk *sim.Task) {
+		before = tk.Now()
+		_, err = r.src.Call(tk, "dst", 7, []byte("hi"))
+		after = tk.Now()
+	})
+	if errno.Of(err) != errno.EHOSTDOWN {
+		t.Fatalf("err = %v", err)
+	}
+	if cost := sim.Duration(after - before); cost < r.net.Timeout {
+		t.Fatalf("down-host call cost %v, want at least the %v timeout", cost, r.net.Timeout)
+	}
+	// Unknown hosts charge the same deadline.
+	r.run(t, func(tk *sim.Task) {
+		before = tk.Now()
+		_, err = r.src.Call(tk, "ghost", 7, nil)
+		after = tk.Now()
+	})
+	if errno.Of(err) != errno.EHOSTDOWN || sim.Duration(after-before) < r.net.Timeout {
+		t.Fatalf("unknown-host call: err %v cost %v", err, sim.Duration(after-before))
+	}
+}
+
+// TestDropFault: a total drop makes every call time out (after paying the
+// deadline); clearing the fault heals the link.
+func TestDropFault(t *testing.T) {
+	r := newFaultRig(t, 2)
+	r.net.FaultLink("src", "dst", FaultSpec{Drop: 1})
+	var err error
+	var before, after sim.Time
+	r.run(t, func(tk *sim.Task) {
+		before = tk.Now()
+		_, err = r.src.Call(tk, "dst", 7, []byte("x"))
+		after = tk.Now()
+	})
+	if errno.Of(err) != errno.ETIMEDOUT {
+		t.Fatalf("err = %v", err)
+	}
+	if cost := sim.Duration(after - before); cost < r.net.Timeout {
+		t.Fatalf("dropped call cost %v < timeout %v", cost, r.net.Timeout)
+	}
+	r.net.ClearFaults()
+	r.run(t, func(tk *sim.Task) {
+		_, err = r.src.Call(tk, "dst", 7, []byte("x"))
+	})
+	if err != nil {
+		t.Fatalf("after ClearFaults: %v", err)
+	}
+}
+
+// TestDropFaultIsDirectional: FaultLink(src,dst) loses requests but a
+// response-direction fault needs its own spec.
+func TestDropFaultResponseDirection(t *testing.T) {
+	r := newFaultRig(t, 3)
+	r.net.FaultLink("dst", "src", FaultSpec{Drop: 1})
+	var err error
+	handlerRan := false
+	r.dst.Listen(8, func(_ *sim.Task, req []byte) []byte { handlerRan = true; return req })
+	r.run(t, func(tk *sim.Task) {
+		_, err = r.src.Call(tk, "dst", 8, []byte("x"))
+	})
+	if errno.Of(err) != errno.ETIMEDOUT {
+		t.Fatalf("err = %v", err)
+	}
+	if !handlerRan {
+		t.Fatal("request direction was faulted: handler never ran despite a response-only drop")
+	}
+}
+
+// TestDupFault: a duplicated stream chunk reaches the sink twice; Call
+// handlers are never re-run by duplication.
+func TestDupFault(t *testing.T) {
+	r := newFaultRig(t, 4)
+	r.net.FaultPort(9, FaultSpec{Dup: 1})
+	calls := 0
+	r.dst.Listen(8, func(_ *sim.Task, req []byte) []byte { calls++; return req })
+	r.run(t, func(tk *sim.Task) {
+		st, err := r.src.OpenStream(tk, "dst", 9, []byte("hello"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := st.Send(tk, []byte("abc")); err != nil {
+			t.Error(err)
+		}
+		if _, err := st.Close(tk); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.src.Call(tk, "dst", 8, []byte("q")); err != nil {
+			t.Error(err)
+		}
+	})
+	if r.sink.chunks != 2 || r.sink.bytes != 6 {
+		t.Fatalf("sink saw %d chunks / %d bytes, want the one chunk twice", r.sink.chunks, r.sink.bytes)
+	}
+	if calls != 1 {
+		t.Fatalf("duplication re-ran a Call handler %d times", calls)
+	}
+}
+
+// TestDelayFault: extra per-message latency is charged on top of the wire
+// time, in each direction it is configured.
+func TestDelayFault(t *testing.T) {
+	r := newFaultRig(t, 5)
+	r.net.FaultLink("src", "dst", FaultSpec{Delay: 3 * sim.Second})
+	var elapsed sim.Duration
+	r.run(t, func(tk *sim.Task) {
+		before := tk.Now()
+		if _, err := r.src.Call(tk, "dst", 7, nil); err != nil {
+			t.Error(err)
+		}
+		elapsed = sim.Duration(tk.Now() - before)
+	})
+	want := 3*sim.Second + 2*sim.Millisecond
+	if elapsed != want {
+		t.Fatalf("delayed call took %v, want %v", elapsed, want)
+	}
+}
+
+// TestDroppedStreamChunkCanBeResent: a drop returns ETIMEDOUT but leaves
+// the stream open; the resent chunk arrives.
+func TestDroppedStreamChunkCanBeResent(t *testing.T) {
+	r := newFaultRig(t, 6)
+	r.run(t, func(tk *sim.Task) {
+		st, err := r.src.OpenStream(tk, "dst", 9, []byte("h"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.net.FaultPort(9, FaultSpec{Drop: 1})
+		if err := st.Send(tk, []byte("lost")); err != errno.ETIMEDOUT {
+			t.Errorf("send on a dead link: %v", err)
+		}
+		r.net.ClearFaults()
+		if err := st.Send(tk, []byte("lost")); err != nil {
+			t.Errorf("resend: %v", err)
+		}
+		if _, err := st.Close(tk); err != nil {
+			t.Error(err)
+		}
+	})
+	if r.sink.chunks != 1 || !r.sink.done {
+		t.Fatalf("sink: %d chunks, done %v", r.sink.chunks, r.sink.done)
+	}
+}
+
+// TestStreamAbortDiscardsSink: Abort tears the stream down without running
+// Done, and the sink hears about it.
+func TestStreamAbortDiscardsSink(t *testing.T) {
+	r := newFaultRig(t, 7)
+	r.run(t, func(tk *sim.Task) {
+		st, err := r.src.OpenStream(tk, "dst", 9, []byte("h"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st.Send(tk, []byte("partial"))
+		st.Abort(tk)
+	})
+	if r.sink.done || !r.sink.aborted {
+		t.Fatalf("sink: done %v aborted %v", r.sink.done, r.sink.aborted)
+	}
+}
+
+// TestScriptedCrash: the nth delivered message on the port takes the host
+// down, runs the crash hook, and is itself lost.
+func TestScriptedCrash(t *testing.T) {
+	r := newFaultRig(t, 8)
+	hookRan := false
+	r.dst.SetCrashHook(func() { hookRan = true })
+	r.dst.CrashAfter(7, 3)
+	var errs []error
+	r.run(t, func(tk *sim.Task) {
+		for i := 0; i < 4; i++ {
+			_, err := r.src.Call(tk, "dst", 7, []byte{byte(i)})
+			errs = append(errs, err)
+		}
+	})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("calls before the crash point failed: %v %v", errs[0], errs[1])
+	}
+	if errno.Of(errs[2]) != errno.EHOSTDOWN {
+		t.Fatalf("crash-point call: %v", errs[2])
+	}
+	if errno.Of(errs[3]) != errno.EHOSTDOWN {
+		t.Fatalf("post-crash call: %v", errs[3])
+	}
+	if !hookRan {
+		t.Fatal("crash hook never ran")
+	}
+	if !r.dst.Down() {
+		t.Fatal("host not down after scripted crash")
+	}
+}
+
+// TestFaultDeterminism: the same seed produces the same loss pattern; a
+// different seed a (very likely) different one.
+func TestFaultDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		r := newFaultRig(t, seed)
+		r.net.FaultLink("src", "dst", FaultSpec{Drop: 0.5})
+		var out []bool
+		r.run(t, func(tk *sim.Task) {
+			for i := 0; i < 32; i++ {
+				_, err := r.src.Call(tk, "dst", 7, []byte{byte(i)})
+				out = append(out, err == nil)
+			}
+		})
+		return out
+	}
+	a, b, c := pattern(42), pattern(42), pattern(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical loss patterns")
+	}
+}
+
+// TestHealthyPathConsumesNoRandomness: with no faults configured the PRNG
+// is untouched, so enabling the fault layer cannot perturb existing runs.
+func TestHealthyPathConsumesNoRandomness(t *testing.T) {
+	r := newFaultRig(t, 9)
+	before := r.eng.Rand()
+	r2 := newFaultRig(t, 9)
+	r2.run(t, func(tk *sim.Task) {
+		for i := 0; i < 10; i++ {
+			if _, err := r2.src.Call(tk, "dst", 7, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if after := r2.eng.Rand(); after != before {
+		t.Fatalf("fault-free traffic consumed PRNG draws: %d != %d", after, before)
+	}
+}

@@ -23,6 +23,15 @@ type Network struct {
 	hosts    map[string]*Host
 	Latency  sim.Duration // per message
 	ByteTime sim.Duration // per payload byte
+	// Timeout is the sender-side deadline: how long a caller waits before
+	// concluding a message (or its answer) is not coming. Every failed
+	// Call/Send charges at least this much, so experiments cannot
+	// under-report failure latency.
+	Timeout sim.Duration
+
+	// Fault injection (see fault.go). Nil maps mean a perfect network.
+	linkFaults map[linkKey]FaultSpec
+	portFaults map[int]FaultSpec
 
 	// Stats
 	Messages int64
@@ -39,7 +48,11 @@ type HostStats struct {
 // New creates a network. A 10 Mbit Ethernet moves ~1 byte/µs after
 // protocol overhead; latency covers media access and protocol processing.
 func New(eng *sim.Engine, latency, byteTime sim.Duration) *Network {
-	return &Network{eng: eng, hosts: map[string]*Host{}, Latency: latency, ByteTime: byteTime}
+	return &Network{
+		eng: eng, hosts: map[string]*Host{},
+		Latency: latency, ByteTime: byteTime,
+		Timeout: sim.Second,
+	}
 }
 
 // Engine returns the simulation engine the network runs on.
@@ -58,6 +71,12 @@ type Host struct {
 	// server port this host talked to as a client — e.g. "how much NFS
 	// traffic did this host generate".
 	clientBytes map[int]int64
+	// portMsgsIn counts messages actually delivered to each local port
+	// (lost ones excluded) — the clock scripted crashes run on.
+	portMsgsIn map[int]int64
+
+	crashAt   map[int]int // port -> messages until a scripted crash
+	crashHook func()
 }
 
 // AddHost attaches a new host.
@@ -67,6 +86,7 @@ func (n *Network) AddHost(name string) *Host {
 		services:    map[int]Handler{},
 		streams:     map[int]StreamServer{},
 		clientBytes: map[int]int64{},
+		portMsgsIn:  map[int]int64{},
 	}
 	n.hosts[name] = h
 	return h
@@ -82,6 +102,10 @@ func (h *Host) Network() *Network { return h.net }
 // ClientBytes reports the payload bytes this host has exchanged as a
 // client of the given server port (requests and responses, any server).
 func (h *Host) ClientBytes(port int) int64 { return h.clientBytes[port] }
+
+// PortMsgsIn reports how many messages have been delivered to one of this
+// host's ports (lost messages excluded).
+func (h *Host) PortMsgsIn(port int) int64 { return h.portMsgsIn[port] }
 
 // Host finds an attached host by name.
 func (n *Network) Host(name string) (*Host, bool) {
@@ -108,25 +132,15 @@ func (h *Host) SetDown(down bool) { h.down = down }
 // Down reports whether the host is marked crashed.
 func (h *Host) Down() bool { return h.down }
 
-// transfer charges the wire cost of moving n bytes from one host to
-// another on behalf of a client of the given server port. Outside any
-// actor (setup code) it is free but still counted.
-func (n *Network) transfer(t *sim.Task, from, to *Host, client *Host, port int, nbytes int) {
-	n.Messages++
-	n.Bytes += int64(nbytes)
-	from.stats.MsgsOut++
-	from.stats.BytesOut += int64(nbytes)
-	to.stats.MsgsIn++
-	to.stats.BytesIn += int64(nbytes)
-	client.clientBytes[port] += int64(nbytes)
-	if t != nil {
-		t.Sleep(n.Latency + sim.Duration(nbytes)*n.ByteTime)
-	}
-}
-
 // Call sends req to the named host's port and waits for the response. The
-// cost is one message each way. If t is nil the ambient engine task is
+// cost is one message each way; a call that fails (unreachable host, lost
+// request or lost response) costs at least the network Timeout, the
+// deadline the caller waited out. If t is nil the ambient engine task is
 // used (nil outside actors: the exchange is then free, for setup code).
+//
+// Handlers run exactly once per delivered request: a lost request never
+// runs the handler, a lost response means the handler ran but the caller
+// cannot know — retrying callers must make their requests idempotent.
 func (h *Host) Call(t *sim.Task, to string, port int, req []byte) ([]byte, error) {
 	if t == nil {
 		t = h.net.eng.Current()
@@ -135,16 +149,21 @@ func (h *Host) Call(t *sim.Task, to string, port int, req []byte) ([]byte, error
 		return nil, errno.EHOSTDOWN
 	}
 	dst, ok := h.net.hosts[to]
-	if !ok || dst.down {
+	if !ok {
+		h.net.chargeTimeout(t)
 		return nil, errno.EHOSTDOWN
 	}
 	fn, ok := dst.services[port]
-	if !ok {
+	if !ok && !dst.down {
 		return nil, errno.ECONNREFUSED
 	}
-	h.net.transfer(t, h, dst, h, port, len(req))
+	if _, err := h.net.deliver(t, h, dst, h, port, len(req)); err != nil {
+		return nil, err
+	}
 	resp := fn(t, req)
-	h.net.transfer(t, dst, h, h, port, len(resp))
+	if _, err := h.net.deliver(t, dst, h, h, port, len(resp)); err != nil {
+		return nil, err
+	}
 	return resp, nil
 }
 
@@ -156,6 +175,21 @@ func (h *Host) Call(t *sim.Task, to string, port int, req []byte) ([]byte, error
 type StreamSink interface {
 	Chunk(t *sim.Task, data []byte)
 	Done(t *sim.Task) []byte
+}
+
+// StreamAborter is an optional StreamSink extension: Abort runs when the
+// stream dies before a successful Close — the opener never saw the accept,
+// the close went unanswered, or the sender gave up explicitly — so the
+// sink can discard partial state instead of leaking it.
+type StreamAborter interface {
+	Abort(t *sim.Task)
+}
+
+// abortSink tears a sink down if it knows how.
+func abortSink(t *sim.Task, sink StreamSink) {
+	if a, ok := sink.(StreamAborter); ok {
+		a.Abort(t)
+	}
 }
 
 // StreamServer accepts a stream opened to a listening port, returning the
@@ -197,24 +231,36 @@ func (h *Host) OpenStream(t *sim.Task, to string, port int, hello []byte) (*Stre
 		return nil, errno.EHOSTDOWN
 	}
 	dst, ok := h.net.hosts[to]
-	if !ok || dst.down {
+	if !ok {
+		h.net.chargeTimeout(t)
 		return nil, errno.EHOSTDOWN
 	}
 	fn, ok := dst.streams[port]
-	if !ok {
+	if !ok && !dst.down {
 		return nil, errno.ECONNREFUSED
 	}
-	h.net.transfer(t, h, dst, h, port, len(hello))
-	sink, err := fn(t, h.name, hello)
-	h.net.transfer(t, dst, h, h, port, streamAckBytes)
-	if err != nil {
+	if _, err := h.net.deliver(t, h, dst, h, port, len(hello)); err != nil {
 		return nil, err
+	}
+	sink, err := fn(t, h.name, hello)
+	if err != nil {
+		h.net.deliver(t, dst, h, h, port, streamAckBytes) // the refusal
+		return nil, err
+	}
+	if _, aerr := h.net.deliver(t, dst, h, h, port, streamAckBytes); aerr != nil {
+		// The opener never learns the stream exists; the server side
+		// times the half-open connection out and discards the sink.
+		abortSink(t, sink)
+		return nil, aerr
 	}
 	return &Stream{net: h.net, from: h, to: dst, port: port, sink: sink}, nil
 }
 
 // Send ships one chunk down the stream, charging its wire cost and
-// delivering it to the server's sink in the calling task's context.
+// delivering it to the server's sink in the calling task's context. A
+// chunk lost to a drop fault returns ETIMEDOUT after the sender waited
+// out the deadline; the stream stays open, so idempotent records can
+// simply be resent. A duplicated chunk is handed to the sink twice.
 func (s *Stream) Send(t *sim.Task, chunk []byte) error {
 	if t == nil {
 		t = s.net.eng.Current()
@@ -222,16 +268,25 @@ func (s *Stream) Send(t *sim.Task, chunk []byte) error {
 	if s.closed {
 		return errno.EPIPE
 	}
-	if s.from.down || s.to.down {
+	if s.from.down {
 		return errno.EHOSTDOWN
 	}
-	s.net.transfer(t, s.from, s.to, s.from, s.port, len(chunk))
+	dup, err := s.net.deliver(t, s.from, s.to, s.from, s.port, len(chunk))
+	if err != nil {
+		return err
+	}
 	s.sink.Chunk(t, chunk)
+	if dup {
+		s.sink.Chunk(t, chunk)
+	}
 	return nil
 }
 
 // Close ends the stream: the sink's Done runs (in the calling task's
 // context) and its response is shipped back, charged like any message.
+// If the close itself is lost the sink is aborted — the server times the
+// connection out without ever running Done; if only the response is lost
+// Done has run and the caller must resolve the outcome out of band.
 func (s *Stream) Close(t *sim.Task) ([]byte, error) {
 	if t == nil {
 		t = s.net.eng.Current()
@@ -240,11 +295,36 @@ func (s *Stream) Close(t *sim.Task) ([]byte, error) {
 		return nil, errno.EPIPE
 	}
 	s.closed = true
-	if s.from.down || s.to.down {
+	if s.from.down {
 		return nil, errno.EHOSTDOWN
 	}
-	s.net.transfer(t, s.from, s.to, s.from, s.port, streamAckBytes)
+	if _, err := s.net.deliver(t, s.from, s.to, s.from, s.port, streamAckBytes); err != nil {
+		if !s.to.down {
+			abortSink(t, s.sink)
+		}
+		return nil, err
+	}
 	resp := s.sink.Done(t)
-	s.net.transfer(t, s.to, s.from, s.from, s.port, len(resp))
+	if _, err := s.net.deliver(t, s.to, s.from, s.from, s.port, len(resp)); err != nil {
+		return nil, err
+	}
 	return resp, nil
+}
+
+// Abort tears the stream down without running Done: the server side
+// discards whatever arrived (partial spools included). The abort notice
+// itself is best-effort; the sink is aborted regardless, modelling the
+// server's own connection timeout.
+func (s *Stream) Abort(t *sim.Task) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.to.down {
+		return // the crash took the sink's state with it
+	}
+	if !s.from.down {
+		s.net.deliver(t, s.from, s.to, s.from, s.port, streamAckBytes)
+	}
+	abortSink(t, s.sink)
 }

@@ -1,0 +1,24 @@
+package sim
+
+// The engine carries a small deterministic PRNG (splitmix64) so layers
+// built on it — fault injection in netsim, for one — can make "random"
+// decisions that are reproducible: the same seed gives the same sequence
+// of draws, and because exactly one actor runs at a time the draw order is
+// itself deterministic. The zero seed is a valid (and the default) state.
+
+// Seed resets the engine's PRNG to a fixed state.
+func (e *Engine) Seed(s uint64) { e.rng = s }
+
+// Rand draws the next value from the engine's PRNG (splitmix64).
+func (e *Engine) Rand() uint64 {
+	e.rng += 0x9e3779b97f4a7c15
+	z := e.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RandFloat draws a uniform float in [0, 1).
+func (e *Engine) RandFloat() float64 {
+	return float64(e.Rand()>>11) / (1 << 53)
+}

@@ -89,6 +89,7 @@ type Engine struct {
 	nlive   int
 	tasks   map[*Task]struct{}
 	current *Task
+	rng     uint64 // splitmix64 state, see rand.go
 }
 
 // Current returns the task that is currently executing, or nil when called

@@ -8,6 +8,7 @@
 //	migbench -fig 2     # one figure
 //	migbench -fig a6    # the pre-copy ablation table
 //	migbench -fig a7    # migration under network faults
+//	migbench -fig a8    # crash recovery from buddy checkpoints
 //	migbench -ablations # only the ablations
 package main
 
@@ -20,12 +21,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "run only this figure (1-4, a6, a7)")
+	fig := flag.String("fig", "", "run only this figure (1-4, a6, a7, a8)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	flag.Parse()
 
 	switch *fig {
-	case "", "1", "2", "3", "4", "a6", "a7":
+	case "", "1", "2", "3", "4", "a6", "a7", "a8":
 	default:
 		fmt.Fprintln(os.Stderr, "migbench: unknown figure", *fig)
 		os.Exit(2)
@@ -48,6 +49,9 @@ func main() {
 	}
 	if *fig == "a7" || all {
 		check(a7())
+	}
+	if *fig == "a8" || all {
+		check(a8())
 	}
 	if *ablations || all {
 		check(runAblations())
@@ -186,6 +190,30 @@ func a7() error {
 	fmt.Println("(every row must end with exactly one live copy — a7Run fails otherwise;")
 	fmt.Println(" 'mid crash' kills the destination on a scripted mid-round stream message,")
 	fmt.Println(" the transaction aborts, and the source resumes the original)")
+	return nil
+}
+
+func a8() error {
+	pts, err := experiments.A8FaultSweep(1)
+	if err != nil {
+		return err
+	}
+	header("A8 — crash recovery from buddy delta-checkpoints (guardd, seed 1)")
+	fmt.Printf("%-10s %-10s %6s %14s %14s %6s %6s\n",
+		"ckpt ivl", "fault", "ckpts", "recovery (sim)", "lost work", "bound", "live")
+	for _, pt := range pts {
+		bound := "ok"
+		if !pt.BoundOK {
+			bound = "FAIL"
+		}
+		fmt.Printf("%-10v %-10s %6d %14v %14v %6s %6d\n",
+			pt.Interval, fmt.Sprintf("drop %d%%", pt.DropPct), pt.Checkpoints,
+			pt.Recovery, pt.LostWork, bound, pt.LiveCopies)
+	}
+	fmt.Println("(each row crashes the source mid-interval; the buddy arbitrates over the")
+	fmt.Println(" migd transaction port before restarting the newest committed checkpoint;")
+	fmt.Println(" every row must end with exactly one live copy and lost work inside one")
+	fmt.Println(" checkpoint interval — a8Run fails otherwise)")
 	return nil
 }
 

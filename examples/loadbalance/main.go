@@ -1,5 +1,10 @@
-// Loadbalance: the paper's §8 load-balancing applications. First the
-// balancer: four CPU-bound jobs pile up on one workstation of a
+// Loadbalance: the paper's §8 load-balancing applications, wired to the
+// availability control plane (internal/ha). Every machine runs an hbd
+// beaconing liveness and run-queue load; the balancer and the night
+// scheduler read that disseminated view — never a peer's kernel — and
+// move jobs by driving the source machine's migration daemon remotely.
+//
+// First the balancer: four CPU-bound jobs pile up on one workstation of a
 // three-machine network, and the balancer migrates them until the load is
 // even, shortening the batch's makespan. Then the day/night policy: CPU
 // hogs confined to one machine by day spread across the network at night.
@@ -13,6 +18,7 @@ import (
 
 	"procmig/internal/apps"
 	"procmig/internal/cluster"
+	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/sim"
 )
@@ -33,13 +39,16 @@ func boot() *cluster.Cluster {
 	if err := c.InstallVM("/bin/hog", cluster.HogSrc); err != nil {
 		log.Fatal(err)
 	}
+	// The control plane: hbd + guardd on every machine, 1s beacons.
+	if err := c.StartHA(ha.Config{Interval: sim.Second}); err != nil {
+		log.Fatal(err)
+	}
 	return c
 }
 
 func balancerDemo() {
 	fmt.Println("=== load balancer: 4 CPU jobs dropped on one machine of three ===")
 	c := boot()
-	machines := []*kernel.Machine{c.Machine("home"), c.Machine("w1"), c.Machine("w2")}
 
 	c.Eng.Go("driver", func(tk *sim.Task) {
 		for i := 0; i < 4; i++ {
@@ -47,14 +56,17 @@ func balancerDemo() {
 				log.Fatal(err)
 			}
 		}
+		// The balancer runs on w1 and knows the cluster only through w1's
+		// heartbeat view.
 		b := &apps.Balancer{
-			Machines: machines,
-			Period:   5 * sim.Second,
-			MinAge:   2 * sim.Second,
+			Host:   c.NetHost("w1"),
+			View:   c.HA("w1").Members(),
+			Period: 5 * sim.Second,
+			MinAge: 2 * sim.Second,
 		}
 		b.Run(tk, func() bool {
-			for _, m := range machines {
-				for _, p := range m.Procs() {
+			for _, name := range c.Names() {
+				for _, p := range c.Machine(name).Procs() {
 					if p.State == kernel.ProcRunning {
 						return false
 					}
@@ -62,12 +74,13 @@ func balancerDemo() {
 			}
 			return true
 		})
-		fmt.Printf("all jobs done at %v after %d migrations:\n",
-			sim.Duration(tk.Now()), len(b.Events))
+		fmt.Printf("all jobs done at %v after %d migrations (%d failed attempts):\n",
+			sim.Duration(tk.Now()), len(b.Events), len(b.Failed))
 		for _, ev := range b.Events {
 			fmt.Printf("  [%v] pid %d: %s → %s (new pid %d)\n",
 				sim.Duration(ev.At), ev.PID, ev.From, ev.To, ev.New)
 		}
+		c.StopHA()
 	})
 	if err := c.Run(); err != nil {
 		log.Fatal(err)
@@ -78,30 +91,36 @@ func balancerDemo() {
 func nightDemo() {
 	fmt.Println("\n=== night scheduler: CPU hogs live on 'home' by day, spread at night ===")
 	c := boot()
-	machines := []*kernel.Machine{c.Machine("home"), c.Machine("w1"), c.Machine("w2")}
 
 	c.Eng.Go("driver", func(tk *sim.Task) {
-		ns := &apps.NightScheduler{Home: c.Machine("home"), Machines: machines}
+		ns := &apps.NightScheduler{
+			Host:     c.NetHost("home"),
+			View:     c.HA("home").Members(),
+			Home:     "home",
+			Machines: []string{"home", "w1", "w2"},
+		}
 		for i := 0; i < 3; i++ {
 			p, err := c.Spawn("home", nil, cluster.DefaultUser, "/bin/hog")
 			if err != nil {
 				log.Fatal(err)
 			}
-			ns.Add(c.Machine("home"), p.PID)
+			ns.Add("home", p.PID)
 		}
 		tk.Sleep(10 * sim.Second)
-		fmt.Printf("[%v] daytime placement: %v\n", sim.Duration(tk.Now()), ns.Placement())
+		fmt.Printf("[%v] daytime placement: %v\n", sim.Duration(tk.Now()), ns.Placement(tk.Now()))
 
 		ns.Nightfall(tk)
 		tk.Sleep(5 * sim.Second)
-		fmt.Printf("[%v] nightfall:          %v\n", sim.Duration(tk.Now()), ns.Placement())
+		fmt.Printf("[%v] nightfall:          %v\n", sim.Duration(tk.Now()), ns.Placement(tk.Now()))
 
 		ns.Daybreak(tk)
 		tk.Sleep(5 * sim.Second)
-		fmt.Printf("[%v] daybreak:           %v\n", sim.Duration(tk.Now()), ns.Placement())
+		fmt.Printf("[%v] daybreak:           %v\n", sim.Duration(tk.Now()), ns.Placement(tk.Now()))
 
 		// The hogs run forever; stop the simulation cleanly.
-		for _, m := range machines {
+		c.StopHA()
+		for _, name := range c.Names() {
+			m := c.Machine(name)
 			for _, pi := range m.PS() {
 				m.Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
 			}

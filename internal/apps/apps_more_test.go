@@ -7,6 +7,7 @@ import (
 
 	"procmig/internal/apps"
 	"procmig/internal/cluster"
+	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/sim"
 )
@@ -164,22 +165,25 @@ func TestCkptRestoreMissingCheckpoint(t *testing.T) {
 // TestBalancerNoOpWhenBalanced: nothing moves when load is level.
 func TestBalancerNoOpWhenBalanced(t *testing.T) {
 	c := boot(t, "m1", "m2")
+	if err := c.StartHA(ha.Config{Interval: sim.Second}); err != nil {
+		t.Fatal(err)
+	}
 	c.Eng.Go("driver", func(tk *sim.Task) {
 		h1, _ := c.Spawn("m1", nil, user, "/bin/hog")
 		h2, _ := c.Spawn("m2", nil, user, "/bin/hog")
 		b := &apps.Balancer{
-			Machines: []*kernel.Machine{c.Machine("m1"), c.Machine("m2")},
-			Period:   5 * sim.Second,
-			MinAge:   sim.Second,
+			Host:   c.NetHost("m1"),
+			View:   c.HA("m1").Members(),
+			Period: 5 * sim.Second,
+			MinAge: sim.Second,
 		}
 		tk.Sleep(6 * sim.Second)
 		if b.Step(tk) {
 			t.Error("balancer moved a process on level load")
 		}
-		_ = h1
-		_ = h2
 		h1.AwaitExit(tk)
 		h2.AwaitExit(tk)
+		c.StopHA()
 	})
 	run(t, c)
 }

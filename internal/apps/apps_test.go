@@ -7,6 +7,7 @@ import (
 
 	"procmig/internal/apps"
 	"procmig/internal/cluster"
+	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/sim"
 )
@@ -135,6 +136,11 @@ func TestMigrateProcHelper(t *testing.T) {
 func TestBalancerSpreadsHogs(t *testing.T) {
 	makespan := func(balance bool) sim.Duration {
 		c := boot(t, "m1", "m2")
+		if balance {
+			if err := c.StartHA(ha.Config{Interval: sim.Second}); err != nil {
+				t.Fatal(err)
+			}
+		}
 		var hogs []*kernel.Proc
 		var done sim.Time
 		c.Eng.Go("driver", func(tk *sim.Task) {
@@ -155,15 +161,22 @@ func TestBalancerSpreadsHogs(t *testing.T) {
 				return true
 			}
 			if balance {
+				// The balancer runs on the idle machine and sees the cluster
+				// only through its heartbeat view.
 				b := &apps.Balancer{
-					Machines: []*kernel.Machine{c.Machine("m1"), c.Machine("m2")},
-					Period:   5 * sim.Second,
-					MinAge:   2 * sim.Second,
+					Host:   c.NetHost("m2"),
+					View:   c.HA("m2").Members(),
+					Period: 5 * sim.Second,
+					MinAge: 2 * sim.Second,
 				}
 				b.Run(tk, allDone)
 				if len(b.Events) == 0 {
 					t.Error("balancer never migrated anything")
 				}
+				for _, ev := range b.Failed {
+					t.Logf("failed attempt: %+v", ev)
+				}
+				c.StopHA()
 			} else {
 				for _, h := range hogs {
 					h.AwaitExit(tk)
@@ -194,29 +207,34 @@ func TestNightScheduler(t *testing.T) {
 	if err := c.InstallVM("/bin/longhog", cluster.HogSrc); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.StartHA(ha.Config{Interval: sim.Second}); err != nil {
+		t.Fatal(err)
+	}
 	var nightPlacement, dayPlacement map[string]int
 	c.Eng.Go("driver", func(tk *sim.Task) {
 		ns := &apps.NightScheduler{
-			Home: c.Machine("home"),
-			Machines: []*kernel.Machine{
-				c.Machine("home"), c.Machine("w1"), c.Machine("w2"),
-			},
+			Host:     c.NetHost("home"),
+			View:     c.HA("home").Members(),
+			Home:     "home",
+			Machines: []string{"home", "w1", "w2"},
 		}
 		var pids []int
 		for i := 0; i < 3; i++ {
 			p, _ := c.Spawn("home", nil, user, "/bin/longhog")
-			ns.Add(c.Machine("home"), p.PID)
+			ns.Add("home", p.PID)
 			pids = append(pids, p.PID)
 		}
 		tk.Sleep(10 * sim.Second)
 		ns.Nightfall(tk)
 		tk.Sleep(5 * sim.Second)
-		nightPlacement = ns.Placement()
+		nightPlacement = ns.Placement(tk.Now())
 		ns.Daybreak(tk)
 		tk.Sleep(5 * sim.Second)
-		dayPlacement = ns.Placement()
+		dayPlacement = ns.Placement(tk.Now())
 		// Clean up the infinite hogs.
-		for _, m := range ns.Machines {
+		c.StopHA()
+		for _, name := range c.Names() {
+			m := c.Machine(name)
 			for _, pi := range m.PS() {
 				m.Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
 			}

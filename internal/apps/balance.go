@@ -3,7 +3,9 @@ package apps
 import (
 	"fmt"
 
+	"procmig/internal/ha"
 	"procmig/internal/kernel"
+	"procmig/internal/netsim"
 	"procmig/internal/sim"
 	"procmig/internal/tty"
 )
@@ -52,68 +54,116 @@ func MigrateProc(t *sim.Task, src, dst *kernel.Machine, pid int) (int, error) {
 	return rp.PID, nil
 }
 
-// MigrationEvent records one balancer decision.
+// MigrationEvent records one policy decision (successful or failed).
 type MigrationEvent struct {
 	At   sim.Time
 	PID  int
 	New  int
 	From string
 	To   string
+	Err  string // why the attempt failed ("" on success)
+}
+
+// LoadView is what the policy layer knows about the cluster: the
+// membership table's disseminated heartbeat view. Both ha.Membership and
+// test fakes satisfy it.
+type LoadView interface {
+	View(now sim.Time) []ha.Member
 }
 
 // Balancer implements the §8 load-balancing application: move CPU-bound
 // jobs from busy machines to idle ones. "Candidates for migration can be
 // best selected from the processes that have been running for more than a
 // certain amount of time", so the overhead of moving them pays off.
+//
+// The balancer is message-passing-honest: everything it knows about load
+// and processes comes from the heartbeat view, and it moves jobs by
+// driving the source machine's migd transaction remotely — it never
+// touches a peer's kernel structures.
 type Balancer struct {
-	Machines []*kernel.Machine
-	Period   sim.Duration // how often load is sampled
-	MinAge   sim.Duration // minimum runtime before a process is a candidate
+	Host   *netsim.Host // where the balancer runs; migrations are driven from here
+	View   LoadView
+	Period sim.Duration // how often load is sampled
+	MinAge sim.Duration // minimum runtime before a process is a candidate
 	// MinImbalance is the smallest (busiest − idlest) run-queue
 	// difference worth acting on; 2 means the move strictly helps.
 	MinImbalance int
+	// Cooldown blocks re-migrating a process that just arrived somewhere
+	// (anti-thrash hysteresis on top of MinAge — a restarted process has
+	// a fresh start time, but beacons lag). Defaults to 2×Period.
+	Cooldown sim.Duration
 
-	Events []MigrationEvent
+	Events []MigrationEvent // committed moves
+	Failed []MigrationEvent // attempts that failed, with the reason
+
+	// Migrate performs one move (tests inject fakes); nil means
+	// MigrateRemote through the source's migd.
+	Migrate func(t *sim.Task, src string, pid int, dst string) (int, error)
+
+	recent map[string]sim.Time // "host/pid" -> arrival time of a recent move
 }
 
-// candidate picks the migratable process on m: a VM process old enough
-// and mostly CPU-bound.
-func (b *Balancer) candidate(m *kernel.Machine, now sim.Time) *kernel.Proc {
-	var best *kernel.Proc
-	for _, p := range m.Procs() {
-		if p.State != kernel.ProcRunning || p.VM == nil {
+func cooldownKey(host string, pid int) string {
+	return fmt.Sprintf("%s/%d", host, pid)
+}
+
+func (b *Balancer) cooldown() sim.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 2 * b.Period
+}
+
+// candidate picks the migratable process advertised by member m: old
+// enough and mostly CPU-bound, judged purely from heartbeat statistics.
+func (b *Balancer) candidate(m *ha.Member, now sim.Time) *ha.ProcStat {
+	var best *ha.ProcStat
+	for i := range m.Procs {
+		ps := &m.Procs[i]
+		if ps.Age < b.MinAge {
 			continue
 		}
-		age := sim.Duration(now - p.StartedAt)
-		if age < b.MinAge {
+		if at, ok := b.recent[cooldownKey(m.Host, ps.PID)]; ok &&
+			sim.Duration(now-at) < b.cooldown() {
 			continue
 		}
 		// CPU-bound: the process has been computing for most of its fair
 		// share of the (contended) CPU. A process blocked on a terminal
-		// has UTime near zero and is rejected.
-		share := age / sim.Duration(m.Load()+1)
-		if p.UTime*2 < share {
+		// has CPU near zero and is rejected.
+		share := ps.Age / sim.Duration(m.Load+1)
+		if ps.CPU*2 < share {
 			continue
 		}
-		if best == nil || p.UTime > best.UTime {
-			best = p
+		if best == nil || ps.CPU > best.CPU {
+			best = ps
 		}
 	}
 	return best
 }
 
-// Step samples load once and performs at most one migration. It reports
-// whether it migrated anything.
-func (b *Balancer) Step(t *sim.Task) bool {
-	if len(b.Machines) < 2 {
-		return false
+func (b *Balancer) migrate(t *sim.Task, src string, pid int, dst string) (int, error) {
+	if b.Migrate != nil {
+		return b.Migrate(t, src, pid, dst)
 	}
-	busiest, idlest := b.Machines[0], b.Machines[0]
-	for _, m := range b.Machines[1:] {
-		if m.Load() > busiest.Load() {
+	return MigrateRemote(t, b.Host, src, pid, dst)
+}
+
+// Step samples the view once and performs at most one migration. It
+// reports whether it migrated anything; failed attempts are recorded in
+// Failed instead of being silently dropped.
+func (b *Balancer) Step(t *sim.Task) bool {
+	now := t.Now()
+	view := b.View.View(now)
+	var busiest, idlest *ha.Member
+	for i := range view {
+		m := &view[i]
+		if !m.Alive {
+			continue
+		}
+		if busiest == nil || m.Load > busiest.Load {
 			busiest = m
 		}
-		if m.Load() < idlest.Load() {
+		if idlest == nil || m.Load < idlest.Load {
 			idlest = m
 		}
 	}
@@ -121,21 +171,29 @@ func (b *Balancer) Step(t *sim.Task) bool {
 	if min <= 0 {
 		min = 2
 	}
-	if busiest == idlest || busiest.Load()-idlest.Load() < min {
+	if busiest == nil || busiest == idlest || busiest.Load-idlest.Load < min {
 		return false
 	}
-	p := b.candidate(busiest, t.Now())
-	if p == nil {
+	ps := b.candidate(busiest, now)
+	if ps == nil {
 		return false
 	}
-	pid := p.PID
-	newPid, err := MigrateProc(t, busiest, idlest, pid)
+	newPid, err := b.migrate(t, busiest.Host, ps.PID, idlest.Host)
+	ev := MigrationEvent{
+		At: t.Now(), PID: ps.PID, New: newPid, From: busiest.Host, To: idlest.Host,
+	}
 	if err != nil {
+		ev.Err = err.Error()
+		b.Failed = append(b.Failed, ev)
 		return false
 	}
-	b.Events = append(b.Events, MigrationEvent{
-		At: t.Now(), PID: pid, New: newPid, From: busiest.Name, To: idlest.Name,
-	})
+	b.Events = append(b.Events, ev)
+	if b.recent == nil {
+		b.recent = map[string]sim.Time{}
+	}
+	if newPid != 0 {
+		b.recent[cooldownKey(idlest.Host, newPid)] = t.Now()
+	}
 	return true
 }
 

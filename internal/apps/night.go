@@ -1,7 +1,8 @@
 package apps
 
 import (
-	"procmig/internal/kernel"
+	"procmig/internal/ha"
+	"procmig/internal/netsim"
 	"procmig/internal/sim"
 )
 
@@ -9,82 +10,142 @@ import (
 // with large expected running times are confined to one machine during
 // the day, when users want the workstations, and spread evenly across the
 // network at night, when the load is low.
+//
+// Like the Balancer it is message-passing-honest: job liveness and
+// placement are read from the heartbeat view, and moves go through the
+// source machine's migd transaction. Jobs are tracked by (host, pid);
+// when a move's new pid is lost to a retry, the next heartbeat's OldPID
+// chain relocates the job.
 type NightScheduler struct {
-	Home     *kernel.Machine   // where hogs live during the day
-	Machines []*kernel.Machine // the whole network (includes Home)
+	Host     *netsim.Host // where the scheduler runs
+	View     LoadView
+	Home     string   // where hogs live during the day
+	Machines []string // the whole network (includes Home)
 
-	// Jobs tracks the hogs by their current (machine, pid); Add registers
+	// Jobs tracks the hogs by their current (host, pid); Add registers
 	// them, and migrations keep the entries up to date.
 	jobs []*nightJob
 
 	Events []MigrationEvent
+
+	// Migrate performs one move (tests inject fakes); nil means
+	// MigrateRemote through the source's migd.
+	Migrate func(t *sim.Task, src string, pid int, dst string) (int, error)
 }
 
 type nightJob struct {
-	m   *kernel.Machine
-	pid int
+	host  string
+	pid   int
+	stale bool // pid unknown after a move; relocate via OldPID
 }
 
 // Add registers a running CPU hog to be managed.
-func (ns *NightScheduler) Add(m *kernel.Machine, pid int) {
-	ns.jobs = append(ns.jobs, &nightJob{m: m, pid: pid})
+func (ns *NightScheduler) Add(host string, pid int) {
+	ns.jobs = append(ns.jobs, &nightJob{host: host, pid: pid})
 }
 
-// Running reports how many managed jobs are still alive.
-func (ns *NightScheduler) Running() int {
-	alive := 0
+// refresh reconciles job entries against the view: a job whose pid moved
+// under it (a migration whose new pid we never learned) is found again
+// through the OldPID its restarted copy advertises.
+func (ns *NightScheduler) refresh(now sim.Time) []ha.Member {
+	view := ns.View.View(now)
 	for _, j := range ns.jobs {
-		if p, ok := j.m.FindProc(j.pid); ok && p.State == kernel.ProcRunning {
-			alive++
+		if !j.stale {
+			continue
+		}
+		for i := range view {
+			for _, ps := range view[i].Procs {
+				if ps.OldPID == j.pid {
+					j.host, j.pid, j.stale = view[i].Host, ps.PID, false
+				}
+			}
 		}
 	}
-	return alive
+	return view
 }
 
-// Placement reports how many live jobs run on each machine.
-func (ns *NightScheduler) Placement() map[string]int {
+// alive reports whether the view shows job j running.
+func alive(view []ha.Member, j *nightJob) bool {
+	for i := range view {
+		if view[i].Host != j.host {
+			continue
+		}
+		for _, ps := range view[i].Procs {
+			if ps.PID == j.pid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Running reports how many managed jobs the view shows alive at now.
+func (ns *NightScheduler) Running(now sim.Time) int {
+	view := ns.refresh(now)
+	n := 0
+	for _, j := range ns.jobs {
+		if !j.stale && alive(view, j) {
+			n++
+		}
+	}
+	return n
+}
+
+// Placement reports how many live jobs run on each machine at now.
+func (ns *NightScheduler) Placement(now sim.Time) map[string]int {
+	view := ns.refresh(now)
 	out := map[string]int{}
 	for _, j := range ns.jobs {
-		if p, ok := j.m.FindProc(j.pid); ok && p.State == kernel.ProcRunning {
-			out[j.m.Name]++
+		if !j.stale && alive(view, j) {
+			out[j.host]++
 		}
 	}
 	return out
 }
 
-func (ns *NightScheduler) moveJob(t *sim.Task, j *nightJob, dst *kernel.Machine) {
-	if j.m == dst {
+func (ns *NightScheduler) migrate(t *sim.Task, src string, pid int, dst string) (int, error) {
+	if ns.Migrate != nil {
+		return ns.Migrate(t, src, pid, dst)
+	}
+	return MigrateRemote(t, ns.Host, src, pid, dst)
+}
+
+func (ns *NightScheduler) moveJob(t *sim.Task, view []ha.Member, j *nightJob, dst string) {
+	if j.host == dst || j.stale || !alive(view, j) {
 		return
 	}
-	if p, ok := j.m.FindProc(j.pid); !ok || p.State != kernel.ProcRunning {
-		return
-	}
-	newPid, err := MigrateProc(t, j.m, dst, j.pid)
+	newPid, err := ns.migrate(t, j.host, j.pid, dst)
 	if err != nil {
 		return
 	}
 	ns.Events = append(ns.Events, MigrationEvent{
-		At: t.Now(), PID: j.pid, New: newPid, From: j.m.Name, To: dst.Name,
+		At: t.Now(), PID: j.pid, New: newPid, From: j.host, To: dst,
 	})
-	j.m = dst
-	j.pid = newPid
+	j.host = dst
+	if newPid != 0 {
+		j.pid = newPid
+	} else {
+		j.stale = true // relocate from the next heartbeat's OldPID
+	}
 }
 
 // Nightfall spreads the managed jobs round-robin across all machines.
 func (ns *NightScheduler) Nightfall(t *sim.Task) {
+	view := ns.refresh(t.Now())
 	i := 0
 	for _, j := range ns.jobs {
-		if p, ok := j.m.FindProc(j.pid); !ok || p.State != kernel.ProcRunning {
+		if j.stale || !alive(view, j) {
 			continue
 		}
-		ns.moveJob(t, j, ns.Machines[i%len(ns.Machines)])
+		ns.moveJob(t, view, j, ns.Machines[i%len(ns.Machines)])
 		i++
 	}
 }
 
 // Daybreak brings every managed job back to the home machine.
 func (ns *NightScheduler) Daybreak(t *sim.Task) {
+	view := ns.refresh(t.Now())
 	for _, j := range ns.jobs {
-		ns.moveJob(t, j, ns.Home)
+		ns.moveJob(t, view, j, ns.Home)
 	}
 }

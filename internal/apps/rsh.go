@@ -40,11 +40,14 @@ type remoteReq struct {
 	Args     []string
 }
 
-// remoteResp reports the command's exit status and terminal output.
+// remoteResp reports the command's exit status and terminal output. PID
+// is set when the command became a migrated process (a successful
+// restart): the pid the live copy runs under on this machine.
 type remoteResp struct {
 	Status int
 	Output string
 	Err    string
+	PID    int
 }
 
 func encode(v any) []byte {
@@ -78,8 +81,12 @@ func runRemoteCommand(t *sim.Task, m *kernel.Machine, req *remoteReq) *remoteRes
 	}
 	// A restart command that succeeds does not exit — it becomes the
 	// migrated process; treat that as successful completion.
-	status, _ := p.AwaitExitOrMigrated(t)
-	return &remoteResp{Status: status, Output: pty.Output()}
+	status, migrated := p.AwaitExitOrMigrated(t)
+	resp := &remoteResp{Status: status, Output: pty.Output()}
+	if migrated {
+		resp.PID = p.PID
+	}
+	return resp
 }
 
 // StartRshd registers the remote-shell daemon for machine m on its

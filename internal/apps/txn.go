@@ -215,12 +215,13 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 		UID: req.UID, GID: req.GID,
 		Cmd: cmdTxRestart, Args: []string{req.Args[0], req.Args[1], m.Name},
 	}
-	status := -1
+	status, newPID := -1, 0
 	raw, cerr := callRetry(t, host, dest, MigdPort, encode(rreq), txnCallAttempts)
 	if cerr == nil {
 		var rresp remoteResp
 		if decode(raw, &rresp) == nil {
 			status = rresp.Status
+			newPID = rresp.PID
 		}
 	} else {
 		// Out of retries with the outcome unknown: ask the destination
@@ -231,7 +232,7 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 	if status == 0 {
 		core.ResolveDumpHold(m, hold, true) // reap the original, GC the dump files
 		st.record(txn, 0)
-		return &remoteResp{Status: 0}
+		return &remoteResp{Status: 0, PID: newPID}
 	}
 	core.ResolveDumpHold(m, hold, false) // resume the victim, GC the dump files
 	// Seal the abort on the destination, best effort, so a later query
@@ -328,6 +329,75 @@ func newTxnID(sys *kernel.Sys, pid int) uint32 {
 		txn = 1
 	}
 	return txn
+}
+
+// probeAttempts bounds ProbeAlive's resends. At a 20% message-drop rate
+// a request/response pair fails with probability ~0.36, so six attempts
+// misdeclare a live host dead with probability ~2e-3; the guardian's
+// post-arbitration freshness re-check covers the rest.
+const probeAttempts = 6
+
+// ProbeAlive asks whether peer is alive over the migd transaction port —
+// a channel independent of the heartbeat path, which is what makes it
+// useful as the ha guardian's arbitration probe. Any answer at all
+// proves life, ECONNREFUSED included (something routed the refusal);
+// EHOSTDOWN is netsim's definitive crash verdict, and silence through
+// every retry means no evidence of life.
+func ProbeAlive(t *sim.Task, from *netsim.Host, peer string) bool {
+	req := encode(&remoteReq{Cmd: cmdTxQuery, Args: []string{"1", "1"}})
+	var err error
+	for i := 0; i < probeAttempts; i++ {
+		if i > 0 && t != nil {
+			t.Sleep(backoffDelay(i - 1))
+		}
+		_, err = from.Call(t, peer, MigdPort, req)
+		if err == nil || err == errno.ECONNREFUSED {
+			return true
+		}
+		if err == errno.EHOSTDOWN {
+			return false
+		}
+	}
+	return false
+}
+
+// MigrateRemote runs one classic migration transaction from src to dst,
+// driven third-party through src's migd — the message-passing interface
+// the ha-aware policy layer (Balancer, Nightd) uses instead of touching
+// peer kernels. It runs as root (the policy daemons are system services)
+// and returns the pid the process runs under on dst. A pid of 0 with a
+// nil error means the migration committed but the new pid was lost to a
+// duplicate-suppressed retry; the caller learns it from the next
+// heartbeat's OldPID chain.
+func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst string) (int, error) {
+	txn := uint32(uint64(t.Now())*2654435761 + uint64(pid)*40503)
+	if txn == 0 {
+		txn = 1
+	}
+	req := &remoteReq{
+		UID: 0, GID: 0,
+		Cmd: cmdTxMigrate,
+		Args: []string{strconv.FormatUint(uint64(txn), 10),
+			strconv.Itoa(pid), dst},
+	}
+	raw, err := callRetry(t, from, src, MigdPort, encode(req), txnCallAttempts)
+	if err != nil {
+		return 0, err
+	}
+	var resp remoteResp
+	if derr := decode(raw, &resp); derr != nil {
+		return 0, derr
+	}
+	if resp.Status != 0 {
+		if resp.Err == errno.EPERM.Error() {
+			return 0, errno.EPERM
+		}
+		if resp.Err == errno.ESRCH.Error() {
+			return 0, errno.ESRCH
+		}
+		return 0, errno.EIO
+	}
+	return resp.PID, nil
 }
 
 // migrateTxn is the transactional client shared by fmigrate and rmigrate:

@@ -11,6 +11,7 @@ import (
 	"procmig/internal/aout"
 	"procmig/internal/apps"
 	"procmig/internal/core"
+	"procmig/internal/ha"
 	"procmig/internal/inet"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
@@ -51,6 +52,7 @@ type Cluster struct {
 	hosts    map[string]*netsim.Host
 	consoles map[string]*tty.Terminal
 	order    []string
+	ha       map[string]*ha.Node
 }
 
 // DefaultUser is the ordinary user account used by tests and examples.
@@ -290,6 +292,49 @@ func (c *Cluster) Spawn(host string, term *tty.Terminal, creds kernel.Creds, pat
 		TTY:        term,
 		InheritFDs: []*kernel.File{stdio, stdio, stdio},
 	})
+}
+
+// StartHA starts the availability control plane (package ha) on every
+// machine: heartbeat membership plus the guardian service, with each
+// guardian's arbitration probe wired to the migd transaction port. The
+// daemons beacon forever, so a cluster with HA running must call StopHA
+// before Run can quiesce (RunUntil works either way).
+func (c *Cluster) StartHA(cfg ha.Config) error {
+	if c.ha != nil {
+		return fmt.Errorf("cluster: HA already started")
+	}
+	c.ha = map[string]*ha.Node{}
+	for _, name := range c.order {
+		nh := c.hosts[name]
+		node, err := ha.Start(c.machines[name], nh, cfg)
+		if err != nil {
+			return err
+		}
+		host := nh
+		node.Guard.Arbitrate = func(t *sim.Task, peer string) bool {
+			return apps.ProbeAlive(t, host, peer)
+		}
+		var peers []string
+		for _, other := range c.order {
+			if other != name {
+				peers = append(peers, other)
+			}
+		}
+		node.SetPeers(peers)
+		c.ha[name] = node
+	}
+	return nil
+}
+
+// HA returns a machine's control-plane node (nil before StartHA).
+func (c *Cluster) HA(name string) *ha.Node { return c.ha[name] }
+
+// StopHA shuts every control-plane daemon down at its next tick so the
+// engine can quiesce.
+func (c *Cluster) StopHA() {
+	for _, node := range c.ha {
+		node.Stop()
+	}
 }
 
 // Crash takes a machine down mid-run: the host drops off the network and

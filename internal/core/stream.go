@@ -191,6 +191,15 @@ type StreamSession struct {
 	Stream *netsim.Stream
 	Txn    uint32 // migration transaction id, echoed in the commit record
 
+	// Checkpoint switches the session from migration to delta-checkpoint
+	// mode (the ha guardian): a successful final round resumes the victim
+	// in place — with dirty tracking still armed, so the next checkpoint
+	// ships only the delta — instead of reaping it, and file paths are
+	// recorded as the source sees them rather than rewritten through
+	// /n/<source>, because a checkpoint is restarted only after the source
+	// is dead and its NFS export with it.
+	Checkpoint bool
+
 	// Resolve, when set, is consulted after a transfer failure with the
 	// victim frozen: ask the destination (with its own retries) whether
 	// the restart actually happened despite the lost answer. It returns 0
@@ -390,17 +399,19 @@ func streamDumpSend(p *kernel.Proc, sess *StreamSession) errno.Errno {
 			ff.FDs[i] = FDEntry{Kind: FDFile, Path: "/dev/tty", Flags: ff.FDs[i].Flags}
 		}
 	}
-	prefix := "/n/" + m.Name
-	remote := func(path string) string {
-		if path == "" || strings.HasPrefix(path, "/n/") {
-			return path
+	if !sess.Checkpoint {
+		prefix := "/n/" + m.Name
+		remote := func(path string) string {
+			if path == "" || strings.HasPrefix(path, "/n/") {
+				return path
+			}
+			return prefix + path
 		}
-		return prefix + path
-	}
-	ff.CWD = remote(ff.CWD)
-	for i := range ff.FDs {
-		if ff.FDs[i].Kind == FDFile && ff.FDs[i].Path != "/dev/tty" {
-			ff.FDs[i].Path = remote(ff.FDs[i].Path)
+		ff.CWD = remote(ff.CWD)
+		for i := range ff.FDs {
+			if ff.FDs[i].Kind == FDFile && ff.FDs[i].Path != "/dev/tty" {
+				ff.FDs[i].Path = remote(ff.FDs[i].Path)
+			}
 		}
 	}
 
@@ -449,6 +460,11 @@ func streamDumpSend(p *kernel.Proc, sess *StreamSession) errno.Errno {
 		// to resolve, resume the victim.
 		sess.Err = errno.EIO
 		p.VM.SetDirtyTracking(false)
+		return errno.ERESTART
+	}
+	if sess.Checkpoint {
+		// Checkpoint committed on the buddy; the victim resumes in place
+		// and keeps accumulating dirty pages for the next delta.
 		return errno.ERESTART
 	}
 	return 0

@@ -6,6 +6,7 @@ import (
 	"procmig/internal/apps"
 	"procmig/internal/cluster"
 	"procmig/internal/core"
+	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/sim"
 )
@@ -339,6 +340,11 @@ func A5LoadBalance() (*A5Result, error) {
 		if err := c.InstallVM("/bin/hog", cluster.FiniteHogSrc); err != nil {
 			return nil, err
 		}
+		if balance {
+			if err := c.StartHA(ha.Config{Interval: sim.Second}); err != nil {
+				return nil, err
+			}
+		}
 		var done sim.Time
 		c.Eng.Go("driver", func(tk *sim.Task) {
 			var hogs []*kernel.Proc
@@ -360,13 +366,17 @@ func A5LoadBalance() (*A5Result, error) {
 				return true
 			}
 			if balance {
+				// The balancer knows the cluster only through the heartbeat
+				// view and moves jobs through the source's migd.
 				b := &apps.Balancer{
-					Machines: []*kernel.Machine{c.Machine("m1"), c.Machine("m2")},
-					Period:   5 * sim.Second,
-					MinAge:   2 * sim.Second,
+					Host:   c.NetHost("m2"),
+					View:   c.HA("m2").Members(),
+					Period: 5 * sim.Second,
+					MinAge: 2 * sim.Second,
 				}
 				b.Run(tk, allDone)
 				res.Migrations = len(b.Events)
+				c.StopHA()
 			} else {
 				for _, h := range hogs {
 					h.AwaitExit(tk)

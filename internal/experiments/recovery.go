@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"procmig/internal/apps"
+	"procmig/internal/ha"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+)
+
+// --- A8: crash recovery from buddy delta-checkpoints ---------------------------
+
+// A8Point is one scripted-crash run of the guardian service: a counting
+// memory hog on alpha is protected with beta as its buddy, delta
+// checkpoints flow every Interval, and alpha is crashed mid-interval while
+// the control-plane ports drop 0–20% of their traffic.
+//
+// The invariants every row must satisfy are the availability contract:
+// exactly one live copy of the process after the crash (the buddy's
+// restart, never a second copy of a still-alive source), the protected
+// process resumed from the newest committed checkpoint, and the work lost
+// to the crash bounded by one checkpoint interval. LostWork is measured in
+// the program's own units: the hog increments a counter in its data
+// segment, so the counter gap between the crash instant and the restored
+// copy, divided by the pre-crash counting rate, is the replayed time.
+type A8Point struct {
+	Interval    sim.Duration // checkpoint period
+	DropPct     int          // control-plane chunk drop percentage
+	Checkpoints int          // checkpoints committed on the buddy before the crash
+	Recovery    sim.Duration // crash → restored copy live on the buddy
+	LostWork    sim.Duration // replayed execution, from the counter gap
+	BoundOK     bool         // LostWork ≤ Interval + slack
+	LiveCopies  int          // must be exactly 1
+	Resumed     bool         // the buddy's restart reported a live copy
+}
+
+// a8BoundSlack covers the measurement slop: the crash-scheduling poll
+// granularity and the instants where the victim is frozen inside an
+// in-flight transfer (frozen time does no work, so it never adds to the
+// counter gap — only to the wall-clock conversion).
+const a8BoundSlack = 2 * sim.Second
+
+// a8Intervals and a8Drops form the A8 sweep matrix.
+var (
+	a8Intervals = []sim.Duration{2 * sim.Second, 5 * sim.Second}
+	a8Drops     = []int{0, 10, 20}
+)
+
+// a8HogSrc is the a6 memory hog with a progress counter: the first data
+// word is incremented once per 1 KiB working-set page touched, so an
+// outside observer can read how far the program has gotten — before the
+// crash from the source's VM, after recovery from the restored copy's.
+func a8HogSrc(totalBytes, wsBytes int) string {
+	return fmt.Sprintf(`
+start:  movi r2, ws
+        movi r3, 7
+loop:   ld   r4, ctr
+        addi r4, 1
+        st   r4, ctr
+        str  r2, r3
+        addi r2, 1024
+        cmpi r2, wsend
+        jlt  loop
+        movi r2, ws
+        jmp  loop
+        .data
+ctr:    .space 4
+ws:     .space %d
+wsend:  .space %d
+`, wsBytes, totalBytes-wsBytes)
+}
+
+// a8Counter reads the hog's progress counter (the first data word).
+func a8Counter(p *kernel.Proc) uint32 {
+	if p == nil || p.VM == nil {
+		return 0
+	}
+	v, _ := p.VM.ReadU32(vm.DataBase(len(p.VM.Text)))
+	return v
+}
+
+// A8FaultSweep runs the recovery matrix: checkpoint intervals × drop
+// rates, one scripted crash each. Deterministic per seed.
+func A8FaultSweep(seed uint64) ([]*A8Point, error) {
+	var out []*A8Point
+	run := 0
+	for _, iv := range a8Intervals {
+		for _, drop := range a8Drops {
+			run++
+			pt, err := a8Run(iv, drop, seed+uint64(run)*0x9e3779b9)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func a8Run(interval sim.Duration, dropPct int, seed uint64) (*A8Point, error) {
+	pt := &A8Point{Interval: interval, DropPct: dropPct}
+	c, err := boot(kernel.Config{TrackNames: true}, "alpha", "beta", "gamma")
+	if err != nil {
+		return nil, err
+	}
+	c.Eng.Seed(seed)
+	if err := c.InstallVM("/bin/a8hog", a8HogSrc(32<<10, 4<<10)); err != nil {
+		return nil, err
+	}
+	if err := c.StartHA(ha.Config{Interval: sim.Second, CkptInterval: interval}); err != nil {
+		return nil, err
+	}
+	var fail error
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		// Whatever happens, the control plane and the spinning hogs must be
+		// shut down or the engine never quiesces.
+		defer func() {
+			c.Net.ClearFaults()
+			c.StopHA()
+			for _, name := range c.Names() {
+				for _, p := range c.Machine(name).Procs() {
+					c.Machine(name).Kill(kernel.Creds{}, p.PID, kernel.SIGKILL)
+				}
+			}
+		}()
+		hog, serr := c.Spawn("alpha", nil, user, "/bin/a8hog")
+		if serr != nil {
+			fail = serr
+			return
+		}
+		for hog.VM == nil && hog.State == kernel.ProcRunning {
+			tk.Sleep(sim.Second)
+		}
+
+		// Calibrate the counting rate on a clean window, before faults and
+		// before the first checkpoint can freeze the hog: every later
+		// wall-clock conversion of a counter gap uses the live rate.
+		rate0, rateT0 := a8Counter(hog), tk.Now()
+		tk.Sleep(2 * sim.Second)
+		rate := float64(a8Counter(hog)-rate0) / (float64(tk.Now()-rateT0) / float64(sim.Second))
+		if rate <= 0 {
+			fail = fmt.Errorf("a8 iv=%v drop=%d: hog not counting", interval, dropPct)
+			return
+		}
+
+		if dropPct > 0 {
+			spec := netsim.FaultSpec{
+				Drop: float64(dropPct) / 100,
+				Dup:  float64(dropPct) / 200,
+			}
+			c.Net.FaultPort(ha.HBPort, spec)
+			c.Net.FaultPort(ha.GuardPort, spec)
+			c.Net.FaultPort(ha.GuardSpoolPort, spec)
+			c.Net.FaultPort(apps.MigdPort, spec)
+		}
+		c.HA("alpha").Guard.Protect(hog.PID, "beta")
+
+		// Wait for a steady state of at least two committed checkpoints
+		// (the second one is a delta). Under heavy drops the first full
+		// sync can take a while: every lost record costs the sender a full
+		// network timeout before the resend.
+		buddy := c.HA("beta").Guard
+		deadline := tk.Now() + sim.Time(20*interval+90*sim.Second)
+		for buddy.CommittedSeq("alpha", hog.PID) < 2 && tk.Now() < deadline {
+			tk.Sleep(100 * sim.Millisecond)
+		}
+		if buddy.CommittedSeq("alpha", hog.PID) < 2 {
+			fail = fmt.Errorf("a8 iv=%v drop=%d: no committed checkpoint before the deadline",
+				interval, dropPct)
+			return
+		}
+
+		// Crash mid-interval: half a period after the commit we just saw.
+		// The victim is frozen for the whole transfer, so the newest
+		// committed counter is at most ~interval/2 of live work behind.
+		tk.Sleep(interval / 2)
+		ctrCrash := a8Counter(hog)
+		pt.Checkpoints = buddy.CommittedSeq("alpha", hog.PID)
+		crashAt := tk.Now()
+		c.Crash("alpha")
+
+		// Wait for the buddy to suspect, arbitrate, and restart.
+		deadline = crashAt + sim.Time(60*sim.Second)
+		for len(buddy.Recoveries) == 0 && tk.Now() < deadline {
+			tk.Sleep(250 * sim.Millisecond)
+		}
+		if len(buddy.Recoveries) == 0 {
+			fail = fmt.Errorf("a8 iv=%v drop=%d: buddy never attempted recovery", interval, dropPct)
+			return
+		}
+		rec := buddy.Recoveries[0]
+		pt.Recovery = sim.Duration(tk.Now() - crashAt)
+		pt.Resumed = rec.Status == 0
+
+		// The restored copy picked up from the checkpoint's counter; the
+		// gap to the crash-instant counter is the replayed work. (The copy
+		// has been running since the restart, which can only shrink the
+		// gap — the bound still holds.)
+		if rp, ok := c.Machine("beta").FindProc(rec.NewPID); ok {
+			ctrRec := a8Counter(rp)
+			if ctrRec < ctrCrash && rate > 0 {
+				pt.LostWork = sim.Duration(float64(ctrCrash-ctrRec) / rate * float64(sim.Second))
+			}
+		}
+		pt.BoundOK = pt.LostWork <= interval+a8BoundSlack
+		tk.Sleep(sim.Second)
+
+		// Exactly-one-live-copy census, as in A7: the original (killed by
+		// the crash) plus any restarted copy on the buddy.
+		if hog.State == kernel.ProcRunning {
+			pt.LiveCopies++
+		}
+		for _, pi := range c.Machine("beta").PS() {
+			if p, ok := c.Machine("beta").FindProc(pi.PID); ok && p.Migrated && p.State == kernel.ProcRunning {
+				pt.LiveCopies++
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		return nil, err
+	}
+	if fail != nil {
+		return nil, fail
+	}
+	if pt.LiveCopies != 1 {
+		return nil, fmt.Errorf("a8 iv=%v drop=%d: %d live copies, want exactly 1",
+			interval, dropPct, pt.LiveCopies)
+	}
+	if !pt.Resumed {
+		return nil, fmt.Errorf("a8 iv=%v drop=%d: restart status nonzero", interval, dropPct)
+	}
+	if !pt.BoundOK {
+		return nil, fmt.Errorf("a8 iv=%v drop=%d: lost work %v exceeds interval %v + slack",
+			interval, dropPct, pt.LostWork, interval)
+	}
+	return pt, nil
+}

@@ -1,0 +1,493 @@
+package ha
+
+import (
+	"encoding/binary"
+	"strconv"
+	"strings"
+
+	"procmig/internal/core"
+	"procmig/internal/errno"
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+	"procmig/internal/tty"
+	"procmig/internal/vm"
+)
+
+// The guardian (guardd) is the availability half of the control plane.
+// A process registered for protection is checkpointed every CkptInterval:
+// the first checkpoint streams the whole image to a buddy host in the
+// PR 1 stream format, each later one only the pages dirtied since — a
+// delta checkpoint, taken through the same SIGDUMP hook as a streaming
+// migration but with the session in Checkpoint mode, so the victim
+// resumes in place with dirty tracking still armed.
+//
+// The buddy keeps one image assembler per protection and materializes the
+// three dump files at every commit. When the source goes silent — no
+// heartbeat and no checkpoint for SuspectAfter — the buddy arbitrates
+// over an independent channel (the migd transaction port, via the
+// injected Arbitrate probe) and restarts the newest committed checkpoint
+// only when the source is confirmed dead. A partitioned-but-alive source
+// is counted as a false suspicion and left alone, preserving the
+// exactly-one-live-copy invariant.
+
+// GuardHelloMagic continues the octal numbering (447 heartbeat, 450
+// guardian checkpoint hello).
+const GuardHelloMagic = 0o450
+
+// EncodeGuardHello wraps a stream hello with the protection generation:
+// a source that lost a checkpoint bumps the generation and resyncs a full
+// image, and the buddy discards its stale assembler on the mismatch.
+func EncodeGuardHello(gen uint32, inner []byte) []byte {
+	b := make([]byte, 0, 6+len(inner))
+	b = binary.BigEndian.AppendUint16(b, GuardHelloMagic)
+	b = binary.BigEndian.AppendUint32(b, gen)
+	return append(b, inner...)
+}
+
+// DecodeGuardHello splits a guardian hello into generation and the inner
+// stream hello bytes.
+func DecodeGuardHello(raw []byte) (gen uint32, inner []byte, err error) {
+	if len(raw) < 6 || binary.BigEndian.Uint16(raw) != GuardHelloMagic {
+		return 0, nil, errBadHeartbeat
+	}
+	return binary.BigEndian.Uint32(raw[2:]), raw[6:], nil
+}
+
+// Recovery records one buddy-side restart of a protected process.
+type Recovery struct {
+	Source string // the host declared dead
+	PID    int    // the protected process's pid on the source
+	NewPID int    // pid of the restarted copy (0 if the restart failed)
+	Seq    int    // which committed checkpoint was restored
+	Status int    // restart exit status (0: the copy is live)
+	At     sim.Time
+}
+
+// protection is the source-side state of one guarded process.
+type protection struct {
+	pid    int
+	buddy  string
+	gen    uint32
+	txn    uint32
+	sess   *core.StreamSession
+	broken bool // last checkpoint failed; next one resyncs a full image
+}
+
+type ckptKey struct {
+	source string
+	pid    int
+}
+
+// ckptState is the buddy-side state of one protection: the live
+// assembler for the current generation plus the newest committed spool.
+// The committed image survives generation resyncs — if the source dies
+// mid-resync, the buddy restarts from what last committed.
+type ckptState struct {
+	source string
+	pid    int
+	gen    uint32
+	asm    *core.ImageAssembler
+
+	aout, files, stack []byte // newest committed dump files
+	seq                int    // committed checkpoints so far
+	committedAt        sim.Time
+
+	released  bool // the source told us the process is gone
+	recovered bool // we restarted it here
+	attempts  int  // failed local restarts (bounded)
+}
+
+// Guard is one host's guardian: source role (checkpointing its own
+// protected processes to buddies) and buddy role (holding checkpoints
+// for peers and recovering them).
+type Guard struct {
+	n     *Node
+	prot  []*protection
+	ckpts map[ckptKey]*ckptState
+
+	// Arbitrate probes whether a suspected host is really dead, over a
+	// channel independent of the heartbeat port. Injected by the cluster
+	// wiring (apps.ProbeAlive over the migd transaction port) to keep ha
+	// free of an apps dependency. nil disables recovery entirely.
+	Arbitrate func(t *sim.Task, peer string) bool
+
+	// Counters and records for experiments and tests.
+	CheckpointsTaken int        // source role: committed checkpoints
+	FalseSuspicions  int        // buddy role: suspects that proved alive
+	Recoveries       []Recovery // buddy role: restarts performed
+}
+
+func newGuard(n *Node) *Guard {
+	return &Guard{n: n, ckpts: map[ckptKey]*ckptState{}}
+}
+
+// guardReleaseVerb is the GuardPort request "release <source> <pid>": the
+// source's guardian telling the buddy the process ended voluntarily, so
+// its checkpoints must never be restarted.
+const guardReleaseVerb = "release"
+
+func (g *Guard) listen() error {
+	if err := g.n.host.Listen(GuardPort, g.handleCall); err != nil {
+		return err
+	}
+	return g.n.host.ListenStream(GuardSpoolPort, g.acceptSpool)
+}
+
+func (g *Guard) handleCall(t *sim.Task, raw []byte) []byte {
+	f := strings.Fields(string(raw))
+	if len(f) == 3 && f[0] == guardReleaseVerb {
+		if pid, err := strconv.Atoi(f[2]); err == nil {
+			if st, ok := g.ckpts[ckptKey{f[1], pid}]; ok {
+				st.released = true
+			}
+		}
+		return []byte("ok")
+	}
+	return []byte("?")
+}
+
+// Protect registers pid for guardianship with its checkpoints spooled to
+// buddy. The first checkpoint is taken on the next guardd tick.
+func (g *Guard) Protect(pid int, buddy string) {
+	g.prot = append(g.prot, &protection{pid: pid, buddy: buddy})
+}
+
+// Protected reports whether pid is currently under guardianship.
+func (g *Guard) Protected(pid int) bool {
+	for _, pr := range g.prot {
+		if pr.pid == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// CommittedSeq reports how many checkpoints of source/pid this buddy has
+// committed (0 if it holds none).
+func (g *Guard) CommittedSeq(source string, pid int) int {
+	if st, ok := g.ckpts[ckptKey{source, pid}]; ok {
+		return st.seq
+	}
+	return 0
+}
+
+// --- source role ------------------------------------------------------------
+
+// checkpointLoop is guardd's source half: every CkptInterval, checkpoint
+// each protected process to its buddy.
+func (g *Guard) checkpointLoop(t *sim.Task) {
+	for !g.n.stopped {
+		t.Sleep(g.n.cfg.CkptInterval)
+		if g.n.stopped {
+			return
+		}
+		if g.n.host.Down() {
+			continue // a crashed host checkpoints nothing (and must not release)
+		}
+		kept := g.prot[:0]
+		for _, pr := range g.prot {
+			if g.checkpoint(t, pr) {
+				kept = append(kept, pr)
+			}
+		}
+		g.prot = kept
+	}
+}
+
+// checkpoint takes one (delta) checkpoint of pr, reporting whether the
+// protection is still live. A failure marks the protection broken: the
+// next attempt bumps the generation and resyncs a full image, because a
+// torn transfer leaves source and buddy disagreeing about the page set.
+func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
+	m := g.n.m
+	p, ok := m.FindProc(pr.pid)
+	if !ok || p.State != kernel.ProcRunning || p.VM == nil {
+		// Ended voluntarily (exited, was killed, or migrated away): the
+		// buddy must forget the checkpoints rather than resurrect it.
+		g.release(t, pr)
+		return false
+	}
+	if pr.sess == nil || pr.broken {
+		pr.gen++
+		x := hashName(m.Name+pr.buddy)*31 + uint64(pr.pid)*40503 + uint64(pr.gen)
+		pr.txn = uint32(x ^ x>>32)
+		if pr.txn == 0 {
+			pr.txn = 1
+		}
+		pr.sess = &core.StreamSession{Txn: pr.txn, Checkpoint: true}
+		pr.broken = false
+		p.VM.SetDirtyTracking(true)
+	}
+	inner := &core.StreamHello{
+		PID:     uint32(pr.pid),
+		ISA:     vm.MinISA(p.VM.Text),
+		Entry:   p.ExecEntry,
+		TextLen: uint32(len(p.VM.Text)),
+		DataLen: uint32(len(p.VM.Data)),
+		Txn:     pr.txn,
+		Source:  m.Name,
+	}
+	hello := EncodeGuardHello(pr.gen, inner.Encode())
+	stream, err := g.openRetry(t, pr.buddy, hello)
+	if err != nil {
+		pr.broken = true
+		return true
+	}
+	sess := pr.sess
+	sess.Stream = stream
+	sess.Settled = false
+	sess.Status = 0
+	sess.Err = nil
+	core.ArmStreamDump(m, pr.pid, sess)
+	if e := m.Kill(kernel.Creds{}, pr.pid, kernel.SIGDUMP); e != 0 {
+		core.DisarmStreamDump(m, pr.pid)
+		stream.Abort(t)
+		pr.broken = true
+		return true
+	}
+	for !sess.Settled && p.State == kernel.ProcRunning {
+		t.WaitTimeout(&sess.DoneQ, 250*sim.Millisecond)
+	}
+	if !sess.Settled {
+		// The process died between the signal and the dump.
+		stream.Abort(t)
+		g.release(t, pr)
+		return false
+	}
+	if sess.Err != nil || sess.Status != 0 {
+		pr.broken = true
+		return true
+	}
+	g.CheckpointsTaken++
+	return true
+}
+
+// release tells the buddy (best effort, with a couple of resends) that
+// the protection ended voluntarily.
+func (g *Guard) release(t *sim.Task, pr *protection) {
+	req := []byte(guardReleaseVerb + " " + g.n.m.Name + " " + strconv.Itoa(pr.pid))
+	for i := 0; i < 3; i++ {
+		if _, err := g.n.host.Call(t, pr.buddy, GuardPort, req); err != errno.ETIMEDOUT {
+			return
+		}
+	}
+}
+
+// openRetry opens the checkpoint stream, resending a handshake lost to
+// drop faults (half-open streams are torn down server-side, so reopening
+// is safe).
+func (g *Guard) openRetry(t *sim.Task, to string, hello []byte) (*netsim.Stream, error) {
+	var err error
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			d := 250 * sim.Millisecond << (i - 1)
+			if d > 2*sim.Second {
+				d = 2 * sim.Second
+			}
+			t.Sleep(d)
+		}
+		var s *netsim.Stream
+		s, err = g.n.host.OpenStream(t, to, GuardSpoolPort, hello)
+		if err == nil {
+			return s, nil
+		}
+		if err != errno.ETIMEDOUT {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// --- buddy role -------------------------------------------------------------
+
+// acceptSpool accepts one checkpoint stream from a peer guardian.
+func (g *Guard) acceptSpool(_ *sim.Task, from string, helloRaw []byte) (netsim.StreamSink, error) {
+	gen, innerRaw, err := DecodeGuardHello(helloRaw)
+	if err != nil {
+		return nil, err
+	}
+	asm, err := core.NewImageAssembler(innerRaw)
+	if err != nil {
+		return nil, err
+	}
+	key := ckptKey{from, int(asm.Hello().PID)}
+	st := g.ckpts[key]
+	if st == nil {
+		st = &ckptState{source: key.source, pid: key.pid}
+		g.ckpts[key] = st
+	}
+	if st.asm == nil || st.gen != gen {
+		// New generation: fresh assembler, but the newest committed spool
+		// is kept until the new generation commits one of its own.
+		st.gen = gen
+		st.asm = asm
+	}
+	st.released = false // the source is actively guarding it again
+	return &guardSink{g: g, st: st}, nil
+}
+
+// guardSink consumes one checkpoint stream into the protection's
+// assembler. Done materializes the dump files in memory — commit — and
+// Abort simply keeps the previous commit (the half-received delta stays
+// in the assembler, but the source resyncs a full image under a new
+// generation after any failure, so it is never restarted from).
+type guardSink struct {
+	g   *Guard
+	st  *ckptState
+	err error
+}
+
+func (s *guardSink) Chunk(t *sim.Task, rec []byte) {
+	if s.err != nil {
+		return
+	}
+	m := s.g.n.m
+	if t != nil {
+		m.CPU().Use(t, m.Costs.StreamChunkBase+
+			sim.Duration(len(rec))*m.Costs.StreamPerByte, nil)
+	}
+	s.err = s.st.asm.Apply(rec)
+}
+
+func (s *guardSink) Done(t *sim.Task) []byte {
+	if s.err != nil {
+		return core.EncodeStreamStatus(-1)
+	}
+	aoutRaw, filesRaw, stackRaw, err := s.st.asm.Spool()
+	if err != nil {
+		return core.EncodeStreamStatus(-1)
+	}
+	s.st.aout, s.st.files, s.st.stack = aoutRaw, filesRaw, stackRaw
+	s.st.seq++
+	s.st.committedAt = s.g.n.now(t)
+	return core.EncodeStreamStatus(0)
+}
+
+func (s *guardSink) Abort(_ *sim.Task) {}
+
+// monitorLoop is guardd's buddy half: watch the membership table and
+// recover protections whose source is confirmed dead.
+func (g *Guard) monitorLoop(t *sim.Task) {
+	for !g.n.stopped {
+		t.Sleep(g.n.cfg.Interval)
+		if g.n.stopped {
+			return
+		}
+		if g.n.host.Down() || g.Arbitrate == nil {
+			continue
+		}
+		for _, st := range g.ckptList() {
+			g.consider(t, st)
+		}
+	}
+}
+
+// ckptList snapshots the buddy table in deterministic (key-sorted) order.
+func (g *Guard) ckptList() []*ckptState {
+	keys := make([]ckptKey, 0, len(g.ckpts))
+	for k := range g.ckpts {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; the table is tiny
+		for j := i; j > 0 && (keys[j].source < keys[j-1].source ||
+			(keys[j].source == keys[j-1].source && keys[j].pid < keys[j-1].pid)); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]*ckptState, len(keys))
+	for i, k := range keys {
+		out[i] = g.ckpts[k]
+	}
+	return out
+}
+
+// consider decides whether one protection needs recovery, arbitrating
+// before ever restarting.
+func (g *Guard) consider(t *sim.Task, st *ckptState) {
+	if st.released || st.recovered || st.seq == 0 || st.attempts >= 3 {
+		return
+	}
+	now := t.Now()
+	// A fresh checkpoint commit is as good as a heartbeat: whoever
+	// streamed it was alive moments ago.
+	if sim.Duration(now-st.committedAt) <= g.n.cfg.SuspectAfter {
+		return
+	}
+	if g.n.members.Alive(st.source, now) {
+		return
+	}
+	// Suspected. Heartbeat silence may be a partition of the beacon path
+	// alone, so ask over the independent transaction port before acting.
+	if g.Arbitrate(t, st.source) {
+		g.FalseSuspicions++
+		return
+	}
+	// Arbitration took time; a beacon may have landed meanwhile.
+	if g.n.members.Alive(st.source, t.Now()) {
+		g.FalseSuspicions++
+		return
+	}
+	g.recover(t, st)
+}
+
+// recover restarts the newest committed checkpoint locally: spool the
+// three dump files to /usr/tmp and run restart -p pid, exactly as the
+// streaming-migration destination does.
+func (g *Guard) recover(t *sim.Task, st *ckptState) {
+	st.attempts++
+	m := g.n.m
+	rec := Recovery{Source: st.source, PID: st.pid, Seq: st.seq, Status: -1, At: t.Now()}
+	creds, _, err := core.DecodeStackHeader(st.stack)
+	if err != nil {
+		g.Recoveries = append(g.Recoveries, rec)
+		return
+	}
+	aoutPath, filesPath, stackPath := core.DumpPaths("", st.pid)
+	spooled := []string{}
+	discard := func() {
+		for _, path := range spooled {
+			m.NS().Remove(path)
+		}
+	}
+	for _, out := range []struct {
+		path string
+		data []byte
+	}{
+		{filesPath, st.files},
+		{stackPath, st.stack},
+		{aoutPath, st.aout},
+	} {
+		t.Sleep(m.Costs.DiskLatency + sim.Duration(len(out.data))*m.Costs.DiskPerByte)
+		if werr := m.NS().WriteFile(out.path, out.data, 0o700, creds.UID, creds.GID); werr != nil {
+			discard()
+			g.Recoveries = append(g.Recoveries, rec)
+			return
+		}
+		spooled = append(spooled, out.path)
+	}
+	pty := tty.NewNetworkPTY(m.Engine(), "guardd-pty")
+	kcreds := kernel.Creds{UID: creds.UID, GID: creds.GID, EUID: creds.UID, EGID: creds.GID}
+	stdio := m.NewTerminalFile(kernel.NewTTYDevice(pty))
+	rp, err := m.Spawn(kernel.SpawnSpec{
+		Path:       "/bin/" + core.ProgRestart,
+		Args:       []string{core.ProgRestart, "-p", strconv.Itoa(st.pid)},
+		Creds:      kcreds,
+		CWD:        "/",
+		TTY:        pty,
+		InheritFDs: []*kernel.File{stdio, stdio, stdio},
+	})
+	if err != nil {
+		discard()
+		g.Recoveries = append(g.Recoveries, rec)
+		return
+	}
+	status, _ := rp.AwaitExitOrMigrated(t)
+	discard()
+	rec.Status = status
+	if status == 0 {
+		st.recovered = true
+		rec.NewPID = rp.PID
+	}
+	g.Recoveries = append(g.Recoveries, rec)
+}

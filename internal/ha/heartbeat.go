@@ -1,0 +1,270 @@
+// Package ha is the cluster availability control plane: the layer that
+// notices where load is and when a machine dies, which the paper's §8
+// applications (load balancing, checkpointing long computations) take for
+// granted. Each host runs three cooperating daemons on top of netsim:
+//
+//   - hbd beacons liveness plus a digest of the local run queue to every
+//     peer; received beacons feed a membership table with timeout-based
+//     failure suspicion, giving every host the same eventually-consistent
+//     load view without ever touching a peer's kernel structures.
+//   - guardd (source role) takes periodic incremental checkpoints of
+//     processes registered for protection — the PR 1 dirty-page stream
+//     format reused as delta checkpoints — and spools them to a buddy
+//     host.
+//   - guardd (buddy role) watches the membership table; when a protected
+//     process's home goes silent it arbitrates over an independent
+//     channel (the migd transaction port) and, only when the host is
+//     confirmed dead, restarts the newest committed checkpoint locally.
+//
+// The policy layer (apps.Balancer, apps.NightScheduler) consumes the
+// disseminated view instead of dereferencing peer Machine structs, making
+// it honest about what a real distributed system could know.
+package ha
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+// Control-plane ports, continuing the /etc/services-style numbering the
+// migration daemons use (515-517).
+const (
+	HBPort         = 520 // hbd: heartbeat beacons
+	GuardPort      = 521 // guardd control verbs (release)
+	GuardSpoolPort = 522 // guardd checkpoint streams (netsim stream port)
+)
+
+// HeartbeatMagic continues the paper's octal numbering: 444 stack, 445
+// files, 446 stream hello, 447 heartbeat.
+const HeartbeatMagic = 0o447
+
+// ProcStat is one run-queue entry advertised in a heartbeat: a VM
+// (migratable) process with enough accounting for a remote balancer to
+// pick candidates without inspecting the peer's process table.
+type ProcStat struct {
+	PID    int
+	OldPID int          // pre-migration pid (0 if never migrated)
+	Age    sim.Duration // virtual time since the process started
+	CPU    sim.Duration // user CPU consumed
+}
+
+// Heartbeat is one hbd beacon.
+type Heartbeat struct {
+	Host  string
+	Seq   uint32
+	Load  int // run-queue length (kernel.Machine.Load)
+	Procs []ProcStat
+}
+
+// procStatWire is the encoded size of one ProcStat.
+const procStatWire = 4 + 4 + 8 + 8
+
+var errBadHeartbeat = errors.New("ha: bad heartbeat")
+
+// Encode serializes a heartbeat.
+func (hb *Heartbeat) Encode() []byte {
+	b := make([]byte, 0, 14+len(hb.Host)+len(hb.Procs)*procStatWire)
+	b = binary.BigEndian.AppendUint16(b, HeartbeatMagic)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(hb.Host)))
+	b = append(b, hb.Host...)
+	b = binary.BigEndian.AppendUint32(b, hb.Seq)
+	b = binary.BigEndian.AppendUint32(b, uint32(hb.Load))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(hb.Procs)))
+	for _, ps := range hb.Procs {
+		b = binary.BigEndian.AppendUint32(b, uint32(ps.PID))
+		b = binary.BigEndian.AppendUint32(b, uint32(ps.OldPID))
+		b = binary.BigEndian.AppendUint64(b, uint64(ps.Age))
+		b = binary.BigEndian.AppendUint64(b, uint64(ps.CPU))
+	}
+	return b
+}
+
+// DecodeHeartbeat parses a beacon, rejecting bad magic, truncation, and
+// trailing garbage. The proc count is validated against the remaining
+// bytes before any allocation, so hostile input cannot demand memory.
+func DecodeHeartbeat(raw []byte) (*Heartbeat, error) {
+	if len(raw) < 14 {
+		return nil, errBadHeartbeat
+	}
+	if binary.BigEndian.Uint16(raw) != HeartbeatMagic {
+		return nil, errBadHeartbeat
+	}
+	hostLen := int(binary.BigEndian.Uint16(raw[2:]))
+	if len(raw) < 4+hostLen+10 {
+		return nil, errBadHeartbeat
+	}
+	hb := &Heartbeat{Host: string(raw[4 : 4+hostLen])}
+	p := 4 + hostLen
+	hb.Seq = binary.BigEndian.Uint32(raw[p:])
+	hb.Load = int(int32(binary.BigEndian.Uint32(raw[p+4:])))
+	n := int(binary.BigEndian.Uint16(raw[p+8:]))
+	p += 10
+	if len(raw)-p != n*procStatWire {
+		return nil, errBadHeartbeat
+	}
+	if n > 0 {
+		hb.Procs = make([]ProcStat, n)
+	}
+	for i := 0; i < n; i++ {
+		hb.Procs[i] = ProcStat{
+			PID:    int(int32(binary.BigEndian.Uint32(raw[p:]))),
+			OldPID: int(int32(binary.BigEndian.Uint32(raw[p+4:]))),
+			Age:    sim.Duration(binary.BigEndian.Uint64(raw[p+8:])),
+			CPU:    sim.Duration(binary.BigEndian.Uint64(raw[p+16:])),
+		}
+		p += procStatWire
+	}
+	return hb, nil
+}
+
+// Config tunes one node's control-plane daemons. Zero values take the
+// defaults.
+type Config struct {
+	Interval     sim.Duration // beacon period (default 1s)
+	SuspectAfter sim.Duration // beacon silence before suspicion (default 3×Interval)
+	CkptInterval sim.Duration // delta-checkpoint period (default 5s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = sim.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.Interval
+	}
+	if c.CkptInterval <= 0 {
+		c.CkptInterval = 5 * sim.Second
+	}
+	return c
+}
+
+// Node is one host's slice of the control plane: its hbd, its membership
+// view, and its guardian.
+type Node struct {
+	m       *kernel.Machine
+	host    *netsim.Host
+	cfg     Config
+	members *Membership
+	Guard   *Guard
+
+	peers   []string
+	seq     uint32
+	stopped bool
+}
+
+// Start wires the control plane into a machine: listeners for heartbeats
+// and guardian traffic, plus the background beacon/checkpoint/monitor
+// loops. Call SetPeers before the engine runs; call Stop to let the
+// engine quiesce (the loops otherwise beacon forever).
+func Start(m *kernel.Machine, host *netsim.Host, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		m: m, host: host, cfg: cfg,
+		members: NewMembership(m.Name, cfg.SuspectAfter),
+	}
+	n.Guard = newGuard(n)
+	if err := host.Listen(HBPort, func(t *sim.Task, raw []byte) []byte {
+		hb, err := DecodeHeartbeat(raw)
+		if err != nil {
+			return nil
+		}
+		n.members.Observe(hb, n.now(t))
+		return []byte{1} // delivery ack; losing it costs only the sender
+	}); err != nil {
+		return nil, err
+	}
+	if err := n.Guard.listen(); err != nil {
+		return nil, err
+	}
+	eng := m.Engine()
+	// Staggered start: machines boot at slightly different phases, like
+	// the staggered pid counters — and simultaneous cluster-wide beacon
+	// bursts would serialize artificially on the shared engine.
+	stagger := sim.Duration(hashName(m.Name)%97) * sim.Millisecond
+	eng.GoAfter("hbd@"+m.Name, stagger, n.beaconLoop)
+	eng.GoAfter("guardd@"+m.Name, stagger, n.Guard.checkpointLoop)
+	eng.GoAfter("guardmon@"+m.Name, stagger, n.Guard.monitorLoop)
+	return n, nil
+}
+
+// SetPeers tells the node whom to beacon to (everyone else in the
+// cluster; membership changes are out of scope for this reproduction).
+func (n *Node) SetPeers(peers []string) {
+	n.peers = append([]string(nil), peers...)
+}
+
+// Members returns the node's membership view.
+func (n *Node) Members() *Membership { return n.members }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stop shuts the node's daemon loops down at their next tick, letting
+// Engine.Run quiesce. Idempotent.
+func (n *Node) Stop() { n.stopped = true }
+
+func (n *Node) now(t *sim.Task) sim.Time {
+	if t != nil {
+		return t.Now()
+	}
+	return n.m.Engine().Now()
+}
+
+// beacon builds this instant's heartbeat from the local machine — the
+// only kernel structures the control plane ever reads are its own.
+func (n *Node) beacon(now sim.Time) *Heartbeat {
+	n.seq++
+	hb := &Heartbeat{Host: n.m.Name, Seq: n.seq, Load: n.m.Load()}
+	for _, p := range n.m.Procs() {
+		if p.State != kernel.ProcRunning || p.VM == nil {
+			continue
+		}
+		oldPID := 0
+		if p.Migrated {
+			oldPID = p.OldPID
+		}
+		hb.Procs = append(hb.Procs, ProcStat{
+			PID: p.PID, OldPID: oldPID,
+			Age: sim.Duration(now - p.StartedAt),
+			CPU: p.UTime,
+		})
+	}
+	return hb
+}
+
+// beaconLoop is hbd: every Interval, beacon to every peer. Lost beacons
+// are simply lost — the receiver's timeout does the detecting. A beacon
+// to a dead host costs the sender the network timeout, exactly as a real
+// datagram-and-ack heartbeat would.
+func (n *Node) beaconLoop(t *sim.Task) {
+	for !n.stopped {
+		t.Sleep(n.cfg.Interval)
+		if n.stopped {
+			return
+		}
+		if n.host.Down() {
+			continue // a partitioned host cannot beacon (nor hear itself)
+		}
+		hb := n.beacon(t.Now())
+		raw := hb.Encode()
+		n.members.Observe(hb, t.Now()) // the local view always includes self
+		for _, peer := range n.peers {
+			n.host.Call(t, peer, HBPort, raw) // best effort, by design
+		}
+	}
+}
+
+// hashName is a tiny FNV-1a over the host name, for deterministic phase
+// staggering and txn-id salting (no global state, no wall clock).
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

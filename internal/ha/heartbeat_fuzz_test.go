@@ -1,0 +1,37 @@
+package ha_test
+
+import (
+	"bytes"
+	"testing"
+
+	"procmig/internal/ha"
+	"procmig/internal/sim"
+)
+
+// FuzzDecodeHeartbeat throws arbitrary bytes at the beacon decoder.
+// Beacons arrive over the (fault-injected) network, so the decoder must
+// reject anything malformed without panicking or allocating on behalf of
+// a hostile length field, and every beacon it does accept must re-encode
+// to exactly the bytes it was decoded from.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	good := &ha.Heartbeat{Host: "alpha", Seq: 42, Load: 3, Procs: []ha.ProcStat{
+		{PID: 1042, OldPID: 17, Age: 9 * sim.Second, CPU: 4 * sim.Second},
+		{PID: 2042, Age: sim.Second, CPU: 500 * sim.Millisecond},
+	}}
+	raw := good.Encode()
+	f.Add(raw)
+	f.Add(raw[:len(raw)-1])
+	f.Add(raw[:3])
+	f.Add([]byte{})
+	f.Add(append(append([]byte{}, raw...), 0)) // trailing garbage
+	f.Add((&ha.Heartbeat{Host: "x"}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := ha.DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(hb.Encode(), data) {
+			t.Fatalf("accepted beacon does not round-trip: %x", data)
+		}
+	})
+}

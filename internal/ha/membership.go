@@ -1,0 +1,100 @@
+package ha
+
+import (
+	"sort"
+
+	"procmig/internal/sim"
+)
+
+// Membership is one host's view of the cluster, built purely from
+// received heartbeats. Failure detection is timeout-based suspicion: a
+// member that has been silent longer than SuspectAfter is not Alive. The
+// view is eventually consistent and can be wrong both ways — a suspect
+// may be merely partitioned (the guardian arbitrates before acting) and a
+// fresh member may have just crashed.
+type Membership struct {
+	self         string
+	suspectAfter sim.Duration
+	members      map[string]*memberState
+}
+
+type memberState struct {
+	seq       uint32
+	load      int
+	procs     []ProcStat
+	lastHeard sim.Time
+}
+
+// Member is one row of the view at a given instant.
+type Member struct {
+	Host      string
+	Seq       uint32
+	Load      int
+	Procs     []ProcStat
+	LastHeard sim.Time
+	Alive     bool
+}
+
+// NewMembership creates an empty table for the named host.
+func NewMembership(self string, suspectAfter sim.Duration) *Membership {
+	return &Membership{
+		self:         self,
+		suspectAfter: suspectAfter,
+		members:      map[string]*memberState{},
+	}
+}
+
+// Observe folds one heartbeat into the table. Stale beacons (a sequence
+// number at or below the freshest seen) still refresh liveness — a
+// delayed duplicate proves the sender was alive when it sent — but never
+// roll the advertised state backward.
+func (ms *Membership) Observe(hb *Heartbeat, now sim.Time) {
+	st, ok := ms.members[hb.Host]
+	if !ok {
+		st = &memberState{}
+		ms.members[hb.Host] = st
+	}
+	if now > st.lastHeard {
+		st.lastHeard = now
+	}
+	if ok && hb.Seq <= st.seq {
+		return
+	}
+	st.seq = hb.Seq
+	st.load = hb.Load
+	st.procs = hb.Procs
+}
+
+// Alive reports whether the named member has beaconed recently enough.
+// Hosts never heard from are not alive.
+func (ms *Membership) Alive(host string, now sim.Time) bool {
+	st, ok := ms.members[host]
+	return ok && sim.Duration(now-st.lastHeard) <= ms.suspectAfter
+}
+
+// LastHeard returns when the named member last beaconed (0, false if
+// never).
+func (ms *Membership) LastHeard(host string) (sim.Time, bool) {
+	st, ok := ms.members[host]
+	if !ok {
+		return 0, false
+	}
+	return st.lastHeard, true
+}
+
+// View snapshots the table, sorted by host name for determinism.
+func (ms *Membership) View(now sim.Time) []Member {
+	out := make([]Member, 0, len(ms.members))
+	for host, st := range ms.members {
+		out = append(out, Member{
+			Host:      host,
+			Seq:       st.seq,
+			Load:      st.load,
+			Procs:     append([]ProcStat(nil), st.procs...),
+			LastHeard: st.lastHeard,
+			Alive:     sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}

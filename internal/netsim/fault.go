@@ -50,10 +50,27 @@ func (n *Network) FaultPort(port int, f FaultSpec) {
 	n.portFaults[port] = f
 }
 
+type linkPortKey struct {
+	from, to string
+	port     int
+}
+
+// FaultLinkPort injects faults on messages from one named host to another
+// that are addressed to one specific port (one direction only). This is
+// the scalpel for partition experiments: e.g. drop every heartbeat a host
+// sends while leaving its data traffic untouched.
+func (n *Network) FaultLinkPort(from, to string, port int, f FaultSpec) {
+	if n.linkPortFaults == nil {
+		n.linkPortFaults = map[linkPortKey]FaultSpec{}
+	}
+	n.linkPortFaults[linkPortKey{from, to, port}] = f
+}
+
 // ClearFaults removes all link and port fault specs.
 func (n *Network) ClearFaults() {
 	n.linkFaults = nil
 	n.portFaults = nil
+	n.linkPortFaults = nil
 }
 
 // faultFor resolves the spec applying to one message.
@@ -61,6 +78,9 @@ func (n *Network) faultFor(from, to string, port int) FaultSpec {
 	f := n.linkFaults[linkKey{from, to}]
 	if pf, ok := n.portFaults[port]; ok {
 		f = f.combine(pf)
+	}
+	if lpf, ok := n.linkPortFaults[linkPortKey{from, to, port}]; ok {
+		f = f.combine(lpf)
 	}
 	return f
 }

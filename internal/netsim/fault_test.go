@@ -250,6 +250,50 @@ func TestScriptedCrash(t *testing.T) {
 	}
 }
 
+// TestFaultLinkPort: the partition scalpel hits only the configured
+// direction AND port — the same link's other ports keep working, reverse
+// requests still arrive, and the spec combines with port-wide faults.
+func TestFaultLinkPort(t *testing.T) {
+	r := newFaultRig(t, 10)
+	r.net.FaultLinkPort("src", "dst", 7, FaultSpec{Drop: 1})
+	r.dst.Listen(8, func(_ *sim.Task, req []byte) []byte { return req })
+	reverseRan := false
+	r.src.Listen(7, func(_ *sim.Task, req []byte) []byte { reverseRan = true; return req })
+	var onPort, otherPort error
+	r.run(t, func(tk *sim.Task) {
+		_, onPort = r.src.Call(tk, "dst", 7, []byte("x"))
+		_, otherPort = r.src.Call(tk, "dst", 8, []byte("x"))
+		// dst→src requests on port 7 still arrive; only the src→dst leg
+		// (here the response) is faulted.
+		r.dst.Call(tk, "src", 7, []byte("x"))
+	})
+	if errno.Of(onPort) != errno.ETIMEDOUT {
+		t.Fatalf("faulted link+port: %v", onPort)
+	}
+	if otherPort != nil {
+		t.Fatalf("same link, other port was hit: %v", otherPort)
+	}
+	if !reverseRan {
+		t.Fatal("reverse-direction request was hit by a one-way fault")
+	}
+	// Overlays: a delay on the port combines with the link+port drop.
+	r.net.ClearFaults()
+	r.net.FaultLinkPort("src", "dst", 7, FaultSpec{Delay: 2 * sim.Second})
+	r.net.FaultPort(7, FaultSpec{Delay: sim.Second})
+	var elapsed sim.Duration
+	r.run(t, func(tk *sim.Task) {
+		before := tk.Now()
+		if _, err := r.src.Call(tk, "dst", 7, nil); err != nil {
+			t.Error(err)
+		}
+		elapsed = sim.Duration(tk.Now() - before)
+	})
+	// Request direction pays 2s+1s, the response only the port-wide 1s.
+	if want := 4*sim.Second + 2*sim.Millisecond; elapsed != want {
+		t.Fatalf("combined delay: call took %v, want %v", elapsed, want)
+	}
+}
+
 // TestFaultDeterminism: the same seed produces the same loss pattern; a
 // different seed a (very likely) different one.
 func TestFaultDeterminism(t *testing.T) {

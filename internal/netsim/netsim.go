@@ -30,8 +30,9 @@ type Network struct {
 	Timeout sim.Duration
 
 	// Fault injection (see fault.go). Nil maps mean a perfect network.
-	linkFaults map[linkKey]FaultSpec
-	portFaults map[int]FaultSpec
+	linkFaults     map[linkKey]FaultSpec
+	portFaults     map[int]FaultSpec
+	linkPortFaults map[linkPortKey]FaultSpec
 
 	// Stats
 	Messages int64

@@ -206,6 +206,27 @@ func BenchmarkAblationPrecopy(b *testing.B) {
 	}
 }
 
+// BenchmarkWireA9 regenerates A9: bytes on the wire and freeze time for
+// raw vs elide vs elide+LZ page encodings, per entropy/dirty-rate cell.
+func BenchmarkWireA9(b *testing.B) {
+	var pts []*experiments.A9Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.A9Wire()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range pts {
+		l := pt.Config.Entropy + "_" + map[int]string{10: "10", 50: "50"}[pt.Config.DirtyPct]
+		b.ReportMetric(float64(pt.Raw.WireBytes), "wire_raw_"+l)
+		b.ReportMetric(float64(pt.LZ.WireBytes), "wire_lz_"+l)
+		if pt.LZ.WireBytes > 0 {
+			b.ReportMetric(float64(pt.Raw.WireBytes)/float64(pt.LZ.WireBytes), "ratio_raw_vs_lz_"+l)
+		}
+	}
+}
+
 // --- simulator micro-benchmarks (real wall time) -----------------------------
 
 // BenchmarkVMExecution measures raw interpreter speed (simulated

@@ -23,14 +23,25 @@ const (
 // precopyReq asks the migd on the source machine to stream pid's image to
 // Dest: Rounds pre-copy rounds while the process keeps running, then
 // SIGDUMP and the dirty-page delta. Rounds == 0 is a streaming
-// stop-and-copy: freeze first, ship everything once.
+// stop-and-copy: freeze first, ship everything once; Rounds < 0 lets migd
+// pre-copy adaptively until the dirty set converges (or a cap is hit).
 type precopyReq struct {
 	UID, GID int
 	PID      int
 	Dest     string
 	Rounds   int
 	Txn      uint32 // migration transaction id (0: untracked, no retry safety)
+	Wire     byte   // core.WireMode for the image stream (0: elide+LZ)
 }
+
+// Adaptive pre-copy policy (Rounds < 0): keep copying while the dirty set
+// is still shrinking, stop once it is small enough that the freeze-time
+// delta is cheap, and give up pre-copying after a bounded number of rounds
+// on workloads that never converge.
+const (
+	adaptiveMaxRounds = 8
+	adaptiveGoalPages = 8
+)
 
 // startStreamMigd wires the two streaming endpoints into m's migd.
 func startStreamMigd(m *kernel.Machine, host *netsim.Host) error {
@@ -104,7 +115,7 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 	if err != nil {
 		return fail("stream to " + req.Dest + ": " + err.Error())
 	}
-	sess := &core.StreamSession{Stream: stream, Txn: req.Txn}
+	sess := &core.StreamSession{Stream: stream, Txn: req.Txn, Wire: core.WireMode(req.Wire)}
 	if req.Txn != 0 {
 		sess.Resolve = func(rt *sim.Task) int {
 			return resolveTxn(rt, host, req.Dest, req.Txn)
@@ -121,11 +132,27 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 		stream.Abort(t)
 		return fail(msg)
 	}
-	if req.Rounds > 0 {
+	if req.Rounds != 0 {
 		p.VM.SetDirtyTracking(true)
-		for i := 0; i < req.Rounds; i++ {
+		rounds := req.Rounds
+		if rounds < 0 {
+			rounds = adaptiveMaxRounds
+		}
+		prevDirty := -1
+		for i := 0; i < rounds; i++ {
 			if err := sess.SendRound(t, p.VM, m.Costs, charge); err != nil {
 				return abort("pre-copy: " + err.Error())
+			}
+			if req.Rounds < 0 {
+				// Adaptive: stop once the next delta is already small, or
+				// the working set has stopped shrinking (further rounds
+				// would just re-ship the same hot pages — and with dedup
+				// on, mostly as refs, but the freeze delta won't improve).
+				d := p.VM.DirtyCount()
+				if d <= adaptiveGoalPages || (prevDirty >= 0 && d >= prevDirty) {
+					break
+				}
+				prevDirty = d
 			}
 		}
 	}
@@ -143,6 +170,7 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 	if !sess.Settled {
 		return fail("process died before the transfer settled")
 	}
+	st.recordStream(sess.Stats())
 	if sess.Err != nil {
 		return fail("transfer: " + sess.Err.Error())
 	}

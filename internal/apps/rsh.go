@@ -169,11 +169,14 @@ func StartMigd(m *kernel.Machine, host *netsim.Host) error {
 // NewFastMigrate builds the improved migrate that talks to migd instead
 // of shelling out through rsh. Usage:
 //
-//	fmigrate -p pid [-f from] [-t to] [-s [-r rounds]] [-n attempts]
+//	fmigrate -p pid [-f from] [-t to] [-s [-r rounds] [-w mode]] [-n attempts]
 //
 // With -s the image is streamed migd-to-migd (pre-copy; -r sets the number
-// of copy rounds before the freeze, 0 meaning freeze-then-stream) instead
-// of going through the dump files on the source's /usr/tmp. Either way the
+// of copy rounds before the freeze, 0 meaning freeze-then-stream and "a"
+// letting migd pre-copy adaptively until the dirty set converges) instead
+// of going through the dump files on the source's /usr/tmp. -w picks the
+// wire encoding: lz (dedup + zero-page elision + compression, the
+// default), elide (dedup and zero pages only) or raw. Either way the
 // migration runs as a transaction (txn.go): the original survives, frozen,
 // until the destination acknowledges the restart, and resumes in place on
 // any failure. -n sets how often the whole transaction is retried.
@@ -183,7 +186,7 @@ func NewFastMigrate(host *netsim.Host) kernel.HostedProg {
 
 // NewRMigrate builds rmigrate, the robust migrate: identical to fmigrate
 // but tuned for hostile networks — twice the transaction attempts by
-// default. Usage: rmigrate -p pid [-f from] [-t to] [-s [-r rounds]] [-n attempts].
+// default. Usage: rmigrate -p pid [-f from] [-t to] [-s [-r rounds] [-w mode]] [-n attempts].
 func NewRMigrate(host *netsim.Host) kernel.HostedProg {
 	return newMigrateClient(host, "rmigrate", 6)
 }
@@ -206,12 +209,21 @@ func newMigrateClient(host *netsim.Host, name string, defaultAttempts int) kerne
 		}
 		rounds := 2
 		if r, ok := flags["r"]; ok {
-			v, err := strconv.Atoi(r)
-			if err != nil || v < 0 {
-				sys.Write(2, []byte(name+": bad -r\n"))
-				return 2
+			if r == "a" {
+				rounds = -1 // adaptive: migd decides when pre-copy converged
+			} else {
+				v, err := strconv.Atoi(r)
+				if err != nil || v < 0 {
+					sys.Write(2, []byte(name+": bad -r\n"))
+					return 2
+				}
+				rounds = v
 			}
-			rounds = v
+		}
+		wire, wok := core.ParseWireMode(flags["w"])
+		if !wok {
+			sys.Write(2, []byte(name+": bad -w (want raw, elide or lz)\n"))
+			return 2
 		}
 		attempts := defaultAttempts
 		if n, ok := flags["n"]; ok {
@@ -223,7 +235,7 @@ func newMigrateClient(host *netsim.Host, name string, defaultAttempts int) kerne
 			attempts = v
 		}
 		_, streaming := flags["s"]
-		status, msg := migrateTxn(sys, host, pid, from, to, streaming, rounds, attempts)
+		status, msg := migrateTxn(sys, host, pid, from, to, streaming, rounds, attempts, wire)
 		if status != 0 {
 			sys.Write(2, []byte(name+": "+msg+"\n"))
 			return 1

@@ -91,6 +91,12 @@ func callRetry(t *sim.Task, host *netsim.Host, to string, port int, req []byte, 
 type migdState struct {
 	mu   sync.Mutex
 	done map[uint32]int
+	// lastStream is the transfer accounting of the newest streaming
+	// migration this migd drove as a source (settled either way), kept for
+	// experiments and operators; haveStream distinguishes "no streaming
+	// migration yet" from an all-zero record.
+	lastStream core.StreamStats
+	haveStream bool
 }
 
 var (
@@ -116,6 +122,22 @@ func (s *migdState) record(txn uint32, status int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.done[txn] = status
+}
+
+func (s *migdState) recordStream(stats core.StreamStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastStream = stats
+	s.haveStream = true
+}
+
+// LastStreamStats reports the transfer accounting of the newest streaming
+// migration m's migd drove as a source, and whether there has been one.
+func LastStreamStats(m *kernel.Machine) (core.StreamStats, bool) {
+	st := migdStateFor(m)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastStream, st.haveStream
 }
 
 // abortIfAbsent seals txn as aborted unless an outcome is already on
@@ -404,7 +426,7 @@ func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst stri
 // run one migration as a transaction against the source migd, retrying
 // the whole transaction — same id, every verb idempotent — with capped
 // exponential backoff. Returns the final status and an error message.
-func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, streaming bool, rounds, attempts int) (int, string) {
+func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, streaming bool, rounds, attempts int, wire core.WireMode) (int, string) {
 	txn := newTxnID(sys, pid)
 	lastErr := "migration failed"
 	status := -1
@@ -418,6 +440,7 @@ func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, st
 			raw, err = host.Call(nil, from, MigdPrecopyPort, encode(&precopyReq{
 				UID: sys.Getuid(), GID: sys.Proc().Creds.GID,
 				PID: pid, Dest: to, Rounds: rounds, Txn: txn,
+				Wire: byte(wire),
 			}))
 		} else {
 			raw, err = host.Call(nil, from, MigdPort, encode(&remoteReq{

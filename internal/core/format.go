@@ -48,6 +48,7 @@ var (
 	ErrBadMagic     = errors.New("core: bad dump file magic")
 	ErrTruncated    = errors.New("core: truncated dump file")
 	ErrNotCommitted = errors.New("core: stream image has no matching commit record")
+	ErrHashMismatch = errors.New("core: page-ref hash does not match held page")
 )
 
 // FDKind classifies one open-file-table entry in the files file.
@@ -136,6 +137,14 @@ func (r *reader) u32() uint32 {
 		return 0
 	}
 	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
 }
 
 func (r *reader) str() string {

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"procmig/internal/vm"
+)
+
+// Byte-oriented LZ77 compression for streamed pages, snappy-style: greedy
+// matching against a small hash table of 4-byte sequences, emitting runs
+// of literals and back-references. The framing is self-synchronizing in
+// the loud-failure sense: every frame opens with a magic byte, the exact
+// uncompressed length, and a content checksum, and the decoder rejects
+// any token stream that overruns its declared output, references before
+// the start, leaves trailing garbage, or fails the checksum — corrupt
+// input is an error, never silently wrong bytes. Callers are expected to
+// fall back to a raw record when compression does not pay (AppendLZ can
+// expand incompressible input by up to 1/128 plus the header).
+
+// lzMagic leads every frame. Deliberately not a printable run-length tag
+// so truncated raw pages are unlikely to alias a frame.
+const lzMagic = 0xC5
+
+// lzHeaderLen is magic + u32 uncompressed length + u32 checksum.
+const lzHeaderLen = 9
+
+// lzMaxLen bounds the declared uncompressed length a decoder will honor:
+// big enough for any page or text chunk, small enough that fuzzed frames
+// cannot ask for huge allocations.
+const lzMaxLen = 1 << 20
+
+const (
+	lzMinMatch  = 4                 // shortest back-reference worth a 3-byte token
+	lzMaxCopy   = lzMinMatch + 0x7f // longest single copy token
+	lzMaxOffset = 1<<16 - 1         // 2-byte offsets
+	lzTableBits = 12                // 4096-entry candidate table
+)
+
+// ErrLZCorrupt rejects a frame whose token stream or checksum is broken.
+var ErrLZCorrupt = errors.New("core: corrupt LZ frame")
+
+func lzHash(v uint32) uint32 {
+	return (v * 0x1e35a7bd) >> (32 - lzTableBits)
+}
+
+// AppendLZ compresses src into one frame appended to dst. The output is a
+// pure function of src (greedy, deterministic), so identical pages always
+// produce identical frames — the A9 determinism assertion rides on this.
+func AppendLZ(dst, src []byte) []byte {
+	dst = append(dst, lzMagic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(src)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(vm.HashPage(src)))
+
+	var table [1 << lzTableBits]int32 // candidate position + 1; 0 = empty
+	emitLiterals := func(b []byte, lit []byte) []byte {
+		for len(lit) > 0 {
+			n := len(lit)
+			if n > 128 {
+				n = 128
+			}
+			b = append(b, byte(n-1)) // 0x00..0x7F
+			b = append(b, lit[:n]...)
+			lit = lit[n:]
+		}
+		return b
+	}
+
+	i, litStart := 0, 0
+	for i+lzMinMatch <= len(src) {
+		cur := binary.BigEndian.Uint32(src[i:])
+		h := lzHash(cur)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > lzMaxOffset ||
+			binary.BigEndian.Uint32(src[cand:]) != cur {
+			i++
+			continue
+		}
+		match := lzMinMatch
+		for i+match < len(src) && src[cand+match] == src[i+match] {
+			match++
+		}
+		dst = emitLiterals(dst, src[litStart:i])
+		off := i - cand
+		for rem := match; rem > 0; {
+			l := rem
+			if l > lzMaxCopy {
+				l = lzMaxCopy
+				// Never strand a tail shorter than a legal copy token.
+				if tail := rem - l; tail > 0 && tail < lzMinMatch {
+					l -= lzMinMatch - tail
+				}
+			}
+			dst = append(dst, 0x80|byte(l-lzMinMatch), byte(off>>8), byte(off))
+			rem -= l
+		}
+		i += match
+		litStart = i
+	}
+	return emitLiterals(dst, src[litStart:])
+}
+
+// DecompressLZInto decodes one frame into dst, whose length must equal the
+// frame's declared uncompressed length. dst may hold stale bytes: the
+// decoder writes it strictly left to right and back-references read only
+// the already-decoded prefix.
+func DecompressLZInto(dst, frame []byte) error {
+	n, body, sum, err := lzHeader(frame)
+	if err != nil {
+		return err
+	}
+	if n != len(dst) {
+		return ErrLZCorrupt
+	}
+	pos := 0
+	for len(body) > 0 {
+		tag := body[0]
+		body = body[1:]
+		if tag < 0x80 { // literal run of tag+1 bytes
+			l := int(tag) + 1
+			if l > len(body) || pos+l > len(dst) {
+				return ErrLZCorrupt
+			}
+			copy(dst[pos:], body[:l])
+			pos += l
+			body = body[l:]
+			continue
+		}
+		if len(body) < 2 {
+			return ErrLZCorrupt
+		}
+		l := int(tag&0x7f) + lzMinMatch
+		off := int(body[0])<<8 | int(body[1])
+		body = body[2:]
+		if off == 0 || off > pos || pos+l > len(dst) {
+			return ErrLZCorrupt
+		}
+		// Byte-at-a-time on purpose: overlapping references (off < l)
+		// replicate the just-written bytes, the classic LZ run encoding.
+		for ; l > 0; l-- {
+			dst[pos] = dst[pos-off]
+			pos++
+		}
+	}
+	if pos != len(dst) {
+		return ErrLZCorrupt
+	}
+	if uint32(vm.HashPage(dst)) != sum {
+		return ErrLZCorrupt
+	}
+	return nil
+}
+
+// DecompressLZ decodes one frame into a fresh slice.
+func DecompressLZ(frame []byte) ([]byte, error) {
+	n, _, _, err := lzHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if err := DecompressLZInto(out, frame); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// lzHeader validates and splits a frame, returning the declared length,
+// the token body, and the checksum.
+func lzHeader(frame []byte) (n int, body []byte, sum uint32, err error) {
+	if len(frame) < lzHeaderLen || frame[0] != lzMagic {
+		return 0, nil, 0, ErrLZCorrupt
+	}
+	n = int(binary.BigEndian.Uint32(frame[1:]))
+	if n > lzMaxLen {
+		return 0, nil, 0, ErrLZCorrupt
+	}
+	return n, frame[lzHeaderLen:], binary.BigEndian.Uint32(frame[5:]), nil
+}

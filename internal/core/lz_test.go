@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"procmig/internal/vm"
+)
+
+// lzTestInputs covers the compressibility spectrum: empty, all-zero,
+// short, repetitive, structured, long-run, and pseudorandom pages.
+func lzTestInputs() map[string][]byte {
+	random := make([]byte, vm.PageSize)
+	x := uint64(0x2545f4914f6cdd1d)
+	for i := range random {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		random[i] = byte(x)
+	}
+	repeat := bytes.Repeat([]byte("the quick brown fox "), 60)
+	structured := make([]byte, vm.PageSize)
+	for i := range structured {
+		structured[i] = byte(i / 16)
+	}
+	long := make([]byte, 3*vm.PageSize)
+	for i := range long {
+		long[i] = byte(i % 5)
+	}
+	return map[string][]byte{
+		"empty":      {},
+		"zero":       make([]byte, vm.PageSize),
+		"short":      []byte("abc"),
+		"repeat":     repeat,
+		"structured": structured,
+		"longrun":    long,
+		"random":     random,
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	for name, src := range lzTestInputs() {
+		frame := AppendLZ(nil, src)
+		out, err := DecompressLZ(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("%s: round trip corrupted %d bytes", name, len(src))
+		}
+		// Into-variant with a stale destination buffer.
+		dst := bytes.Repeat([]byte{0xee}, len(src))
+		if err := DecompressLZInto(dst, frame); err != nil {
+			t.Fatalf("%s: DecompressLZInto: %v", name, err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("%s: DecompressLZInto corrupted the data", name)
+		}
+		// Deterministic: same input, same frame.
+		if !bytes.Equal(frame, AppendLZ(nil, src)) {
+			t.Fatalf("%s: compression not deterministic", name)
+		}
+	}
+}
+
+func TestLZCompressesRedundantPages(t *testing.T) {
+	in := lzTestInputs()
+	for _, name := range []string{"zero", "repeat", "structured", "longrun"} {
+		if frame := AppendLZ(nil, in[name]); len(frame) >= len(in[name]) {
+			t.Errorf("%s: frame %d B not smaller than input %d B",
+				name, len(frame), len(in[name]))
+		}
+	}
+	// Incompressible input may expand, but only by the documented bound.
+	frame := AppendLZ(nil, in["random"])
+	if max := lzHeaderLen + len(in["random"]) + len(in["random"])/128 + 1; len(frame) > max {
+		t.Fatalf("random: frame %d B exceeds worst-case bound %d B", len(frame), max)
+	}
+}
+
+func TestLZRejectsCorruptFrames(t *testing.T) {
+	src := lzTestInputs()["structured"]
+	frame := AppendLZ(nil, src)
+
+	check := func(name string, bad []byte) {
+		t.Helper()
+		if _, err := DecompressLZ(bad); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	check("empty", nil)
+	check("bad magic", append([]byte{lzMagic ^ 0xff}, frame[1:]...))
+	for n := 0; n < len(frame); n += 13 {
+		check("truncated", frame[:n])
+	}
+	check("trailing garbage", append(append([]byte(nil), frame...), 7))
+
+	// A flipped payload byte must fail the checksum, not decode silently.
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0x40
+	check("flipped payload byte", flipped)
+
+	// A declared length beyond the cap is refused before any allocation.
+	huge := append([]byte(nil), frame...)
+	huge[1], huge[2], huge[3], huge[4] = 0xff, 0xff, 0xff, 0xff
+	check("oversized declared length", huge)
+
+	// Offset pointing before the start of the output.
+	badRef := []byte{lzMagic, 0, 0, 0, 4, 0, 0, 0, 0, 0x80, 0, 1}
+	check("reference before start", badRef)
+
+	// Into-variant with the wrong destination size.
+	if err := DecompressLZInto(make([]byte, len(src)+1), frame); err == nil {
+		t.Fatal("wrong destination length accepted")
+	}
+}
+
+func TestLZOverlappingRuns(t *testing.T) {
+	// aaaaa... compresses to one literal + an overlapping copy (off=1);
+	// the byte-at-a-time decode must replicate correctly.
+	src := bytes.Repeat([]byte{'a'}, 300)
+	out, err := DecompressLZ(AppendLZ(nil, src))
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("overlapping run corrupted (err=%v)", err)
+	}
+	// Long matches that need several copy tokens, including the
+	// strand-avoidance split (match just over lzMaxCopy).
+	for _, n := range []int{int(lzMaxCopy) + 1, int(lzMaxCopy) + 2, int(lzMaxCopy) + 3, 2*int(lzMaxCopy) + 1} {
+		src := append(bytes.Repeat([]byte{1, 2, 3, 4}, 2), bytes.Repeat([]byte{9}, n)...)
+		out, err := DecompressLZ(AppendLZ(nil, src))
+		if err != nil || !bytes.Equal(out, src) {
+			t.Fatalf("match len %d corrupted (err=%v)", n, err)
+		}
+	}
+}

@@ -27,12 +27,60 @@ import (
 const StreamMagic = 0o446
 
 // Stream record types. Every Send on the stream carries exactly one record.
+// Types 5–7 are the wire-efficiency encodings of a page: the destination
+// assembler treats all four page-bearing kinds identically once decoded,
+// so senders may mix them freely within a session.
 const (
-	RecText   byte = 1 // u32 offset, u32 n, n text bytes
-	RecPage   byte = 2 // u32 page number, u32 n (= vm.PageSize), n bytes
-	RecMeta   byte = 3 // u32 stackLen, u32 filesLen, files, u32 sfLen, stack file (sans stack)
-	RecCommit byte = 4 // two-phase-commit trailer, see CommitRecord
+	RecText     byte = 1 // u32 offset, u32 n, n text bytes
+	RecPage     byte = 2 // u32 page number, u32 n (= vm.PageSize), n bytes
+	RecMeta     byte = 3 // u32 stackLen, u32 filesLen, files, u32 sfLen, stack file (sans stack)
+	RecCommit   byte = 4 // two-phase-commit trailer, see CommitRecord
+	RecPageZero byte = 5 // u32 page number; the page is all zeros
+	RecPageRef  byte = 6 // u32 page number, u64 hash: dest already holds these bytes
+	RecPageLZ   byte = 7 // u32 page number, u32 frameLen, LZ frame (decodes to one page)
 )
+
+// WireMode selects how a StreamSession encodes page contents on the wire.
+type WireMode byte
+
+const (
+	// WireElideLZ is the default (the zero value, so every session gets it
+	// unless a caller opts out): a page whose content hash matches what the
+	// destination already holds ships as a 13-byte RecPageRef, an all-zero
+	// page as a 5-byte RecPageZero, and anything else LZ-compressed —
+	// falling back to a raw RecPage when compression does not pay.
+	WireElideLZ WireMode = iota
+	// WireElide dedups unchanged and zero pages but never compresses.
+	WireElide
+	// WireRaw ships every page as a full RecPage (the PR 1 encoding).
+	WireRaw
+)
+
+func (w WireMode) String() string {
+	switch w {
+	case WireElideLZ:
+		return "lz"
+	case WireElide:
+		return "elide"
+	case WireRaw:
+		return "raw"
+	}
+	return "?"
+}
+
+// ParseWireMode maps a -w flag argument to a mode; the empty string is the
+// default mode. ok is false for anything unrecognized.
+func ParseWireMode(s string) (WireMode, bool) {
+	switch s {
+	case "", "lz":
+		return WireElideLZ, true
+	case "elide":
+		return WireElide, true
+	case "raw":
+		return WireRaw, true
+	}
+	return WireElideLZ, false
+}
 
 // TextChunk is how much text one RecText record carries.
 const TextChunk = 4096
@@ -106,21 +154,53 @@ func DecodeStreamStatus(raw []byte) int {
 	return int(int32(binary.BigEndian.Uint32(raw)))
 }
 
-func encodeTextRec(off uint32, data []byte) []byte {
-	b := make([]byte, 0, 9+len(data))
+// recPool recycles per-record encode buffers: a pre-copy round used to
+// allocate one slice per record shipped. Pointers to slices so Put does
+// not allocate; the capacity fits the largest common record (a text
+// chunk), and anything bigger grows its pooled buffer once and keeps it.
+var recPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 9+TextChunk)
+	return &b
+}}
+
+func recBufGet() *[]byte  { return recPool.Get().(*[]byte) }
+func recBufPut(b *[]byte) { recPool.Put(b) }
+
+func appendTextRec(b []byte, off uint32, data []byte) []byte {
 	b = append(b, RecText)
 	b = binary.BigEndian.AppendUint32(b, off)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
 	return append(b, data...)
 }
 
-func encodePageRec(pg uint32, data []byte) []byte {
-	b := make([]byte, 0, 9+len(data))
+func appendPageRec(b []byte, pg uint32, data []byte) []byte {
 	b = append(b, RecPage)
 	b = binary.BigEndian.AppendUint32(b, pg)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(data)))
 	return append(b, data...)
 }
+
+func appendPageZeroRec(b []byte, pg uint32) []byte {
+	b = append(b, RecPageZero)
+	return binary.BigEndian.AppendUint32(b, pg)
+}
+
+func appendPageRefRec(b []byte, pg uint32, h uint64) []byte {
+	b = append(b, RecPageRef)
+	b = binary.BigEndian.AppendUint32(b, pg)
+	return binary.BigEndian.AppendUint64(b, h)
+}
+
+func appendPageLZRec(b []byte, pg uint32, frame []byte) []byte {
+	b = append(b, RecPageLZ)
+	b = binary.BigEndian.AppendUint32(b, pg)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(frame)))
+	return append(b, frame...)
+}
+
+func encodeTextRec(off uint32, data []byte) []byte { return appendTextRec(nil, off, data) }
+
+func encodePageRec(pg uint32, data []byte) []byte { return appendPageRec(nil, pg, data) }
 
 func encodeMetaRec(stackLen int, filesRaw, sfRaw []byte) []byte {
 	b := make([]byte, 0, 13+len(filesRaw)+len(sfRaw))
@@ -208,14 +288,35 @@ type StreamSession struct {
 	// copy either never completed it or crashed with it.
 	Resolve func(t *sim.Task) int
 
+	// Wire selects the page encoding policy. The zero value is WireElideLZ,
+	// so dedup, zero-page elision and compression are on unless a caller
+	// explicitly asks for raw.
+	Wire WireMode
+
 	textSent  bool
 	fullSent  bool
 	sentPages map[uint32]struct{} // distinct pages shipped, for the commit record
+	// sentHashes mirrors, page by page, the content-hash table the
+	// destination assembler maintains: the hash of each page as last
+	// successfully shipped this session. A page whose current hash matches
+	// is elided to a RecPageRef. Lives and dies with the session — guardd
+	// resyncs under a new generation with a fresh session, and the buddy
+	// discards its assembler (and hash table) on the generation mismatch,
+	// so the two sides always reset together.
+	sentHashes map[uint32]uint64
+	pgScratch  []uint32 // reused dirty-page list
+	pageBuf    []byte   // reused page-contents buffer
+	lzBuf      []byte   // reused compression output buffer
 
 	WireBytes int64 // payload bytes handed to the stream
 	Rounds    int   // SendRound calls so far (including the final one)
 	Status    int   // destination restart status, set after the final round
 	Err       error // transfer failure, set instead of Status
+
+	// Wire-efficiency accounting: how each shipped page was encoded, and
+	// how many bytes the encoding saved against a raw RecPage.
+	PagesRaw, PagesZero, PagesRef, PagesLZ int
+	SavedBytes                             int64
 
 	// Settled flips once the final round has decided the outcome either
 	// way; DoneQ wakes the orchestrator waiting on it (the victim itself
@@ -258,20 +359,28 @@ func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, 
 	if s.sentPages == nil {
 		s.sentPages = map[uint32]struct{}{}
 	}
+	if s.sentHashes == nil && s.Wire != WireRaw {
+		s.sentHashes = map[uint32]uint64{}
+	}
 	send := func(rec []byte) error {
 		charge(costs.StreamChunkBase + sim.Duration(len(rec))*costs.StreamPerByte)
 		return s.sendRec(t, rec)
 	}
 	if !s.textSent {
+		buf := recBufGet()
 		for off := 0; off < len(cpu.Text); off += TextChunk {
 			end := off + TextChunk
 			if end > len(cpu.Text) {
 				end = len(cpu.Text)
 			}
-			if err := send(encodeTextRec(uint32(off), cpu.Text[off:end])); err != nil {
+			rec := appendTextRec((*buf)[:0], uint32(off), cpu.Text[off:end])
+			*buf = rec
+			if err := send(rec); err != nil {
+				recBufPut(buf)
 				return err
 			}
 		}
+		recBufPut(buf)
 		s.textSent = true
 	}
 	var pages []uint32
@@ -279,20 +388,141 @@ func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, 
 		pages = cpu.ImagePages()
 		s.fullSent = true
 	} else {
-		pages = cpu.DirtyPages()
+		s.pgScratch = cpu.AppendDirtyPages(s.pgScratch[:0])
+		pages = s.pgScratch
 	}
 	if cpu.DirtyTracking() {
 		cpu.ClearDirty()
 		charge(sim.Duration(len(pages)) * costs.DirtyScanPerPage)
 	}
+	if s.pageBuf == nil {
+		s.pageBuf = make([]byte, vm.PageSize)
+	}
 	for _, pg := range pages {
-		if err := send(encodePageRec(pg, cpu.PageData(pg))); err != nil {
+		cpu.PageDataInto(pg, s.pageBuf)
+		if err := s.sendPage(pg, s.pageBuf, costs, charge, send); err != nil {
 			return err
 		}
-		s.sentPages[pg] = struct{}{}
 	}
 	s.Rounds++
 	return nil
+}
+
+// rawPageRecLen is the wire size of a full RecPage: type byte, two u32
+// header words and the page contents — the yardstick SavedBytes and the
+// netsim elision counters measure against.
+const rawPageRecLen = 9 + vm.PageSize
+
+// sendPage encodes one page under the session's wire mode and ships it.
+// The hash table is updated only after a successful send, so the source
+// never refs a page the destination might not hold: a lost record either
+// got resent (sendRec) or killed the round, and a killed round kills the
+// whole session (migration) or breaks the protection (checkpoint), both
+// of which discard the hash tables on both sides.
+func (s *StreamSession) sendPage(pg uint32, data []byte, costs kernel.Costs, charge func(sim.Duration), send func([]byte) error) error {
+	bp := recBufGet()
+	defer recBufPut(bp)
+	b := (*bp)[:0]
+	var kind *int
+	var h uint64
+	var known bool
+	hashed := s.Wire != WireRaw
+	if hashed {
+		charge(costs.PageHashCost)
+		h = vm.HashPage(data)
+		var prev uint64
+		prev, known = s.sentHashes[pg]
+		known = known && prev == h
+	}
+	switch {
+	case hashed && vm.IsZeroPage(data):
+		// Checked before the hash table: a 5-byte RecPageZero beats a
+		// 13-byte RecPageRef even when the destination already holds it.
+		b = appendPageZeroRec(b, pg)
+		kind = &s.PagesZero
+	case known:
+		b = appendPageRefRec(b, pg, h)
+		kind = &s.PagesRef
+	case s.Wire == WireElideLZ:
+		charge(costs.LZPageCost)
+		s.lzBuf = AppendLZ(s.lzBuf[:0], data)
+		if len(s.lzBuf) < vm.PageSize {
+			b = appendPageLZRec(b, pg, s.lzBuf)
+			kind = &s.PagesLZ
+		} else {
+			b = appendPageRec(b, pg, data)
+			kind = &s.PagesRaw
+		}
+	default:
+		b = appendPageRec(b, pg, data)
+		kind = &s.PagesRaw
+	}
+	*bp = b
+	if err := send(b); err != nil {
+		return err
+	}
+	*kind++
+	s.sentPages[pg] = struct{}{}
+	if hashed {
+		s.sentHashes[pg] = h
+	}
+	if saved := rawPageRecLen - len(b); saved > 0 {
+		s.SavedBytes += int64(saved)
+		s.Stream.CountElided(saved)
+	}
+	return nil
+}
+
+// StreamStats snapshots a session's transfer accounting for callers that
+// outlive it (migd records the last migration's stats per machine).
+type StreamStats struct {
+	Rounds                                 int
+	WireBytes, SavedBytes                  int64
+	PagesRaw, PagesZero, PagesRef, PagesLZ int
+}
+
+// Stats returns the session's current accounting.
+func (s *StreamSession) Stats() StreamStats {
+	return StreamStats{
+		Rounds: s.Rounds, WireBytes: s.WireBytes, SavedBytes: s.SavedBytes,
+		PagesRaw: s.PagesRaw, PagesZero: s.PagesZero,
+		PagesRef: s.PagesRef, PagesLZ: s.PagesLZ,
+	}
+}
+
+// CloseSynthetic finishes a session whose rounds were driven directly by a
+// test or experiment harness rather than the SIGDUMP dump hook: ship a
+// minimal metadata record (empty file table, the CPU's live stack and
+// registers), then the commit trailer, then close the stream, returning
+// the destination's decoded status. pid must match the hello the stream
+// was opened with, or the destination's commit gate will refuse to spool.
+func (s *StreamSession) CloseSynthetic(t *sim.Task, cpu *vm.CPU, pid uint32, costs kernel.Costs, charge func(sim.Duration)) (int, error) {
+	sf := &StackFile{Regs: cpu.Snapshot(), OldPID: pid}
+	stackLen := len(cpu.StackImage())
+	ff := &FilesFile{}
+	meta := encodeMetaRec(stackLen, ff.Encode(), sf.Encode())
+	charge(costs.StreamChunkBase + sim.Duration(len(meta))*costs.StreamPerByte)
+	if err := s.sendRec(t, meta); err != nil {
+		return -1, err
+	}
+	commit := &CommitRecord{
+		Txn:       s.Txn,
+		PID:       pid,
+		TextLen:   uint32(len(cpu.Text)),
+		PageCount: uint32(len(s.sentPages)),
+		StackLen:  uint32(stackLen),
+	}
+	rec := commit.Encode()
+	charge(costs.StreamChunkBase + sim.Duration(len(rec))*costs.StreamPerByte)
+	if err := s.sendRec(t, rec); err != nil {
+		return -1, err
+	}
+	resp, err := s.Stream.Close(t)
+	if err != nil {
+		return -1, err
+	}
+	s.Status = DecodeStreamStatus(resp)
+	return s.Status, nil
 }
 
 // Armed streaming sessions, keyed by machine and pid: when the SIGDUMP
@@ -485,6 +715,12 @@ type ImageAssembler struct {
 	sfRaw    []byte
 	metaSeen bool
 	commit   *CommitRecord
+	// hashes holds the content hash of every page currently stored,
+	// maintained on every page-bearing record: the table a RecPageRef is
+	// checked against. It lives exactly as long as the assembler — a guardd
+	// generation bump discards the assembler and this table with it, in
+	// lockstep with the source discarding its sentHashes.
+	hashes map[uint32]uint64
 }
 
 // NewImageAssembler starts reassembly for one streaming migration.
@@ -494,11 +730,26 @@ func NewImageAssembler(helloRaw []byte) (*ImageAssembler, error) {
 		return nil, err
 	}
 	return &ImageAssembler{
-		hello: *h,
-		text:  make([]byte, h.TextLen),
-		pages: map[uint32][]byte{},
+		hello:  *h,
+		text:   make([]byte, h.TextLen),
+		pages:  map[uint32][]byte{},
+		hashes: map[uint32]uint64{},
 	}, nil
 }
+
+// page returns pg's storage, allocating it zeroed on first touch. Every
+// Apply case that overwrites it must refresh a.hashes[pg] to match.
+func (a *ImageAssembler) page(pg uint32) []byte {
+	p := a.pages[pg]
+	if p == nil {
+		p = make([]byte, vm.PageSize)
+		a.pages[pg] = p
+	}
+	return p
+}
+
+// zeroPageHash is the content hash every RecPageZero page lands with.
+var zeroPageHash = vm.HashPage(make([]byte, vm.PageSize))
 
 // Hello returns the geometry the stream was opened with.
 func (a *ImageAssembler) Hello() StreamHello { return a.hello }
@@ -532,7 +783,48 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 		if n != vm.PageSize {
 			return ErrTruncated
 		}
-		a.pages[pg] = append([]byte(nil), data...)
+		copy(a.page(pg), data)
+		a.hashes[pg] = vm.HashPage(data)
+	case RecPageZero:
+		pg := r.u32()
+		if r.err != nil {
+			return r.err
+		}
+		p := a.page(pg)
+		for i := range p {
+			p[i] = 0
+		}
+		a.hashes[pg] = zeroPageHash
+	case RecPageRef:
+		pg := r.u32()
+		h := r.u64()
+		if r.err != nil {
+			return r.err
+		}
+		// The sender claims we already hold these exact bytes. Verify
+		// against the hash table rather than trusting it: a ref to a page
+		// never stored, or stored with different contents, must fail the
+		// transfer loudly — restarting from silently wrong memory is the
+		// one outcome worse than not migrating at all.
+		held, ok := a.hashes[pg]
+		if !ok || held != h {
+			return ErrHashMismatch
+		}
+	case RecPageLZ:
+		pg := r.u32()
+		n := int(r.u32())
+		frame := r.take(n)
+		if r.err != nil {
+			return r.err
+		}
+		// Decode straight into the stored page. A corrupt frame may leave
+		// the page half-overwritten, but the error kills the session and
+		// the assembler with it, so the torn page is never spooled.
+		p := a.page(pg)
+		if err := DecompressLZInto(p, frame); err != nil {
+			return err
+		}
+		a.hashes[pg] = vm.HashPage(p)
 	case RecMeta:
 		a.stackLen = int(r.u32())
 		a.filesRaw = append([]byte(nil), r.take(int(r.u32()))...)

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"procmig/internal/kernel"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+)
+
+// wireTestAsm builds an assembler for a small synthetic geometry.
+func wireTestAsm(t *testing.T) *ImageAssembler {
+	t.Helper()
+	hello := (&StreamHello{PID: 1, TextLen: 0, DataLen: 4 * vm.PageSize}).Encode()
+	asm, err := NewImageAssembler(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asm
+}
+
+// TestWireRecordRoundTrip pushes each of the PR 4 record types through the
+// assembler and checks the stored page contents and hash table.
+func TestWireRecordRoundTrip(t *testing.T) {
+	asm := wireTestAsm(t)
+
+	page := make([]byte, vm.PageSize)
+	for i := range page {
+		page[i] = byte(i >> 3)
+	}
+	h := vm.HashPage(page)
+
+	// Raw page, then a ref to it: the ref must verify and change nothing.
+	if err := asm.Apply(appendPageRec(nil, 5, page)); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Apply(appendPageRefRec(nil, 5, h)); err != nil {
+		t.Fatalf("matching ref rejected: %v", err)
+	}
+	if !bytes.Equal(asm.pages[5], page) {
+		t.Fatal("page corrupted by ref")
+	}
+
+	// LZ page: decodes to the same bytes, hash table updated.
+	if err := asm.Apply(appendPageLZRec(nil, 6, AppendLZ(nil, page))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(asm.pages[6], page) {
+		t.Fatal("LZ page decoded wrong")
+	}
+	if asm.hashes[6] != h {
+		t.Fatal("LZ page hash not recorded")
+	}
+
+	// Zero page overwriting a dirty one: must scrub it back to zeros.
+	if err := asm.Apply(appendPageRec(nil, 7, page)); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Apply(appendPageZeroRec(nil, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.IsZeroPage(asm.pages[7]) {
+		t.Fatal("zero record did not scrub the page")
+	}
+	if asm.hashes[7] != zeroPageHash {
+		t.Fatal("zero page hash not recorded")
+	}
+
+	// Truncations of every new record type must be rejected.
+	for _, rec := range [][]byte{
+		appendPageZeroRec(nil, 7),
+		appendPageRefRec(nil, 5, h),
+		appendPageLZRec(nil, 6, AppendLZ(nil, page)),
+	} {
+		for n := 1; n < len(rec); n += 3 {
+			if err := asm.Apply(rec[:n]); err == nil {
+				t.Fatalf("truncated record type %d (%d bytes) accepted", rec[0], n)
+			}
+		}
+	}
+	// An LZ record whose frame is corrupt must fail loudly.
+	bad := appendPageLZRec(nil, 6, AppendLZ(nil, page))
+	bad[len(bad)-1] ^= 0x20
+	if err := asm.Apply(bad); err == nil {
+		t.Fatal("corrupt LZ frame accepted")
+	}
+}
+
+// TestPageRefMismatchRejected is the poisoned-dedup case: a RecPageRef for
+// a page the destination does not hold, or holds with different contents,
+// must fail the transfer — never silently keep the wrong bytes.
+func TestPageRefMismatchRejected(t *testing.T) {
+	asm := wireTestAsm(t)
+	page := make([]byte, vm.PageSize)
+	page[17] = 0xAA
+	h := vm.HashPage(page)
+
+	// Ref to a page never stored.
+	if err := asm.Apply(appendPageRefRec(nil, 3, h)); err != ErrHashMismatch {
+		t.Fatalf("ref to unknown page: err = %v, want ErrHashMismatch", err)
+	}
+	// Ref with the wrong hash for a held page.
+	if err := asm.Apply(appendPageRec(nil, 3, page)); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Apply(appendPageRefRec(nil, 3, h^1)); err != ErrHashMismatch {
+		t.Fatalf("mismatched ref: err = %v, want ErrHashMismatch", err)
+	}
+	// The correct ref still verifies.
+	if err := asm.Apply(appendPageRefRec(nil, 3, h)); err != nil {
+		t.Fatalf("matching ref rejected: %v", err)
+	}
+}
+
+// wireTransfer runs one synthetic two-round transfer under the given mode
+// and returns the spooled dump files. The image mixes zero pages,
+// compressible pages and a page re-dirtied without changing (the RecPageRef
+// case), so every record kind is exercised when mode allows it.
+func wireTransfer(t *testing.T, mode WireMode) (aoutRaw, filesRaw, stackRaw []byte, sess *StreamSession) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, 0, 0)
+	src := net.AddHost("src")
+	net.AddHost("dst")
+
+	text := make([]byte, 2000)
+	for i := range text {
+		text[i] = byte(i * 13)
+	}
+	data := make([]byte, 8*vm.PageSize)
+	for i := 0; i < 4*vm.PageSize; i++ {
+		data[i] = byte(i >> 4) // compressible half; the rest stays zero
+	}
+	c := vm.New(text, append([]byte(nil), data...), vm.MinISA(text))
+	stackImg := make([]byte, 300)
+	for i := range stackImg {
+		stackImg[i] = byte(i * 11)
+	}
+	c.SetStackImage(stackImg)
+	c.SetDirtyTracking(true)
+
+	var sink *asmSink
+	dstHost, _ := net.Host("dst")
+	if err := dstHost.ListenStream(9, func(_ *sim.Task, _ string, hello []byte) (netsim.StreamSink, error) {
+		asm, err := NewImageAssembler(hello)
+		if err != nil {
+			return nil, err
+		}
+		sink = &asmSink{asm: asm}
+		return sink, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hello := &StreamHello{
+		PID: 7, ISA: c.ISA,
+		TextLen: uint32(len(text)), DataLen: uint32(len(data)), Source: "src",
+	}
+	st, err := src.OpenStream(nil, "dst", 9, hello.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess = &StreamSession{Stream: st, Wire: mode}
+	costs := kernel.DefaultCosts()
+	charge := func(sim.Duration) {}
+	dataBase := vm.DataBase(len(text))
+
+	if err := sess.SendRound(nil, c, costs, charge); err != nil {
+		t.Fatal(err)
+	}
+	// Between rounds: one real change, one rewrite-in-place (dirty but
+	// unchanged — the dedup case), one zero page dirtied with zeros.
+	c.WriteU32(dataBase+vm.PageSize, 0xfeedface)
+	v, _ := c.ReadU32(dataBase + 2*vm.PageSize)
+	c.WriteU32(dataBase+2*vm.PageSize, v)
+	c.WriteU32(dataBase+6*vm.PageSize, 0)
+	if err := sess.SendRound(nil, c, costs, charge); err != nil {
+		t.Fatal(err)
+	}
+	status, err := sess.CloseSynthetic(nil, c, 7, costs, charge)
+	if err != nil || status != 0 {
+		t.Fatalf("close: status %d, err %v (sink err %v)", status, err, sink.err)
+	}
+	aoutRaw, filesRaw, stackRaw, err = sink.asm.Spool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return aoutRaw, filesRaw, stackRaw, sess
+}
+
+// TestWireModesBitIdentical runs the identical transfer raw, elide and
+// elide+LZ: the restored images must match bit for bit, and the efficient
+// modes must actually have used their encodings and shipped fewer bytes.
+func TestWireModesBitIdentical(t *testing.T) {
+	rawAout, rawFiles, rawStack, rawSess := wireTransfer(t, WireRaw)
+	if rawSess.PagesZero != 0 || rawSess.PagesRef != 0 || rawSess.PagesLZ != 0 {
+		t.Fatalf("raw session used efficiency encodings: %+v", rawSess.Stats())
+	}
+	for _, mode := range []WireMode{WireElide, WireElideLZ} {
+		aout, files, stack, sess := wireTransfer(t, mode)
+		if !bytes.Equal(aout, rawAout) || !bytes.Equal(files, rawFiles) || !bytes.Equal(stack, rawStack) {
+			t.Fatalf("%v: restored image differs from raw path", mode)
+		}
+		if sess.WireBytes >= rawSess.WireBytes {
+			t.Fatalf("%v shipped %d B, raw %d B — no win on an elidable image",
+				mode, sess.WireBytes, rawSess.WireBytes)
+		}
+		if sess.PagesZero == 0 || sess.PagesRef == 0 {
+			t.Fatalf("%v: zero/ref encodings not exercised: %+v", mode, sess.Stats())
+		}
+		if mode == WireElideLZ && sess.PagesLZ == 0 {
+			t.Fatalf("lz: no page was compressed: %+v", sess.Stats())
+		}
+		if sess.SavedBytes != rawSess.WireBytes-sess.WireBytes {
+			t.Fatalf("%v: SavedBytes %d does not equal the raw gap %d",
+				mode, sess.SavedBytes, rawSess.WireBytes-sess.WireBytes)
+		}
+	}
+}
+
+// BenchmarkAssembler drives the steady-state pre-copy loop — dirty one
+// page, SendRound over a real netsim stream, assemble on the far side —
+// and holds the send path to (near) zero heap allocations per round: the
+// record buffers, page scratch and netsim delivery copies are all pooled.
+func BenchmarkAssembler(b *testing.B) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, 0, 0)
+	src := net.AddHost("src")
+	net.AddHost("dst")
+	text := make([]byte, 256)
+	data := make([]byte, 16*vm.PageSize)
+	for i := range data {
+		data[i] = byte(i >> 2)
+	}
+	var sink *asmSink
+	dstHost, _ := net.Host("dst")
+	dstHost.ListenStream(9, func(_ *sim.Task, _ string, hello []byte) (netsim.StreamSink, error) {
+		asm, err := NewImageAssembler(hello)
+		if err != nil {
+			return nil, err
+		}
+		sink = &asmSink{asm: asm}
+		return sink, nil
+	})
+	c := vm.New(text, data, vm.MinISA(text))
+	c.SetDirtyTracking(true)
+	hello := &StreamHello{PID: 1, TextLen: uint32(len(text)), DataLen: uint32(len(data))}
+	st, err := src.OpenStream(nil, "dst", 9, hello.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := &StreamSession{Stream: st}
+	costs := kernel.DefaultCosts()
+	charge := func(sim.Duration) {}
+	dataBase := vm.DataBase(len(text))
+
+	round := func(i int) {
+		c.WriteU32(dataBase+uint32(i%16)*vm.PageSize, uint32(i))
+		if err := sess.SendRound(nil, c, costs, charge); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the pools, maps and scratch buffers, then demand a quiet heap.
+	for i := 0; i < 32; i++ {
+		round(i)
+	}
+	if avg := testing.AllocsPerRun(100, func() { round(1000) }); avg > 2 {
+		b.Fatalf("steady-state send round allocates %.1f times, want ≤2", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round(i)
+	}
+	b.StopTimer()
+	if sink.err != nil {
+		b.Fatal(sink.err)
+	}
+}

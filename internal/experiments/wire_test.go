@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestA9WireInvariants runs the full sweep and checks the properties the
+// wire-efficiency layer promises: the eliding modes never ship more bytes
+// than raw, they ship strictly fewer whenever at least half the pages were
+// elidable, the restored image is bit-identical in every mode, and all
+// three modes converge in the same round.
+func TestA9WireInvariants(t *testing.T) {
+	pts, err := A9Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, pt := range pts {
+		name := pt.Config.Entropy + "/" + string(rune('0'+pt.Config.DirtyPct/10)) + "0%"
+		if pt.Elide.WireBytes > pt.Raw.WireBytes {
+			t.Errorf("%s: elide shipped %d B > raw %d B", name, pt.Elide.WireBytes, pt.Raw.WireBytes)
+		}
+		if pt.LZ.WireBytes > pt.Raw.WireBytes {
+			t.Errorf("%s: elide+LZ shipped %d B > raw %d B", name, pt.LZ.WireBytes, pt.Raw.WireBytes)
+		}
+		if pt.LZ.WireBytes > pt.Elide.WireBytes {
+			t.Errorf("%s: elide+LZ shipped %d B > elide %d B", name, pt.LZ.WireBytes, pt.Elide.WireBytes)
+		}
+		if frac := pt.ElidableFrac(); frac >= 0.5 && pt.LZ.WireBytes >= pt.Raw.WireBytes {
+			t.Errorf("%s: %.0f%% of pages elidable but elide+LZ (%d B) did not beat raw (%d B)",
+				name, 100*frac, pt.LZ.WireBytes, pt.Raw.WireBytes)
+		}
+		if pt.Raw.ImageHash == 0 || pt.Raw.ImageHash != pt.Elide.ImageHash || pt.Raw.ImageHash != pt.LZ.ImageHash {
+			t.Errorf("%s: restored images differ across modes: raw %x elide %x lz %x",
+				name, pt.Raw.ImageHash, pt.Elide.ImageHash, pt.LZ.ImageHash)
+		}
+		if pt.Raw.Rounds != pt.Elide.Rounds || pt.Raw.Rounds != pt.LZ.Rounds {
+			t.Errorf("%s: rounds diverged across modes: raw %d elide %d lz %d",
+				name, pt.Raw.Rounds, pt.Elide.Rounds, pt.LZ.Rounds)
+		}
+		// SavedBytes must account exactly for the wire gap vs raw — the
+		// counters feed netsim's BytesElided, so drift there is a lie in
+		// the experiment tables.
+		if got, want := pt.LZ.SavedBytes, pt.Raw.WireBytes-pt.LZ.WireBytes; got != want {
+			t.Errorf("%s: lz SavedBytes %d, want raw-lz gap %d", name, got, want)
+		}
+		if pt.Raw.PagesZero != 0 || pt.Raw.PagesRef != 0 || pt.Raw.PagesLZ != 0 {
+			t.Errorf("%s: raw mode used efficiency encodings: %+v", name, pt.Raw)
+		}
+		if pt.Elide.PagesLZ != 0 {
+			t.Errorf("%s: elide mode compressed pages: %+v", name, pt.Elide)
+		}
+	}
+
+	// The zero-entropy config must be overwhelmingly elidable (that is the
+	// whole point of RecPageZero), so the strict-win branch above is known
+	// to have been exercised.
+	for _, pt := range pts {
+		if pt.Config.Entropy == "zero" && pt.ElidableFrac() < 0.5 {
+			t.Errorf("zero/%d%%: only %.0f%% elidable — sweep no longer covers the strict-win case",
+				pt.Config.DirtyPct, 100*pt.ElidableFrac())
+		}
+	}
+}
+
+// TestA9Deterministic reruns one config and demands identical results —
+// the experiment's numbers are a function of the seed alone.
+func TestA9Deterministic(t *testing.T) {
+	cfg := A9Configs()[1] // zero entropy, 50% dirty: exercises all record kinds
+	a, err := A9Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := A9Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("A9 not deterministic:\n first %+v\nsecond %+v", a, b)
+	}
+}

@@ -116,6 +116,8 @@ type Guard struct {
 	CheckpointsTaken int        // source role: committed checkpoints
 	FalseSuspicions  int        // buddy role: suspects that proved alive
 	Recoveries       []Recovery // buddy role: restarts performed
+	WireBytes        int64      // source role: checkpoint bytes shipped
+	SavedBytes       int64      // source role: bytes the wire encodings elided
 }
 
 func newGuard(n *Node) *Guard {
@@ -215,7 +217,12 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 		if pr.txn == 0 {
 			pr.txn = 1
 		}
-		pr.sess = &core.StreamSession{Txn: pr.txn, Checkpoint: true}
+		// Wire is spelled out even though it is the zero value: delta
+		// checkpoints are the dedup layer's best case (most pages match the
+		// hashes the buddy's assembler already holds across generations of
+		// the same session), and this must not silently change if the
+		// default ever does.
+		pr.sess = &core.StreamSession{Txn: pr.txn, Checkpoint: true, Wire: core.WireElideLZ}
 		pr.broken = false
 		p.VM.SetDirtyTracking(true)
 	}
@@ -239,6 +246,10 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 	sess.Settled = false
 	sess.Status = 0
 	sess.Err = nil
+	// The session accumulates across checkpoints (it lives as long as the
+	// protection); take before/after deltas so the Guard counters reflect
+	// this checkpoint's traffic alone, success or not.
+	wb0, sb0 := sess.WireBytes, sess.SavedBytes
 	core.ArmStreamDump(m, pr.pid, sess)
 	if e := m.Kill(kernel.Creds{}, pr.pid, kernel.SIGDUMP); e != 0 {
 		core.DisarmStreamDump(m, pr.pid)
@@ -255,6 +266,8 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 		g.release(t, pr)
 		return false
 	}
+	g.WireBytes += sess.WireBytes - wb0
+	g.SavedBytes += sess.SavedBytes - sb0
 	if sess.Err != nil || sess.Status != 0 {
 		pr.broken = true
 		return true

@@ -56,6 +56,8 @@ type Costs struct {
 	StreamChunkBase  sim.Duration // per record: header, copyout, send setup
 	StreamPerByte    sim.Duration // formatting/copying streamed bytes (CPU)
 	DirtyScanPerPage sim.Duration // walking the dirty set each round
+	PageHashCost     sim.Duration // hashing one page for dedup/elision
+	LZPageCost       sim.Duration // LZ-compressing one candidate page
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -97,6 +99,8 @@ func DefaultCosts() Costs {
 		StreamChunkBase:  250 * sim.Microsecond,
 		StreamPerByte:    1 * sim.Microsecond,
 		DirtyScanPerPage: 20 * sim.Microsecond,
+		PageHashCost:     150 * sim.Microsecond,
+		LZPageCost:       512 * sim.Microsecond,
 	}
 }
 

@@ -10,6 +10,8 @@
 package netsim
 
 import (
+	"sync"
+
 	"procmig/internal/errno"
 	"procmig/internal/sim"
 )
@@ -37,13 +39,22 @@ type Network struct {
 	// Stats
 	Messages int64
 	Bytes    int64
+	// BytesElided counts payload bytes that never crossed the wire because
+	// a sender's wire-efficiency layer shrank or suppressed them (zero-page,
+	// page-ref and compressed records): the raw size minus what was actually
+	// sent, reported by the sender through Stream.CountElided. Bytes above
+	// counts what really moved; Bytes+BytesElided is what a naive encoding
+	// would have moved.
+	BytesElided int64
 }
 
 // HostStats counts one host's traffic (messages and payload bytes in each
-// direction) since boot.
+// direction) since boot. BytesElided is the host's share, as a sender, of
+// the network-wide Network.BytesElided counter.
 type HostStats struct {
 	MsgsOut, MsgsIn   int64
 	BytesOut, BytesIn int64
+	BytesElided       int64
 }
 
 // New creates a network. A 10 Mbit Ethernet moves ~1 byte/µs after
@@ -257,11 +268,22 @@ func (h *Host) OpenStream(t *sim.Task, to string, port int, hello []byte) (*Stre
 	return &Stream{net: h.net, from: h, to: dst, port: port, sink: sink}, nil
 }
 
+// chunkPool recycles the per-Send delivery copies. Pointers to slices (not
+// slices) so Put does not allocate a header; capacity fits a full page
+// record with room to spare, and bigger chunks grow their pooled buffer
+// once and keep it.
+var chunkPool = sync.Pool{New: func() any { b := make([]byte, 0, 4608); return &b }}
+
 // Send ships one chunk down the stream, charging its wire cost and
 // delivering it to the server's sink in the calling task's context. A
 // chunk lost to a drop fault returns ETIMEDOUT after the sender waited
 // out the deadline; the stream stays open, so idempotent records can
 // simply be resent. A duplicated chunk is handed to the sink twice.
+//
+// The sink receives a pooled copy of the chunk, valid only for the
+// duration of the call: senders may reuse their buffer immediately, and
+// sinks must copy whatever they keep (both the assembler and the spool
+// sinks already do).
 func (s *Stream) Send(t *sim.Task, chunk []byte) error {
 	if t == nil {
 		t = s.net.eng.Current()
@@ -276,11 +298,26 @@ func (s *Stream) Send(t *sim.Task, chunk []byte) error {
 	if err != nil {
 		return err
 	}
-	s.sink.Chunk(t, chunk)
+	bp := chunkPool.Get().(*[]byte)
+	buf := append((*bp)[:0], chunk...)
+	s.sink.Chunk(t, buf)
 	if dup {
-		s.sink.Chunk(t, chunk)
+		s.sink.Chunk(t, buf)
 	}
+	*bp = buf
+	chunkPool.Put(bp)
 	return nil
+}
+
+// CountElided records n payload bytes the sender elided from this stream
+// (the gap between a naive raw encoding and what Send actually shipped),
+// feeding the network's and the sending host's BytesElided counters.
+func (s *Stream) CountElided(n int) {
+	if n <= 0 {
+		return
+	}
+	s.net.BytesElided += int64(n)
+	s.from.stats.BytesElided += int64(n)
 }
 
 // Close ends the stream: the sink's Done runs (in the calling task's

@@ -108,6 +108,122 @@ func TestPageDataReconstruction(t *testing.T) {
 	}
 }
 
+func TestDirtyCountMatchesPages(t *testing.T) {
+	c := newTestCPU(8, 64*PageSize)
+	if c.DirtyCount() != 0 {
+		t.Fatal("count nonzero with tracking off")
+	}
+	c.SetDirtyTracking(true)
+	// Scatter writes across word boundaries of the bitmap (pages 0..63 live
+	// in word 0, 64.. in word 1, and the stack pages in the last words).
+	addrs := []uint32{
+		c.dataBase, c.dataBase + 5*PageSize, c.dataBase + 63*PageSize,
+		StackTop - 4, StackTop - PageSize - 4,
+	}
+	for _, a := range addrs {
+		if !c.WriteU32(a, 1) {
+			t.Fatalf("write at %#x failed", a)
+		}
+	}
+	pages := c.DirtyPages()
+	if got := c.DirtyCount(); got != len(pages) {
+		t.Fatalf("DirtyCount = %d, DirtyPages has %d", got, len(pages))
+	}
+	for i := 1; i < len(pages); i++ {
+		if pages[i] <= pages[i-1] {
+			t.Fatalf("DirtyPages not strictly ascending: %v", pages)
+		}
+	}
+	// AppendDirtyPages extends its argument in place.
+	scratch := make([]uint32, 0, 8)
+	got := c.AppendDirtyPages(scratch[:0])
+	if len(got) != len(pages) {
+		t.Fatalf("AppendDirtyPages len = %d, want %d", len(got), len(pages))
+	}
+	for i := range got {
+		if got[i] != pages[i] {
+			t.Fatalf("AppendDirtyPages = %v, want %v", got, pages)
+		}
+	}
+	c.ClearDirty()
+	if c.DirtyCount() != 0 {
+		t.Fatal("count nonzero after ClearDirty")
+	}
+}
+
+func TestHashPage(t *testing.T) {
+	a := make([]byte, PageSize)
+	b := make([]byte, PageSize)
+	if HashPage(a) != HashPage(b) {
+		t.Fatal("equal pages hash differently")
+	}
+	b[1000] = 1
+	if HashPage(a) == HashPage(b) {
+		t.Fatal("one-bit difference not reflected in hash")
+	}
+	// Short and unaligned tails.
+	if HashPage([]byte{1, 2, 3}) == HashPage([]byte{1, 2, 4}) {
+		t.Fatal("tail bytes ignored")
+	}
+	if HashPage(nil) != HashPage([]byte{}) {
+		t.Fatal("nil and empty hash differently")
+	}
+}
+
+func TestIsZeroPage(t *testing.T) {
+	p := make([]byte, PageSize)
+	if !IsZeroPage(p) || !IsZeroPage(nil) || !IsZeroPage(p[:5]) {
+		t.Fatal("zero input not recognized")
+	}
+	for _, i := range []int{0, 7, 8, PageSize - 1} {
+		p[i] = 1
+		if IsZeroPage(p) {
+			t.Fatalf("nonzero byte at %d missed", i)
+		}
+		p[i] = 0
+	}
+}
+
+func TestPageDataIntoMatchesPageData(t *testing.T) {
+	c := newTestCPU(6, 3*PageSize)
+	for i := range c.Data {
+		c.Data[i] = byte(i * 11)
+	}
+	c.WriteU32(StackTop-8, 0xaabbccdd)
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0xff // stale contents must be overwritten
+	}
+	for _, pg := range c.ImagePages() {
+		c.PageDataInto(pg, buf)
+		if !bytes.Equal(buf, c.PageData(pg)) {
+			t.Fatalf("PageDataInto differs from PageData for page %d", pg)
+		}
+	}
+}
+
+// BenchmarkDirtyStore measures the interpreter's write barrier: the store
+// path with tracking on must stay within noise of tracking off (the issue's
+// shift+or requirement). Compare with -bench BenchmarkDirtyStore.
+func BenchmarkDirtyStore(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		track bool
+	}{{"untracked", false}, {"tracked", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := newTestCPU(8, 64*PageSize)
+			c.SetDirtyTracking(mode.track)
+			addr := c.dataBase
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !c.WriteU32(addr+uint32(i*4%(63*PageSize)), uint32(i)) {
+					b.Fatal("write failed")
+				}
+			}
+		})
+	}
+}
+
 func TestImagePagesCoverDataAndStack(t *testing.T) {
 	c := newTestCPU(6, 3*PageSize)
 	c.WriteU32(StackTop-8, 1) // materialize a little stack

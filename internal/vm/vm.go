@@ -3,6 +3,7 @@ package vm
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -20,6 +21,12 @@ const (
 const (
 	PageShift = 10
 	PageSize  = 1 << PageShift
+
+	// NumPages covers the whole 16 MiB address space: every legal write
+	// (seg() rejects anything at or above StackTop) lands in a page below
+	// this, so the dirty bitmap needs no bounds checks.
+	NumPages   = StackTop >> PageShift
+	dirtyWords = NumPages / 64
 )
 
 // FaultKind classifies a processor fault.
@@ -96,10 +103,11 @@ type CPU struct {
 	SyscallNum byte
 
 	dataBase uint32
-	// dirty holds the page numbers written since the last ClearDirty.
-	// nil means tracking is off (the common case: the write barrier is a
-	// single nil check).
-	dirty map[uint32]struct{}
+	// dirty is a fixed-size bitmap over the address space's pages, one bit
+	// per page written since the last ClearDirty. nil means tracking is off
+	// (the common case: the write barrier is a single nil check); when on,
+	// marking a page is a shift+or into the word that holds its bit.
+	dirty []uint64
 }
 
 // DataBase reports the address of the first data-segment byte for a text
@@ -148,7 +156,7 @@ func (c *CPU) SetStackImage(img []byte) {
 func (c *CPU) SetDirtyTracking(on bool) {
 	if on {
 		if c.dirty == nil {
-			c.dirty = map[uint32]struct{}{}
+			c.dirty = make([]uint64, dirtyWords)
 		}
 	} else {
 		c.dirty = nil
@@ -163,30 +171,47 @@ func (c *CPU) markDirty(addr, n uint32) {
 	if c.dirty == nil {
 		return
 	}
-	c.dirty[addr>>PageShift] = struct{}{}
-	if end := addr + n - 1; end>>PageShift != addr>>PageShift {
-		c.dirty[end>>PageShift] = struct{}{}
+	pg := addr >> PageShift
+	c.dirty[pg>>6] |= 1 << (pg & 63)
+	if end := (addr + n - 1) >> PageShift; end != pg {
+		c.dirty[end>>6] |= 1 << (end & 63)
 	}
+}
+
+// DirtyCount returns how many pages are currently marked dirty, without
+// materializing the page list.
+func (c *CPU) DirtyCount() int {
+	n := 0
+	for _, w := range c.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // DirtyPages returns the sorted page numbers written since the last
-// ClearDirty (empty when tracking is off).
-func (c *CPU) DirtyPages() []uint32 {
-	if len(c.dirty) == 0 {
-		return nil
+// ClearDirty (nil when tracking is off or nothing is dirty).
+func (c *CPU) DirtyPages() []uint32 { return c.AppendDirtyPages(nil) }
+
+// AppendDirtyPages appends the dirty page numbers, in ascending order, to
+// dst and returns the extended slice — the bitmap iterates in address
+// order, so no sort is needed, and callers can reuse one scratch slice
+// across rounds.
+func (c *CPU) AppendDirtyPages(dst []uint32) []uint32 {
+	for i, w := range c.dirty {
+		base := uint32(i) * 64
+		for w != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
 	}
-	out := make([]uint32, 0, len(c.dirty))
-	for pg := range c.dirty {
-		out = append(out, pg)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return dst
 }
 
-// ClearDirty empties the dirty set, keeping tracking enabled.
+// ClearDirty empties the dirty set, keeping tracking enabled. Zeroing the
+// word array compiles to a memclr: O(words), not O(dirty pages).
 func (c *CPU) ClearDirty() {
-	for pg := range c.dirty {
-		delete(c.dirty, pg)
+	for i := range c.dirty {
+		c.dirty[i] = 0
 	}
 }
 
@@ -215,10 +240,72 @@ func copyPageRange(dst []byte, pageBase uint32, seg []byte, segBase uint32) {
 // zeros elsewhere (unmaterialized stack reads as zero anyway).
 func (c *CPU) PageData(pg uint32) []byte {
 	out := make([]byte, PageSize)
+	c.PageDataInto(pg, out)
+	return out
+}
+
+// PageDataInto fills out (which must be PageSize bytes) with the contents
+// of page pg, like PageData but without allocating — the streaming send
+// path reads every page of every round through one scratch buffer.
+func (c *CPU) PageDataInto(pg uint32, out []byte) {
+	for i := range out {
+		out[i] = 0
+	}
 	base := pg << PageShift
 	copyPageRange(out, base, c.Data, c.dataBase)
 	copyPageRange(out, base, c.Stack, uint32(StackTop-len(c.Stack)))
-	return out
+}
+
+// HashPage is a cheap 64-bit content hash over a page (or any byte
+// slice): 8 bytes at a time through a multiply-rotate mix, murmur-style.
+// It is a fixed pure function — the streaming wire format embeds its
+// values, so it must never change behind a running cluster's back.
+func HashPage(p []byte) uint64 {
+	const (
+		m1 = 0x87c37b91114253d5
+		m2 = 0x4cf5ad432745937f
+	)
+	h := uint64(len(p)) * 0x9e3779b97f4a7c15
+	for ; len(p) >= 8; p = p[8:] {
+		k := binary.BigEndian.Uint64(p)
+		k *= m1
+		k = k<<31 | k>>33
+		k *= m2
+		h ^= k
+		h = h<<27 | h>>37
+		h = h*5 + 0x52dce729
+	}
+	if len(p) > 0 {
+		var k uint64
+		for i, b := range p {
+			k |= uint64(b) << (8 * uint(i))
+		}
+		k *= m1
+		k = k<<31 | k>>33
+		k *= m2
+		h ^= k
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// IsZeroPage reports whether p is all zero bytes, 8 at a time.
+func IsZeroPage(p []byte) bool {
+	for ; len(p) >= 8; p = p[8:] {
+		if binary.BigEndian.Uint64(p) != 0 {
+			return false
+		}
+	}
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ImagePages returns the sorted page numbers covering the data segment

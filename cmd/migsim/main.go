@@ -31,6 +31,7 @@ import (
 
 	"procmig/internal/cluster"
 	"procmig/internal/kernel"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/vm"
 )
@@ -49,6 +50,9 @@ const usage = `script commands (one per line, # comments):
   tty <host>                    print the console transcript so far
   trace <host> on|off           toggle the ktrace-style kernel event log
   tracelog <host>               print the kernel event log
+  metrics [host]                print the metrics registry (all hosts + totals)
+  spans                         print the migration span traces
+  timeline <file>               export spans as Chrome trace-event JSON
   time                          print the virtual clock
 Pids: $N refers to the pid of the N-th 'run'.`
 
@@ -305,6 +309,54 @@ func (s *session) exec(tk *sim.Task, cmd []string) error {
 		for _, e := range m.TraceLog() {
 			fmt.Println("  " + e.String())
 		}
+		if n := m.TraceDropped(); n > 0 {
+			fmt.Printf("  (%d older entries dropped past the %d-entry ring)\n",
+				n, kernel.MaxTraceEntries)
+		}
+	case "metrics":
+		filter := ""
+		if len(cmd) > 1 {
+			filter = cmd[1]
+		}
+		fmt.Printf("[%v] metrics:\n", ts(tk))
+		for _, r := range s.c.Obs.Snapshot() {
+			if filter != "" && r.Host != filter {
+				continue
+			}
+			if r.Detail != "" {
+				fmt.Printf("  %-10s %-26s %s\n", r.Host, r.Name, r.Detail)
+			} else {
+				fmt.Printf("  %-10s %-26s %d\n", r.Host, r.Name, r.Value)
+			}
+		}
+		if filter == "" {
+			for _, r := range s.c.Obs.Totals() {
+				fmt.Printf("  %-10s %-26s %d\n", "(total)", r.Name, r.Value)
+			}
+		}
+	case "spans":
+		fmt.Printf("[%v] spans:\n", ts(tk))
+		for _, root := range s.c.Obs.Tracer.Roots() {
+			for _, sp := range s.c.Obs.Tracer.Trace(root.Txn) {
+				fmt.Println("  " + sp.String())
+			}
+		}
+	case "timeline":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := os.Create(cmd[1])
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteTimeline(f, s.c.Obs.Tracer, s.c.Names())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("[%v] timeline written to %s\n", ts(tk), cmd[1])
 	case "time":
 		fmt.Printf("virtual time: %v\n", ts(tk))
 	default:

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -72,6 +75,49 @@ func TestScriptPsKillCat(t *testing.T) {
 	})
 	if n := len(c.Machine("brick").Procs()); n != 0 {
 		t.Fatalf("%d procs left after kill", n)
+	}
+}
+
+func TestScriptMetricsSpansTimeline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	c, _ := runScript(t, [][]string{
+		{"run", "brick", "/bin/counter"},
+		{"sleep", "2"},
+		{"run", "schooner", "/bin/fmigrate", "-p", "1", "-f", "brick", "-t", "schooner", "-s", "-r", "2"},
+		{"sleep", "30"},
+		{"metrics"},
+		{"metrics", "brick"},
+		{"spans"},
+		{"timeline", out},
+	})
+	if len(c.Obs.Snapshot()) == 0 {
+		t.Fatal("metrics registry empty after a migration")
+	}
+	var root bool
+	for _, sp := range c.Obs.Tracer.Roots() {
+		if sp.Name == "migration" {
+			root = true
+		}
+	}
+	if !root {
+		t.Fatal("no migration root span recorded")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	var spans int
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("timeline export has no span events")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"procmig/internal/errno"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/tty"
 	"procmig/internal/vm"
@@ -55,7 +56,11 @@ func startStreamMigd(m *kernel.Machine, host *netsim.Host) error {
 		if err != nil {
 			return nil, err
 		}
-		return &migdSink{m: m, st: migdStateFor(m), txn: asm.Hello().Txn, asm: asm}, nil
+		return &migdSink{
+			m: m, st: migdStateFor(m), txn: asm.Hello().Txn, asm: asm,
+			recsIn:   m.Obs.Counter("stream.records_in"),
+			hashMism: m.Obs.Counter("stream.hash_mismatches"),
+		}, nil
 	})
 }
 
@@ -116,10 +121,17 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 		return fail("stream to " + req.Dest + ": " + err.Error())
 	}
 	sess := &core.StreamSession{Stream: stream, Txn: req.Txn, Wire: core.WireMode(req.Wire)}
+	sess.Obs = core.NewStreamObs(m.Obs)
 	if req.Txn != 0 {
 		sess.Resolve = func(rt *sim.Task) int {
 			return resolveTxn(rt, host, req.Dest, req.Txn)
 		}
+	}
+	at := func() sim.Time {
+		if t != nil {
+			return t.Now()
+		}
+		return 0
 	}
 	// Pre-copy CPU work contends with the victim for the source CPU.
 	charge := func(d sim.Duration) {
@@ -140,9 +152,16 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 		}
 		prevDirty := -1
 		for i := 0; i < rounds; i++ {
+			// The span wraps the round but stays out of SendRound itself:
+			// the steady-state send path must not pick up allocations.
+			rsp := m.Trace.Child(req.Txn, "precopy", m.Name, req.PID, at())
+			wb0 := sess.WireBytes
 			if err := sess.SendRound(t, p.VM, m.Costs, charge); err != nil {
+				rsp.EndDetail(at(), "round "+strconv.Itoa(i+1)+" failed: "+err.Error())
 				return abort("pre-copy: " + err.Error())
 			}
+			rsp.EndDetail(at(), "round "+strconv.Itoa(i+1)+": "+
+				strconv.FormatInt(sess.WireBytes-wb0, 10)+" B on the wire")
 			if req.Rounds < 0 {
 				// Adaptive: stop once the next delta is already small, or
 				// the working set has stopped shrinking (further rounds
@@ -194,6 +213,9 @@ type migdSink struct {
 	err     error
 	spooled []string // spool files written so far, removed on any exit path
 	settled bool
+	// Pre-resolved receive-side counters: Chunk runs per record on the
+	// steady-state path and must stay pointer arithmetic.
+	recsIn, hashMism *obs.Counter
 }
 
 func (s *migdSink) Chunk(t *sim.Task, rec []byte) {
@@ -205,7 +227,11 @@ func (s *migdSink) Chunk(t *sim.Task, rec []byte) {
 		s.m.CPU().Use(t, s.m.Costs.StreamChunkBase+
 			sim.Duration(len(rec))*s.m.Costs.StreamPerByte, nil)
 	}
+	s.recsIn.Inc()
 	s.err = s.asm.Apply(rec)
+	if s.err == core.ErrHashMismatch {
+		s.hashMism.Inc()
+	}
 }
 
 // discardSpool removes whatever dump files this stream spooled.
@@ -229,18 +255,27 @@ func (s *migdSink) fail() []byte {
 }
 
 func (s *migdSink) Done(t *sim.Task) []byte {
+	at := func() sim.Time {
+		if t != nil {
+			return t.Now()
+		}
+		return 0
+	}
 	if s.err != nil {
 		return s.fail()
 	}
+	pid := int(s.asm.Hello().PID)
+	ssp := s.m.Trace.Child(s.txn, "spool", s.m.Name, pid, at())
 	aoutRaw, filesRaw, stackRaw, err := s.asm.Spool()
 	if err != nil {
+		ssp.EndDetail(at(), "image incomplete")
 		return s.fail()
 	}
 	creds, _, err := core.DecodeStackHeader(stackRaw)
 	if err != nil {
+		ssp.EndDetail(at(), "bad stack header")
 		return s.fail()
 	}
-	pid := int(s.asm.Hello().PID)
 	aoutPath, filesPath, stackPath := core.DumpPaths("", pid)
 	costs := s.m.Costs
 	for _, out := range []struct {
@@ -255,11 +290,14 @@ func (s *migdSink) Done(t *sim.Task) []byte {
 			t.Sleep(costs.DiskLatency + sim.Duration(len(out.data))*costs.DiskPerByte)
 		}
 		if werr := s.m.NS().WriteFile(out.path, out.data, 0o700, creds.UID, creds.GID); werr != nil {
+			ssp.EndDetail(at(), "spool write failed")
 			return s.fail()
 		}
 		s.spooled = append(s.spooled, out.path)
 	}
+	ssp.EndDetail(at(), strconv.Itoa(len(aoutRaw)+len(filesRaw)+len(stackRaw))+" B in 3 files")
 	// restart -p pid with no -h: the image comes off the local spool.
+	rsp := s.m.Trace.Child(s.txn, "restart", s.m.Name, pid, at())
 	pty := tty.NewNetworkPTY(s.m.Engine(), "migd-pty")
 	kcreds := kernel.Creds{UID: creds.UID, GID: creds.GID, EUID: creds.UID, EGID: creds.GID}
 	stdio := s.m.NewTerminalFile(kernel.NewTTYDevice(pty))
@@ -272,9 +310,11 @@ func (s *migdSink) Done(t *sim.Task) []byte {
 		InheritFDs: []*kernel.File{stdio, stdio, stdio},
 	})
 	if err != nil {
+		rsp.EndDetail(at(), "spawn failed")
 		return s.fail()
 	}
 	status, _ := rp.AwaitExitOrMigrated(t)
+	rsp.EndDetail(at(), "status "+strconv.Itoa(status))
 	// restart has read the spool into the (now live) copy, or failed;
 	// either way the staging files must not linger.
 	s.discardSpool()

@@ -8,6 +8,7 @@ import (
 	"procmig/internal/errno"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 )
 
@@ -66,11 +67,17 @@ func retryable(err error) bool {
 // callRetry is Call with the transaction retry policy. The request must be
 // idempotent: a lost response means the handler did run.
 func callRetry(t *sim.Task, host *netsim.Host, to string, port int, req []byte, attempts int) ([]byte, error) {
+	retries, backoffUS := retryCounters(host)
 	var raw []byte
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 && t != nil {
-			t.Sleep(backoffDelay(i - 1))
+			d := backoffDelay(i - 1)
+			if retries != nil {
+				retries.Inc()
+				backoffUS.Add(int64(d))
+			}
+			t.Sleep(d)
 		}
 		raw, err = host.Call(t, to, port, req)
 		if err == nil {
@@ -83,20 +90,67 @@ func callRetry(t *sim.Task, host *netsim.Host, to string, port int, req []byte, 
 	return nil, err
 }
 
+// retryCounters resolves the caller-side retry accounting for a network
+// host, when its network carries a registry (clusters do, bare test
+// networks need not).
+func retryCounters(host *netsim.Host) (retries, backoffUS *obs.Counter) {
+	reg := host.Network().Obs()
+	if reg == nil {
+		return nil, nil
+	}
+	sc := reg.Scope(host.Name())
+	return sc.Counter("migd.call_retries"), sc.Counter("migd.backoff_wait_us")
+}
+
+// Bounds on migd's retained per-transaction state. A long-lived cluster
+// settles an unbounded number of transactions; the table keeps only the
+// newest verdicts (enough to suppress any plausible duplicate — retries
+// stop within seconds, evictions take far longer) and the newest transfer
+// records verbatim. Everything older lives on as obs registry totals.
+const (
+	migdDoneCap       = 1024 // settled txn verdicts kept for duplicate suppression
+	migdStreamHistory = 8    // recent per-transfer stream stats kept verbatim
+)
+
 // migdState is one machine's migd transaction table: the latest settled
 // status per transaction id. Only a recorded success is final — a failed
 // attempt may legitimately be retried under the same id, so lookups that
 // short-circuit duplicates check committed(), while txquery reports
 // whatever was last recorded.
 type migdState struct {
-	mu   sync.Mutex
-	done map[uint32]int
+	mu    sync.Mutex
+	done  map[uint32]int
+	order []uint32 // keys of done, oldest verdict first (eviction order)
 	// lastStream is the transfer accounting of the newest streaming
 	// migration this migd drove as a source (settled either way), kept for
 	// experiments and operators; haveStream distinguishes "no streaming
-	// migration yet" from an all-zero record.
+	// migration yet" from an all-zero record. streams is the bounded
+	// history behind it.
 	lastStream core.StreamStats
 	haveStream bool
+	streams    []core.StreamStats
+	obs        migdObs
+}
+
+// migdObs is the migd slice of the machine's metrics scope, resolved once
+// per machine so recording a verdict is counter arithmetic.
+type migdObs struct {
+	txnCommits, txnAborts, txnEvicted     *obs.Counter
+	streams, streamEvicted                *obs.Counter
+	streamRounds, streamWire, streamSaved *obs.Counter
+}
+
+func newMigdObs(s *obs.Scope) migdObs {
+	return migdObs{
+		txnCommits:    s.Counter("migd.txn_commits"),
+		txnAborts:     s.Counter("migd.txn_aborts"),
+		txnEvicted:    s.Counter("migd.txn_evicted"),
+		streams:       s.Counter("migd.streams"),
+		streamEvicted: s.Counter("migd.stream_evicted"),
+		streamRounds:  s.Counter("migd.stream_rounds"),
+		streamWire:    s.Counter("migd.stream_wire_bytes"),
+		streamSaved:   s.Counter("migd.stream_saved_bytes"),
+	}
 }
 
 var (
@@ -109,7 +163,7 @@ func migdStateFor(m *kernel.Machine) *migdState {
 	defer migdMu.Unlock()
 	st := migdStates[m]
 	if st == nil {
-		st = &migdState{done: map[uint32]int{}}
+		st = &migdState{done: map[uint32]int{}, obs: newMigdObs(m.Obs)}
 		migdStates[m] = st
 	}
 	return st
@@ -121,7 +175,28 @@ func (s *migdState) record(txn uint32, status int) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.put(txn, status)
+}
+
+// put records a verdict and evicts the oldest entries past migdDoneCap,
+// folding the eviction into the registry so the loss is visible. Callers
+// hold s.mu.
+func (s *migdState) put(txn uint32, status int) {
+	if _, seen := s.done[txn]; !seen {
+		s.order = append(s.order, txn)
+	}
 	s.done[txn] = status
+	if status == 0 {
+		s.obs.txnCommits.Inc()
+	} else {
+		s.obs.txnAborts.Inc()
+	}
+	for len(s.order) > migdDoneCap {
+		delete(s.done, s.order[0])
+		copy(s.order, s.order[1:])
+		s.order = s.order[:len(s.order)-1]
+		s.obs.txnEvicted.Inc()
+	}
 }
 
 func (s *migdState) recordStream(stats core.StreamStats) {
@@ -129,6 +204,16 @@ func (s *migdState) recordStream(stats core.StreamStats) {
 	defer s.mu.Unlock()
 	s.lastStream = stats
 	s.haveStream = true
+	s.obs.streams.Inc()
+	s.obs.streamRounds.Add(int64(stats.Rounds))
+	s.obs.streamWire.Add(stats.WireBytes)
+	s.obs.streamSaved.Add(stats.SavedBytes)
+	s.streams = append(s.streams, stats)
+	if len(s.streams) > migdStreamHistory {
+		copy(s.streams, s.streams[1:])
+		s.streams = s.streams[:migdStreamHistory]
+		s.obs.streamEvicted.Inc()
+	}
 }
 
 // LastStreamStats reports the transfer accounting of the newest streaming
@@ -140,6 +225,16 @@ func LastStreamStats(m *kernel.Machine) (core.StreamStats, bool) {
 	return st.lastStream, st.haveStream
 }
 
+// RecentStreamStats returns the newest retained per-transfer records
+// (oldest first, at most migdStreamHistory). Transfers evicted from this
+// window survive only as the migd.stream_* registry totals.
+func RecentStreamStats(m *kernel.Machine) []core.StreamStats {
+	st := migdStateFor(m)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]core.StreamStats(nil), st.streams...)
+}
+
 // abortIfAbsent seals txn as aborted unless an outcome is already on
 // record (an explicit abort must never overwrite a real verdict).
 func (s *migdState) abortIfAbsent(txn uint32) {
@@ -149,7 +244,7 @@ func (s *migdState) abortIfAbsent(txn uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.done[txn]; !ok {
-		s.done[txn] = -1
+		s.put(txn, -1)
 	}
 }
 
@@ -209,9 +304,17 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 		return &remoteResp{Status: -1, Err: errno.EPERM.Error()}
 	}
 
+	at := func() sim.Time {
+		if t != nil {
+			return t.Now()
+		}
+		return 0
+	}
 	hold := core.ArmDumpHold(m, pid)
+	dsp := m.Trace.Child(txn, "dump", m.Name, pid, at())
 	abort := func(msg string) *remoteResp {
 		core.ResolveDumpHold(m, hold, false)
+		dsp.EndDetail(at(), msg)
 		return &remoteResp{Status: -1, Err: msg}
 	}
 	// dumpproc delivers SIGDUMP and rewrites the files file's pathnames;
@@ -230,6 +333,7 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 		}
 		return abort("process died before freezing")
 	}
+	dsp.EndDetail(at(), "frozen")
 
 	// Victim frozen, image on our /usr/tmp. Drive the destination restart;
 	// the request is idempotent under txn, so lost answers just retry.
@@ -237,6 +341,7 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 		UID: req.UID, GID: req.GID,
 		Cmd: cmdTxRestart, Args: []string{req.Args[0], req.Args[1], m.Name},
 	}
+	rsp := m.Trace.Child(txn, "restart-rpc", m.Name, pid, at())
 	status, newPID := -1, 0
 	raw, cerr := callRetry(t, host, dest, MigdPort, encode(rreq), txnCallAttempts)
 	if cerr == nil {
@@ -252,10 +357,12 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 		status = resolveTxn(t, host, dest, txn)
 	}
 	if status == 0 {
+		rsp.EndDetail(at(), "pid "+strconv.Itoa(newPID)+" on "+dest)
 		core.ResolveDumpHold(m, hold, true) // reap the original, GC the dump files
 		st.record(txn, 0)
 		return &remoteResp{Status: 0, PID: newPID}
 	}
+	rsp.EndDetail(at(), "status "+strconv.Itoa(status))
 	core.ResolveDumpHold(m, hold, false) // resume the victim, GC the dump files
 	// Seal the abort on the destination, best effort, so a later query
 	// gets a definite answer.
@@ -267,7 +374,7 @@ func handleTxnMigrate(t *sim.Task, m *kernel.Machine, host *netsim.Host, req *re
 // from the dump files retained on the (frozen) source, recording the
 // outcome under txn so the source can resolve a lost answer.
 func handleTxnRestart(t *sim.Task, m *kernel.Machine, req *remoteReq) *remoteResp {
-	txn, _, ok := parseTxnArgs(req.Args)
+	txn, pid, ok := parseTxnArgs(req.Args)
 	if !ok || len(req.Args) != 3 {
 		return &remoteResp{Status: -1, Err: "bad txrestart request"}
 	}
@@ -276,11 +383,23 @@ func handleTxnRestart(t *sim.Task, m *kernel.Machine, req *remoteReq) *remoteRes
 	if st.committed(txn) {
 		return &remoteResp{Status: 0}
 	}
+	at := func() sim.Time {
+		if t != nil {
+			return t.Now()
+		}
+		return 0
+	}
+	sp := m.Trace.Child(txn, "restart", m.Name, pid, at())
 	resp := runRemoteCommand(t, m, &remoteReq{
 		UID: req.UID, GID: req.GID,
 		Cmd: core.ProgRestart, Args: []string{"-p", req.Args[1], "-h", from},
 	})
 	st.record(txn, resp.Status)
+	if resp.Status == 0 {
+		sp.EndDetail(at(), "pid "+strconv.Itoa(resp.PID))
+	} else {
+		sp.EndDetail(at(), "status "+strconv.Itoa(resp.Status))
+	}
 	return resp
 }
 
@@ -396,6 +515,14 @@ func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst stri
 	if txn == 0 {
 		txn = 1
 	}
+	var tr *obs.Tracer
+	if reg := from.Network().Obs(); reg != nil {
+		tr = reg.Tracer
+	}
+	root := tr.Root(txn, "migration", from.Name(), pid, t.Now())
+	if root != nil {
+		root.Detail = "classic " + src + " -> " + dst + " (policy)"
+	}
 	req := &remoteReq{
 		UID: 0, GID: 0,
 		Cmd: cmdTxMigrate,
@@ -404,13 +531,16 @@ func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst stri
 	}
 	raw, err := callRetry(t, from, src, MigdPort, encode(req), txnCallAttempts)
 	if err != nil {
+		root.EndDetail(t.Now(), "aborted: "+err.Error())
 		return 0, err
 	}
 	var resp remoteResp
 	if derr := decode(raw, &resp); derr != nil {
+		root.EndDetail(t.Now(), "aborted: bad response")
 		return 0, derr
 	}
 	if resp.Status != 0 {
+		root.EndDetail(t.Now(), "aborted: "+resp.Err)
 		if resp.Err == errno.EPERM.Error() {
 			return 0, errno.EPERM
 		}
@@ -419,6 +549,7 @@ func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst stri
 		}
 		return 0, errno.EIO
 	}
+	root.EndDetail(t.Now(), "committed")
 	return resp.PID, nil
 }
 
@@ -428,12 +559,33 @@ func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst stri
 // exponential backoff. Returns the final status and an error message.
 func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, streaming bool, rounds, attempts int, wire core.WireMode) (int, string) {
 	txn := newTxnID(sys, pid)
+	p := sys.Proc()
+	m := p.M
+	now := func() sim.Time { return p.Task().Now() }
+	mode := "classic"
+	if streaming {
+		mode = "streaming"
+	}
+	// The whole transaction is one root span; re-attempts annotate it
+	// rather than forking a second trace. The handlers on the source and
+	// destination attach their phases to the same txn id.
+	root := m.Trace.Root(txn, "migration", m.Name, pid, now())
+	if root != nil {
+		root.Detail = mode + " " + from + " -> " + to
+	}
+	retries := m.Obs.Counter("migd.client_retries")
+	backoffUS := m.Obs.Counter("migd.backoff_wait_us")
 	lastErr := "migration failed"
 	status := -1
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			sys.Sleep(backoffDelay(i - 1))
+			m.Trace.Retry(txn)
+			d := backoffDelay(i - 1)
+			retries.Inc()
+			backoffUS.Add(int64(d))
+			sys.Sleep(d)
 		}
+		asp := m.Trace.Child(txn, "attempt", m.Name, pid, now())
 		var raw []byte
 		var err error
 		if streaming {
@@ -452,7 +604,10 @@ func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, st
 		}
 		if err != nil {
 			lastErr = from + ": " + err.Error()
+			asp.EndDetail(now(), lastErr)
 			if !retryable(err) {
+				root.EndDetail(now(), "aborted: "+lastErr)
+				m.Obs.Counter("migd.client_aborts").Inc()
 				return -1, lastErr
 			}
 			continue
@@ -460,20 +615,27 @@ func migrateTxn(sys *kernel.Sys, host *netsim.Host, pid int, from, to string, st
 		var resp remoteResp
 		if decode(raw, &resp) != nil {
 			lastErr = from + ": bad response"
+			asp.EndDetail(now(), lastErr)
 			continue
 		}
 		if resp.Status == 0 {
+			asp.EndDetail(now(), "committed")
+			root.EndDetail(now(), "committed")
+			m.Obs.Counter("migd.client_commits").Inc()
 			return 0, ""
 		}
 		status = resp.Status
 		if resp.Err != "" {
 			lastErr = resp.Err
 		}
+		asp.EndDetail(now(), lastErr)
 		// Permission and existence failures are permanent; retrying
 		// cannot change them.
 		if resp.Err == errno.EPERM.Error() || resp.Err == errno.ESRCH.Error() {
 			break
 		}
 	}
+	root.EndDetail(now(), "aborted: "+lastErr)
+	m.Obs.Counter("migd.client_aborts").Inc()
 	return status, lastErr
 }

@@ -16,6 +16,7 @@ import (
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
 	"procmig/internal/nfs"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/tty"
 	"procmig/internal/vfs"
@@ -47,6 +48,10 @@ type Options struct {
 type Cluster struct {
 	Eng *sim.Engine
 	Net *netsim.Network
+	// Obs is the cluster-wide metrics registry and span tracer, shared by
+	// every machine and the network so one migration's trace stitches
+	// across hosts.
+	Obs *obs.Registry
 
 	machines map[string]*kernel.Machine
 	hosts    map[string]*netsim.Host
@@ -72,14 +77,17 @@ func New(opts Options) (*Cluster, error) {
 	c := &Cluster{
 		Eng:      eng,
 		Net:      netsim.New(eng, lat, bt),
+		Obs:      obs.NewRegistry(),
 		machines: map[string]*kernel.Machine{},
 		hosts:    map[string]*netsim.Host{},
 		consoles: map[string]*tty.Terminal{},
 	}
+	c.Net.SetObs(c.Obs)
 
 	// Pass 1: machines, local filesystems, devices, exports.
 	for i, hs := range opts.Hosts {
 		m := kernel.NewMachine(eng, hs.Name, hs.ISA, opts.Config)
+		m.SetObs(c.Obs)
 		// Machines have been up for different lengths of time: stagger
 		// their pid counters so pids are distinct across the cluster.
 		m.SetNextPID(1 + i*1000)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"strings"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"procmig/internal/errno"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/vm"
 )
@@ -323,6 +325,40 @@ type StreamSession struct {
 	// may resume rather than exit, so waiting on its ExitQ is not enough).
 	Settled bool
 	DoneQ   sim.Queue
+
+	// Obs, when set, mirrors the session's accounting into registry
+	// counters as records ship. Pre-resolved pointers only — attaching it
+	// adds no allocations to the steady-state send path (the A10 table and
+	// BenchmarkAssembler hold this to ≤2 allocs/round either way).
+	Obs *StreamObs
+}
+
+// StreamObs is the registry-side accounting of stream transfers: records
+// and bytes by outcome, pages by encoding. One per host scope; every
+// session the host sources feeds the same counters.
+type StreamObs struct {
+	Recs       *obs.Counter // records shipped successfully
+	Resends    *obs.Counter // sends repeated after a drop fault
+	WireBytes  *obs.Counter // payload bytes handed to the stream
+	SavedBytes *obs.Counter // bytes the wire encodings elided
+	PagesRaw   *obs.Counter
+	PagesZero  *obs.Counter
+	PagesRef   *obs.Counter
+	PagesLZ    *obs.Counter
+}
+
+// NewStreamObs resolves the stream counters under one host scope.
+func NewStreamObs(s *obs.Scope) *StreamObs {
+	return &StreamObs{
+		Recs:       s.Counter("stream.records"),
+		Resends:    s.Counter("stream.resends"),
+		WireBytes:  s.Counter("stream.wire_bytes"),
+		SavedBytes: s.Counter("stream.saved_bytes"),
+		PagesRaw:   s.Counter("stream.pages_raw"),
+		PagesZero:  s.Counter("stream.pages_zero"),
+		PagesRef:   s.Counter("stream.pages_ref"),
+		PagesLZ:    s.Counter("stream.pages_lz"),
+	}
 }
 
 // streamSendRetries bounds how often one lost record is resent before the
@@ -335,6 +371,9 @@ const streamSendRetries = 8
 func (s *StreamSession) sendRec(t *sim.Task, rec []byte) error {
 	var err error
 	for i := 0; i <= streamSendRetries; i++ {
+		if i > 0 && s.Obs != nil {
+			s.Obs.Resends.Inc()
+		}
 		err = s.Stream.Send(t, rec)
 		if err != errno.ETIMEDOUT {
 			break
@@ -344,6 +383,10 @@ func (s *StreamSession) sendRec(t *sim.Task, rec []byte) error {
 		return err
 	}
 	s.WireBytes += int64(len(rec))
+	if s.Obs != nil {
+		s.Obs.Recs.Inc()
+		s.Obs.WireBytes.Add(int64(len(rec)))
+	}
 	return nil
 }
 
@@ -466,9 +509,27 @@ func (s *StreamSession) sendPage(pg uint32, data []byte, costs kernel.Costs, cha
 	if hashed {
 		s.sentHashes[pg] = h
 	}
-	if saved := rawPageRecLen - len(b); saved > 0 {
+	saved := rawPageRecLen - len(b)
+	if saved > 0 {
 		s.SavedBytes += int64(saved)
 		s.Stream.CountElided(saved)
+	}
+	if s.Obs != nil {
+		// kind points into the session's own tallies; mirror it into the
+		// matching registry counter without re-deciding the encoding.
+		switch kind {
+		case &s.PagesZero:
+			s.Obs.PagesZero.Inc()
+		case &s.PagesRef:
+			s.Obs.PagesRef.Inc()
+		case &s.PagesLZ:
+			s.Obs.PagesLZ.Inc()
+		default:
+			s.Obs.PagesRaw.Inc()
+		}
+		if saved > 0 {
+			s.Obs.SavedBytes.Add(int64(saved))
+		}
 	}
 	return nil
 }
@@ -575,7 +636,19 @@ func takeStreamSession(m *kernel.Machine, pid int) *StreamSession {
 // not be confirmed and Resolve did not report a commit — the victim then
 // resumes exactly where it was.
 func streamDumpFinal(p *kernel.Proc, sess *StreamSession) errno.Errno {
+	t := p.Task()
+	sp := p.M.Trace.Child(sess.Txn, "freeze", p.M.Name, p.PID, t.Now())
 	e := streamDumpSend(p, sess)
+	switch {
+	case sess.Err != nil:
+		sp.EndDetail(t.Now(), "err="+sess.Err.Error())
+	case sess.Checkpoint:
+		sp.EndDetail(t.Now(), "checkpoint committed")
+	case sess.Status == 0:
+		sp.EndDetail(t.Now(), "committed")
+	default:
+		sp.EndDetail(t.Now(), fmt.Sprintf("restart status %d", sess.Status))
+	}
 	sess.Settled = true
 	sess.DoneQ.WakeAll()
 	return e
@@ -614,9 +687,13 @@ func streamDumpSend(p *kernel.Proc, sess *StreamSession) errno.Errno {
 
 	// Final copy round: only pages dirtied since the last pre-copy round
 	// (or the whole image, for a streaming stop-and-copy with no rounds).
+	dsp := m.Trace.Child(sess.Txn, "final-delta", m.Name, p.PID, t.Now())
+	wb0 := sess.WireBytes
 	if err := sess.SendRound(t, p.VM, m.Costs, p.ChargeSys); err != nil {
+		dsp.EndDetail(t.Now(), "err="+err.Error())
 		return abort(errno.Of(err))
 	}
+	dsp.EndDetail(t.Now(), fmt.Sprintf("%d B", sess.WireBytes-wb0))
 
 	// files file, with the path fixups dumpproc applies at user level
 	// (§4.4) done lexically in the kernel: terminal-backed files become
@@ -680,11 +757,14 @@ func streamDumpSend(p *kernel.Proc, sess *StreamSession) errno.Errno {
 	// Phase two: Close runs the destination's spool-and-restart and ships
 	// the verdict back. A lost close aborts the sink server-side; a lost
 	// response leaves the outcome to Resolve.
+	csp := m.Trace.Child(sess.Txn, "commit", m.Name, p.PID, t.Now())
 	resp, err := sess.Stream.Close(t)
 	if err != nil {
+		csp.EndDetail(t.Now(), "err="+err.Error())
 		return abort(errno.Of(err))
 	}
 	sess.Status = DecodeStreamStatus(resp)
+	csp.EndDetail(t.Now(), fmt.Sprintf("status %d", sess.Status))
 	if sess.Status != 0 {
 		// The destination ran to a verdict and it was "failed": nothing
 		// to resolve, resume the victim.

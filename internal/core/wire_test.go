@@ -6,6 +6,7 @@ import (
 
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/vm"
 )
@@ -254,6 +255,12 @@ func BenchmarkAssembler(b *testing.B) {
 		b.Fatal(err)
 	}
 	sess := &StreamSession{Stream: st}
+	// The allocation assertion below covers the INSTRUMENTED path: a full
+	// StreamObs counter set is attached (as migd attaches one), so any
+	// regression that puts allocations on the metrics hot path fails here.
+	reg := obs.NewRegistry()
+	sess.Obs = NewStreamObs(reg.Scope("src"))
+	net.SetObs(reg)
 	costs := kernel.DefaultCosts()
 	charge := func(sim.Duration) {}
 	dataBase := vm.DataBase(len(text))
@@ -269,7 +276,10 @@ func BenchmarkAssembler(b *testing.B) {
 		round(i)
 	}
 	if avg := testing.AllocsPerRun(100, func() { round(1000) }); avg > 2 {
-		b.Fatalf("steady-state send round allocates %.1f times, want ≤2", avg)
+		b.Fatalf("instrumented steady-state send round allocates %.1f times, want ≤2", avg)
+	}
+	if sess.Obs.Recs.Value() == 0 || sess.Obs.WireBytes.Value() == 0 {
+		b.Fatal("instrumentation attached but recorded nothing")
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -9,6 +9,7 @@ import (
 	"procmig/internal/errno"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/tty"
 	"procmig/internal/vm"
@@ -87,6 +88,7 @@ type ckptState struct {
 	source string
 	pid    int
 	gen    uint32
+	txn    uint32 // the generation's trace id (from the stream hello)
 	asm    *core.ImageAssembler
 
 	aout, files, stack []byte // newest committed dump files
@@ -217,6 +219,12 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 		if pr.txn == 0 {
 			pr.txn = 1
 		}
+		// One root span per protection generation; every checkpoint of the
+		// generation is a child (Root is get-or-create, so the per-tick
+		// calls below can never fork the trace).
+		if root := m.Trace.Root(pr.txn, "protect", m.Name, pr.pid, t.Now()); root != nil {
+			root.Detail = "buddy " + pr.buddy + " gen " + strconv.Itoa(int(pr.gen))
+		}
 		// Wire is spelled out even though it is the zero value: delta
 		// checkpoints are the dedup layer's best case (most pages match the
 		// hashes the buddy's assembler already holds across generations of
@@ -236,8 +244,11 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 		Source:  m.Name,
 	}
 	hello := EncodeGuardHello(pr.gen, inner.Encode())
+	csp := m.Trace.Child(pr.txn, "ckpt", m.Name, pr.pid, t.Now())
 	stream, err := g.openRetry(t, pr.buddy, hello)
 	if err != nil {
+		csp.EndDetail(t.Now(), "open to "+pr.buddy+" failed")
+		m.Obs.Counter("ha.ckpt_failures").Inc()
 		pr.broken = true
 		return true
 	}
@@ -254,6 +265,8 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 	if e := m.Kill(kernel.Creds{}, pr.pid, kernel.SIGDUMP); e != 0 {
 		core.DisarmStreamDump(m, pr.pid)
 		stream.Abort(t)
+		csp.EndDetail(t.Now(), "signal: "+e.Error())
+		m.Obs.Counter("ha.ckpt_failures").Inc()
 		pr.broken = true
 		return true
 	}
@@ -263,16 +276,23 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 	if !sess.Settled {
 		// The process died between the signal and the dump.
 		stream.Abort(t)
+		csp.EndDetail(t.Now(), "victim died")
 		g.release(t, pr)
 		return false
 	}
 	g.WireBytes += sess.WireBytes - wb0
 	g.SavedBytes += sess.SavedBytes - sb0
+	m.Obs.Counter("ha.ckpt_wire_bytes").Add(sess.WireBytes - wb0)
+	m.Obs.Counter("ha.ckpt_saved_bytes").Add(sess.SavedBytes - sb0)
 	if sess.Err != nil || sess.Status != 0 {
+		csp.EndDetail(t.Now(), "transfer failed")
+		m.Obs.Counter("ha.ckpt_failures").Inc()
 		pr.broken = true
 		return true
 	}
 	g.CheckpointsTaken++
+	m.Obs.Counter("ha.checkpoints").Inc()
+	csp.EndDetail(t.Now(), "committed, "+strconv.FormatInt(sess.WireBytes-wb0, 10)+" B")
 	return true
 }
 
@@ -335,9 +355,14 @@ func (g *Guard) acceptSpool(_ *sim.Task, from string, helloRaw []byte) (netsim.S
 		// is kept until the new generation commits one of its own.
 		st.gen = gen
 		st.asm = asm
+		st.txn = asm.Hello().Txn
 	}
 	st.released = false // the source is actively guarding it again
-	return &guardSink{g: g, st: st}, nil
+	return &guardSink{
+		g: g, st: st,
+		recsIn:   g.n.m.Obs.Counter("stream.records_in"),
+		hashMism: g.n.m.Obs.Counter("stream.hash_mismatches"),
+	}, nil
 }
 
 // guardSink consumes one checkpoint stream into the protection's
@@ -349,6 +374,8 @@ type guardSink struct {
 	g   *Guard
 	st  *ckptState
 	err error
+	// Pre-resolved receive-side counters (Chunk runs per record).
+	recsIn, hashMism *obs.Counter
 }
 
 func (s *guardSink) Chunk(t *sim.Task, rec []byte) {
@@ -360,7 +387,11 @@ func (s *guardSink) Chunk(t *sim.Task, rec []byte) {
 		m.CPU().Use(t, m.Costs.StreamChunkBase+
 			sim.Duration(len(rec))*m.Costs.StreamPerByte, nil)
 	}
+	s.recsIn.Inc()
 	s.err = s.st.asm.Apply(rec)
+	if s.err == core.ErrHashMismatch {
+		s.hashMism.Inc()
+	}
 }
 
 func (s *guardSink) Done(t *sim.Task) []byte {
@@ -430,15 +461,20 @@ func (g *Guard) consider(t *sim.Task, st *ckptState) {
 	if g.n.members.Alive(st.source, now) {
 		return
 	}
+	mobs := g.n.m.Obs
+	mobs.Counter("ha.suspicions").Inc()
 	// Suspected. Heartbeat silence may be a partition of the beacon path
 	// alone, so ask over the independent transaction port before acting.
+	mobs.Counter("ha.arbitrations").Inc()
 	if g.Arbitrate(t, st.source) {
 		g.FalseSuspicions++
+		mobs.Counter("ha.false_suspicions").Inc()
 		return
 	}
 	// Arbitration took time; a beacon may have landed meanwhile.
 	if g.n.members.Alive(st.source, t.Now()) {
 		g.FalseSuspicions++
+		mobs.Counter("ha.false_suspicions").Inc()
 		return
 	}
 	g.recover(t, st)
@@ -451,9 +487,18 @@ func (g *Guard) recover(t *sim.Task, st *ckptState) {
 	st.attempts++
 	m := g.n.m
 	rec := Recovery{Source: st.source, PID: st.pid, Seq: st.seq, Status: -1, At: t.Now()}
+	// Work since the last committed checkpoint is gone whatever happens
+	// next; charge it when the verdict is known below.
+	lost := int64(t.Now() - st.committedAt)
+	sp := m.Trace.Child(st.txn, "recover", m.Name, st.pid, t.Now())
+	fail := func(why string) {
+		sp.EndDetail(t.Now(), why)
+		m.Obs.Counter("ha.recovery_failures").Inc()
+		g.Recoveries = append(g.Recoveries, rec)
+	}
 	creds, _, err := core.DecodeStackHeader(st.stack)
 	if err != nil {
-		g.Recoveries = append(g.Recoveries, rec)
+		fail("bad stack header")
 		return
 	}
 	aoutPath, filesPath, stackPath := core.DumpPaths("", st.pid)
@@ -474,7 +519,7 @@ func (g *Guard) recover(t *sim.Task, st *ckptState) {
 		t.Sleep(m.Costs.DiskLatency + sim.Duration(len(out.data))*m.Costs.DiskPerByte)
 		if werr := m.NS().WriteFile(out.path, out.data, 0o700, creds.UID, creds.GID); werr != nil {
 			discard()
-			g.Recoveries = append(g.Recoveries, rec)
+			fail("spool write failed")
 			return
 		}
 		spooled = append(spooled, out.path)
@@ -492,7 +537,7 @@ func (g *Guard) recover(t *sim.Task, st *ckptState) {
 	})
 	if err != nil {
 		discard()
-		g.Recoveries = append(g.Recoveries, rec)
+		fail("spawn failed")
 		return
 	}
 	status, _ := rp.AwaitExitOrMigrated(t)
@@ -501,6 +546,12 @@ func (g *Guard) recover(t *sim.Task, st *ckptState) {
 	if status == 0 {
 		st.recovered = true
 		rec.NewPID = rp.PID
+		m.Obs.Counter("ha.recoveries").Inc()
+		m.Obs.Counter("ha.lost_work_us").Add(lost)
+		sp.EndDetail(t.Now(), "pid "+strconv.Itoa(rp.PID)+" from seq "+strconv.Itoa(st.seq))
+	} else {
+		sp.EndDetail(t.Now(), "restart status "+strconv.Itoa(status))
+		m.Obs.Counter("ha.recovery_failures").Inc()
 	}
 	g.Recoveries = append(g.Recoveries, rec)
 }

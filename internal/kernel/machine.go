@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"procmig/internal/errno"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 	"procmig/internal/tty"
 	"procmig/internal/vfs"
@@ -96,6 +97,12 @@ type Machine struct {
 	Hooks   MigrationHooks
 	Metrics Metrics
 
+	// Obs is this machine's metrics scope and Trace the span tracer. A
+	// standalone machine gets a private registry; the cluster replaces both
+	// with a shared one (SetObs) so one trace stitches every host.
+	Obs   *obs.Scope
+	Trace *obs.Tracer
+
 	eng     *sim.Engine
 	cpu     *sim.Resource
 	ns      *vfs.Namespace
@@ -123,8 +130,50 @@ type Machine struct {
 	netStack NetStack
 
 	// ktrace-style event log; see trace.go.
-	tracing  bool
-	traceLog []TraceEntry
+	tracing   bool
+	traceLog  []TraceEntry
+	traceDrop int64 // entries the ring buffer has discarded
+
+	// kobs holds the kernel's pre-resolved metric pointers (resolved once
+	// per SetObs), keeping signal/syscall/dump accounting allocation-free.
+	kobs kernelObs
+}
+
+// kernelObs is the kernel's instrumentation: every field resolved once so
+// hot paths pay one pointer dereference per event.
+type kernelObs struct {
+	sigPosted  *obs.Counter   // signals posted via Kill
+	sigCaught  *obs.Counter   // signals delivered to handlers
+	syscalls   *obs.Counter   // system calls entered (hosted + VM)
+	sysTimeUS  *obs.Counter   // µs of system CPU charged
+	dumps      *obs.Counter   // SIGDUMP dumps attempted
+	dumpAborts *obs.Counter   // dumps that aborted and resumed the victim
+	traceDrops *obs.Counter   // ktrace ring-buffer entries discarded
+	dumpReal   *obs.Histogram // real time of each dump window (µs)
+}
+
+func (m *Machine) resolveObs() {
+	s := m.Obs
+	m.kobs = kernelObs{
+		sigPosted:  s.Counter("kernel.signals_posted"),
+		sigCaught:  s.Counter("kernel.signals_caught"),
+		syscalls:   s.Counter("kernel.syscalls"),
+		sysTimeUS:  s.Counter("kernel.sys_cpu_us"),
+		dumps:      s.Counter("kernel.dumps"),
+		dumpAborts: s.Counter("kernel.dump_aborts"),
+		traceDrops: s.Counter("kernel.trace_dropped"),
+		dumpReal:   s.Histogram("kernel.dump_real_us", obs.LatencyBuckets),
+	}
+}
+
+// SetObs repoints the machine at a shared registry (the cluster's) and
+// re-resolves every pre-resolved metric pointer. Call before the machine
+// runs anything; counts accumulated under the private default registry are
+// not carried over.
+func (m *Machine) SetObs(reg *obs.Registry) {
+	m.Obs = reg.Scope(m.Name)
+	m.Trace = reg.Tracer
+	m.resolveObs()
 }
 
 // NewMachine boots a workstation. The namespace is rooted at a fresh local
@@ -151,6 +200,7 @@ func NewMachine(eng *sim.Engine, name string, isa vm.Level, cfg Config) *Machine
 		nextDev:  DevCurrentTTY + 1,
 		registry: map[string]HostedProg{},
 	}
+	m.SetObs(obs.NewRegistry())
 	return m
 }
 

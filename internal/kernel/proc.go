@@ -110,6 +110,7 @@ func (p *Proc) sysCPU(d sim.Duration) {
 	if d <= 0 {
 		return
 	}
+	p.M.kobs.sysTimeUS.Add(int64(d))
 	p.M.cpu.Use(p.task, d, func(s sim.Duration) { p.STime += s })
 }
 
@@ -350,6 +351,7 @@ func (p *Proc) deliverSignals() bool {
 		case SigIgnore:
 			continue
 		case SigCatch:
+			p.M.kobs.sigCaught.Inc()
 			p.sysCPU(p.M.Costs.SignalDeliver)
 			if p.VM != nil {
 				// Push the interrupted PC and enter the handler; the
@@ -377,13 +379,16 @@ func (p *Proc) deliverSignals() bool {
 						resumePC = p.VM.PC
 					}
 					p.RewindSyscall()
+					p.M.kobs.dumps.Inc()
 					start, scpu := p.task.Now(), p.STime
 					e := p.M.Hooks.Dump(p)
 					p.M.Metrics.LastDump = OpTiming{
 						CPU:  p.STime - scpu,
 						Real: sim.Duration(p.task.Now() - start),
 					}
+					p.M.kobs.dumpReal.Observe(int64(p.M.Metrics.LastDump.Real))
 					if e == errno.ERESTART {
+						p.M.kobs.dumpAborts.Inc()
 						// The migration aborted with the process intact:
 						// put the PC back and keep running exactly where
 						// it was.
@@ -420,6 +425,7 @@ func (m *Machine) Kill(sender Creds, pid int, sig Signal) errno.Errno {
 		sender.EUID != target.Creds.UID && sender.EUID != target.Creds.EUID {
 		return errno.EPERM
 	}
+	m.kobs.sigPosted.Inc()
 	target.postSignal(sig)
 	m.trace(target, "signal", "%v posted by uid %d", sig, sender.EUID)
 	return 0

@@ -20,8 +20,11 @@ type Sys struct {
 func NewSysForTest(p *Proc) *Sys { return &Sys{p: p} }
 
 // enter delivers pending signals at the syscall boundary, as the real
-// kernel does on the way in from user mode.
-func (s *Sys) enter() { s.p.deliverSignals() }
+// kernel does on the way in from user mode, and counts the call.
+func (s *Sys) enter() {
+	s.p.M.kobs.syscalls.Inc()
+	s.p.deliverSignals()
+}
 
 // Proc returns the calling process (introspection for tests and ps).
 func (s *Sys) Proc() *Proc { return s.p }

@@ -30,15 +30,23 @@ func (m *Machine) SetTracing(on bool) {
 	m.tracing = on
 	if !on {
 		m.traceLog = nil
+		m.traceDrop = 0
 	}
 }
 
-// TraceLog returns the recorded events (nil when tracing is off).
+// TraceLog returns the recorded events (nil when tracing is off). When the
+// ring buffer has overflowed, the oldest entries are gone — TraceDropped
+// reports how many, so readers know the log's head is truncated.
 func (m *Machine) TraceLog() []TraceEntry {
 	return append([]TraceEntry(nil), m.traceLog...)
 }
 
-// trace records one event for p.
+// TraceDropped reports how many trace entries the bounded buffer has
+// discarded since tracing was switched on.
+func (m *Machine) TraceDropped() int64 { return m.traceDrop }
+
+// trace records one event for p. The buffer is bounded: past
+// maxTraceEntries the oldest entry is dropped — counted, never silent.
 func (m *Machine) trace(p *Proc, event, format string, args ...any) {
 	if !m.tracing {
 		return
@@ -48,10 +56,13 @@ func (m *Machine) trace(p *Proc, event, format string, args ...any) {
 		e.At = p.task.Now()
 	}
 	m.traceLog = append(m.traceLog, e)
-	if len(m.traceLog) > maxTraceEntries {
-		m.traceLog = m.traceLog[len(m.traceLog)-maxTraceEntries:]
+	if drop := len(m.traceLog) - maxTraceEntries; drop > 0 {
+		m.traceLog = m.traceLog[drop:]
+		m.traceDrop += int64(drop)
+		m.kobs.traceDrops.Add(int64(drop))
 	}
 }
 
-// maxTraceEntries bounds the in-kernel trace buffer.
-const maxTraceEntries = 4096
+// MaxTraceEntries bounds the in-kernel trace buffer.
+const MaxTraceEntries = 4096
+const maxTraceEntries = MaxTraceEntries

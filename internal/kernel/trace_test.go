@@ -1,0 +1,41 @@
+package kernel
+
+import (
+	"testing"
+
+	"procmig/internal/sim"
+	"procmig/internal/vm"
+)
+
+// TestTraceRingDrops overflows the bounded kernel trace buffer and checks
+// that the head truncation is counted — locally, and in the machine's
+// metrics scope — rather than silent.
+func TestTraceRingDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMachine(eng, "brick", vm.ISA1, Config{})
+	m.SetTracing(true)
+	p := &Proc{PID: 1, Cmd: "flood", M: m}
+	const extra = 37
+	for i := 0; i < MaxTraceEntries+extra; i++ {
+		m.trace(p, "flood", "%d", i)
+	}
+	if got := len(m.TraceLog()); got != MaxTraceEntries {
+		t.Fatalf("trace log holds %d entries, want %d", got, MaxTraceEntries)
+	}
+	if got := m.TraceDropped(); got != extra {
+		t.Fatalf("TraceDropped = %d, want %d", got, extra)
+	}
+	if got := m.Obs.Counter("kernel.trace_dropped").Value(); got != extra {
+		t.Fatalf("kernel.trace_dropped counter = %d, want %d", got, extra)
+	}
+	// The oldest surviving entry is the first one NOT dropped.
+	if first := m.TraceLog()[0].Detail; first != "37" {
+		t.Fatalf("oldest surviving entry is %q, want \"37\"", first)
+	}
+	// Toggling tracing off resets the log and the local drop count (the
+	// registry counter is cumulative by design).
+	m.SetTracing(false)
+	if m.TraceDropped() != 0 || m.TraceLog() != nil {
+		t.Fatal("SetTracing(false) did not reset the drop count and log")
+	}
+}

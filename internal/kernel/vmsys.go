@@ -12,6 +12,7 @@ import (
 // pointer+length); on success r0 holds the result and r1 is 0; on failure
 // r0 is all-ones and r1 holds the errno.
 func (p *Proc) vmSyscall() {
+	p.M.kobs.syscalls.Inc()
 	cpu := p.VM
 	num := int(cpu.SyscallNum)
 	a0, a1, a2 := cpu.R[0], cpu.R[1], cpu.R[2]

@@ -151,11 +151,18 @@ func (n *Network) deliver(t *sim.Task, from, to *Host, client *Host, port int, n
 	f := n.faultFor(from.name, to.name, port)
 	wire := n.Latency + sim.Duration(nbytes)*n.ByteTime + f.Delay
 	n.count(from, to, client, port, nbytes)
+	lo := n.linkObsFor(from, to)
 	if to.down {
+		if lo != nil {
+			lo.dropped.Inc()
+		}
 		n.chargeTimeout(t)
 		return false, errno.EHOSTDOWN
 	}
 	if f.Drop > 0 && n.eng.RandFloat() < f.Drop {
+		if lo != nil {
+			lo.dropped.Inc()
+		}
 		if t != nil {
 			t.Sleep(wire)
 		}
@@ -164,6 +171,9 @@ func (n *Network) deliver(t *sim.Task, from, to *Host, client *Host, port int, n
 	}
 	if to.crashArm(port) {
 		to.Crash()
+		if lo != nil {
+			lo.dropped.Inc()
+		}
 		n.chargeTimeout(t)
 		return false, errno.EHOSTDOWN
 	}
@@ -171,8 +181,14 @@ func (n *Network) deliver(t *sim.Task, from, to *Host, client *Host, port int, n
 		dup = true
 		n.count(from, to, client, port, nbytes)
 		wire += n.Latency + sim.Duration(nbytes)*n.ByteTime
+		if lo != nil {
+			lo.duplicated.Inc()
+		}
 	}
 	to.portMsgsIn[port]++
+	if lo != nil {
+		lo.delivered.Inc()
+	}
 	if t != nil {
 		t.Sleep(wire)
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"procmig/internal/errno"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 )
 
@@ -46,6 +47,49 @@ type Network struct {
 	// counts what really moved; Bytes+BytesElided is what a naive encoding
 	// would have moved.
 	BytesElided int64
+
+	// obs wiring (nil until SetObs): per-link delivered/dropped/duplicated
+	// counters, pre-resolved per link so the steady-state deliver path pays
+	// one map lookup and no allocations.
+	obsReg  *obs.Registry
+	linkObs map[linkKey]*linkObsSet
+}
+
+// linkObsSet is one directed link's pre-resolved counters, registered under
+// the sending host's scope as link.<to>.{delivered,dropped,duplicated}.
+type linkObsSet struct {
+	delivered, dropped, duplicated *obs.Counter
+}
+
+// SetObs points the network at a metrics registry; message outcomes are
+// counted per directed link from then on.
+func (n *Network) SetObs(reg *obs.Registry) {
+	n.obsReg = reg
+	n.linkObs = map[linkKey]*linkObsSet{}
+}
+
+// Obs returns the registry the network reports to (nil without SetObs) —
+// the handle client-side code with only a *Host can reach metrics through.
+func (n *Network) Obs() *obs.Registry { return n.obsReg }
+
+// linkObsFor resolves (creating on first use) the counters for one
+// directed link. Nil when no registry is attached.
+func (n *Network) linkObsFor(from, to *Host) *linkObsSet {
+	if n.obsReg == nil {
+		return nil
+	}
+	k := linkKey{from.name, to.name}
+	lo := n.linkObs[k]
+	if lo == nil {
+		s := n.obsReg.Scope(from.name)
+		lo = &linkObsSet{
+			delivered:  s.Counter("link." + to.name + ".delivered"),
+			dropped:    s.Counter("link." + to.name + ".dropped"),
+			duplicated: s.Counter("link." + to.name + ".duplicated"),
+		}
+		n.linkObs[k] = lo
+	}
+	return lo
 }
 
 // HostStats counts one host's traffic (messages and payload bytes in each

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"procmig/internal/sim"
+)
+
+// Chrome trace-event export: the tracer's spans rendered as the JSON array
+// format chrome://tracing and Perfetto load directly. sim.Time is already
+// microseconds — the trace-event "ts" unit — so timestamps pass through
+// untouched. One trace-viewer process (pid) per host, one thread (tid) per
+// simulated process pid, so a migration reads as a bar hopping from the
+// source host's lane to the destination's.
+
+// traceEvent is one trace-viewer event. Only the fields the format needs.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTimeline renders every span as a complete ("X") trace event, plus
+// process_name metadata naming each host lane. hosts fixes the host→pid
+// mapping (boot order reads best); hosts appearing only in spans are
+// appended after, sorted. Unfinished spans are emitted with zero duration
+// and an "unfinished" arg rather than dropped — a trace that silently
+// hides a hung phase is worse than none.
+func WriteTimeline(w io.Writer, tr *Tracer, hosts []string) error {
+	spans := tr.Spans()
+
+	pidOf := map[string]int{}
+	order := append([]string(nil), hosts...)
+	var extra []string
+	for _, sp := range spans {
+		known := false
+		for _, h := range order {
+			if h == sp.Host {
+				known = true
+				break
+			}
+		}
+		for _, h := range extra {
+			if h == sp.Host {
+				known = true
+				break
+			}
+		}
+		if !known {
+			extra = append(extra, sp.Host)
+		}
+	}
+	sort.Strings(extra)
+	order = append(order, extra...)
+	for i, h := range order {
+		pidOf[h] = i + 1 // pid 0 renders oddly in some viewers
+	}
+
+	events := make([]traceEvent, 0, len(order)+len(spans))
+	for _, h := range order {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", PID: pidOf[h],
+			Args: map[string]any{"name": h},
+		})
+	}
+	for _, sp := range spans {
+		ev := traceEvent{
+			Name: sp.Name, Ph: "X",
+			TS:  int64(sp.Start),
+			PID: pidOf[sp.Host], TID: sp.PID,
+			Args: map[string]any{"txn": sp.Txn},
+		}
+		if sp.Ended {
+			ev.Dur = int64(sim.Duration(sp.Stop - sp.Start))
+		} else {
+			ev.Args["unfinished"] = true
+		}
+		if sp.Attempt > 0 {
+			ev.Args["retry"] = sp.Attempt
+		}
+		if sp.Detail != "" {
+			ev.Args["detail"] = sp.Detail
+		}
+		if sp.Parent == 0 {
+			ev.Args["root"] = true
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

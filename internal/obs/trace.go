@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"procmig/internal/sim"
+)
+
+// The span tracer. Every migration, checkpoint protection and recovery is
+// one trace, keyed by its transaction id — the same id that already rides
+// every txn verb (txmigrate args, precopyReq.Txn, StreamHello.Txn), which
+// is what stitches a trace across hosts: the source's pre-copy rounds, the
+// victim's freeze, and the destination's spool and restart all attach to
+// the same root without any new protocol fields.
+//
+// Retries are annotated, not duplicated: calling Root for a txn that
+// already has one returns the existing root, and the client marks each
+// re-attempt with Retry, which bumps the root's attempt counter; children
+// record the attempt they were created under. A retried migration is one
+// root with retry-annotated children — never two roots.
+
+// Span is one timed region of a trace. A root span has Parent == 0 and
+// represents the whole transaction; children are its phases (freeze, dump,
+// per-round transfer, commit, spool, restart, checkpoint, recover).
+type Span struct {
+	ID      int
+	Parent  int // 0 for roots
+	Txn     uint32
+	Name    string
+	Host    string
+	PID     int
+	Start   sim.Time
+	Stop    sim.Time
+	Ended   bool
+	Attempt int    // roots: retries so far; children: the attempt they ran under
+	Detail  string // outcome annotation, set by End
+}
+
+func (sp *Span) String() string {
+	dur := "…"
+	if sp.Ended {
+		dur = sim.Duration(sp.Stop - sp.Start).String()
+	}
+	kind := "└─"
+	if sp.Parent == 0 {
+		kind = "▶ "
+	}
+	s := fmt.Sprintf("%s%-12s txn=%08x %s pid %d at %v (%s)",
+		kind, sp.Name, sp.Txn, sp.Host, sp.PID, sim.Duration(sp.Start), dur)
+	if sp.Attempt > 0 {
+		s += fmt.Sprintf(" retry=%d", sp.Attempt)
+	}
+	if sp.Detail != "" {
+		s += " " + sp.Detail
+	}
+	return s
+}
+
+// End closes the span at the given instant. Safe on a nil span (untracked
+// transactions hand out nil spans so call sites stay unconditional).
+func (sp *Span) End(at sim.Time) {
+	if sp == nil {
+		return
+	}
+	sp.Stop = at
+	sp.Ended = true
+}
+
+// EndDetail closes the span with an outcome annotation.
+func (sp *Span) EndDetail(at sim.Time, detail string) {
+	if sp == nil {
+		return
+	}
+	sp.Detail = detail
+	sp.End(at)
+}
+
+// Tracer records spans. The mutex covers concurrent test engines; within
+// one engine only one task runs at a time.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []*Span
+	roots  map[uint32]*Span
+	nextID int
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{roots: map[uint32]*Span{}, nextID: 1}
+}
+
+// Root returns txn's root span, creating it on first call. A second call
+// for the same txn returns the existing root unchanged — a duplicate
+// request or a cross-host echo must never fork the trace. Txn 0 means
+// untracked: nil is returned and every downstream span call no-ops.
+func (tr *Tracer) Root(txn uint32, name, host string, pid int, at sim.Time) *Span {
+	if tr == nil || txn == 0 {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.rootLocked(txn, name, host, pid, at)
+}
+
+func (tr *Tracer) rootLocked(txn uint32, name, host string, pid int, at sim.Time) *Span {
+	if sp := tr.roots[txn]; sp != nil {
+		return sp
+	}
+	sp := &Span{ID: tr.nextID, Txn: txn, Name: name, Host: host, PID: pid, Start: at}
+	tr.nextID++
+	tr.roots[txn] = sp
+	tr.spans = append(tr.spans, sp)
+	return sp
+}
+
+// Retry marks one client re-attempt of txn: the root's attempt counter
+// advances, and children created from here on carry the new attempt number.
+func (tr *Tracer) Retry(txn uint32) {
+	if tr == nil || txn == 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if sp := tr.roots[txn]; sp != nil {
+		sp.Attempt++
+	}
+}
+
+// Child opens a child span under txn's root. If no root exists yet — the
+// span source saw the transaction before its client registered it, which
+// message reordering makes possible — a placeholder root is created so the
+// trace can never split.
+func (tr *Tracer) Child(txn uint32, name, host string, pid int, at sim.Time) *Span {
+	if tr == nil || txn == 0 {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	root := tr.rootLocked(txn, "txn", host, pid, at)
+	sp := &Span{
+		ID: tr.nextID, Parent: root.ID, Txn: txn, Name: name,
+		Host: host, PID: pid, Start: at, Attempt: root.Attempt,
+	}
+	tr.nextID++
+	tr.spans = append(tr.spans, sp)
+	return sp
+}
+
+// Spans snapshots every recorded span in creation order (which is also
+// start order: span IDs are handed out as the simulation advances).
+func (tr *Tracer) Spans() []*Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Span, len(tr.spans))
+	copy(out, tr.spans)
+	return out
+}
+
+// Roots lists the root spans sorted by start time then id.
+func (tr *Tracer) Roots() []*Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Span, 0, len(tr.roots))
+	for _, sp := range tr.roots {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Trace returns txn's spans: the root first, then its children in creation
+// order. Nil if the txn was never traced.
+func (tr *Tracer) Trace(txn uint32) []*Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	root := tr.roots[txn]
+	if root == nil {
+		return nil
+	}
+	out := []*Span{root}
+	for _, sp := range tr.spans {
+		if sp.Txn == txn && sp.ID != root.ID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -11,59 +11,132 @@
 //	migbench -fig a8    # crash recovery from buddy checkpoints
 //	migbench -fig a9    # wire-efficiency ablation (raw vs elide vs elide+LZ)
 //	migbench -fig a10   # observability: stitched trace + zero-alloc instrumentation
+//	migbench -fig a11   # 1,000-host scale scenario; writes BENCH_a11.json
+//	migbench -fig core  # engine + data-path perf; writes BENCH_core.json
 //	migbench -ablations # only the ablations
+//
+// The a11 scenario takes -hosts, -procs, -intervals and -seed; both perf
+// figures write their JSON trajectory next to -benchdir.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"procmig/internal/experiments"
 )
 
+var (
+	a11Hosts     = flag.Int("hosts", 0, "a11: cluster size (0 = default 1000)")
+	a11Procs     = flag.Int("procs", 0, "a11: simulated processes (0 = default 10000)")
+	a11Intervals = flag.Int("intervals", 0, "a11: beacon intervals to run (0 = default 30)")
+	a11Seed      = flag.Uint64("seed", 0, "a11: engine seed (0 = default 11)")
+	benchDir     = flag.String("benchdir", ".", "directory BENCH_*.json files are written to")
+)
+
+// figure is one row of the shared figure table: everything -fig accepts,
+// with the run function and the one-line description the usage error
+// prints. Adding a figure here is the whole registration.
+type figure struct {
+	name string
+	desc string
+	run  func() error
+}
+
+var figures = []figure{
+	{"1", "modified system call overhead", fig1},
+	{"2", "killing the test program (SIGQUIT/SIGDUMP/dumpproc)", fig2},
+	{"3", "restarting (execve/rest_proc/restart)", fig3},
+	{"4", "migrate vs dumpproc+restart", fig4},
+	{"a6", "stop-and-copy vs streaming vs pre-copy", a6},
+	{"a7", "transactional migration under network faults", a7},
+	{"a8", "crash recovery from buddy delta-checkpoints", a8},
+	{"a9", "wire-efficient streaming ablation", a9},
+	{"a10", "observability: stitched traces, zero-alloc counters", a10},
+	{"a11", "1,000-host scale scenario (writes BENCH_a11.json)", a11},
+	{"core", "engine + data-path perf (writes BENCH_core.json)", benchCore},
+}
+
 func main() {
-	fig := flag.String("fig", "", "run only this figure (1-4, a6, a7, a8, a9, a10)")
+	fig := flag.String("fig", "", "run only this figure (see the table in -h)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	flag.Parse()
 
-	switch *fig {
-	case "", "1", "2", "3", "4", "a6", "a7", "a8", "a9", "a10":
-	default:
-		fmt.Fprintln(os.Stderr, "migbench: unknown figure", *fig)
+	if *fig != "" {
+		for _, f := range figures {
+			if f.name == *fig {
+				check(f.run())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "migbench: unknown figure %q; valid figures:\n", *fig)
+		for _, f := range figures {
+			fmt.Fprintf(os.Stderr, "  %-5s %s\n", f.name, f.desc)
+		}
 		os.Exit(2)
 	}
-	all := *fig == "" && !*ablations
-	if *fig == "1" || all {
-		check(fig1())
-	}
-	if *fig == "2" || all {
-		check(fig2())
-	}
-	if *fig == "3" || all {
-		check(fig3())
-	}
-	if *fig == "4" || all {
-		check(fig4())
-	}
-	if *fig == "a6" || all {
-		check(a6())
-	}
-	if *fig == "a7" || all {
-		check(a7())
-	}
-	if *fig == "a8" || all {
-		check(a8())
-	}
-	if *fig == "a9" || all {
-		check(a9())
-	}
-	if *fig == "a10" || all {
-		check(a10())
-	}
-	if *ablations || all {
+	if *ablations {
 		check(runAblations())
+		return
 	}
+	for _, f := range figures {
+		check(f.run())
+	}
+	check(runAblations())
+}
+
+// writeBench records a perf trajectory point: the JSON files are committed
+// alongside the code, so `git log -p BENCH_a11.json` is the perf history.
+func writeBench(name string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(*benchDir, name)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func a11() error {
+	r, err := experiments.A11Scale(experiments.A11Config{
+		Hosts: *a11Hosts, Procs: *a11Procs, Intervals: *a11Intervals, Seed: *a11Seed,
+	})
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("A11 — %d hosts, %d procs under churn: gossip membership + crash wave", r.Hosts, r.Procs))
+	fmt.Printf("%-44s %d peers/interval (piggyback %d summaries)\n", "gossip fanout k", r.GossipK, r.Piggyback)
+	fmt.Printf("%-44s %.0f (full mesh would be %.0f; %d boot syncs)\n",
+		"hb msgs/interval", r.HBMsgsPerInterval, r.FullMeshMsgsPerInterval, r.SyncMsgs)
+	fmt.Printf("%-44s %d intervals\n", "membership converged in", r.ConvergedIn)
+	fmt.Printf("%-44s %d/%d suspected, %d/%d recovered\n",
+		"crash wave", r.WaveSuspected, r.WaveSize, r.WaveRecovered, r.WaveSize)
+	fmt.Printf("%-44s %d (%d false suspects)\n", "churn migrations", r.Migrations, r.FalseSuspects)
+	fmt.Printf("%-44s %.2f s wall for %.0f s virtual (%.1fx real time)\n",
+		"wall clock", r.Wall, r.VirtualTime, r.VirtualRatio)
+	fmt.Printf("%-44s %.2fM events/s, %.4f allocs/event, heap max %d\n",
+		"engine", r.EventsPerSec/1e6, r.AllocsPerEvent, r.HeapMax)
+	return writeBench("BENCH_a11.json", r)
+}
+
+func benchCore() error {
+	r, err := experiments.BenchCore()
+	if err != nil {
+		return err
+	}
+	header("Core — engine churn throughput and migration data-path wall times")
+	fmt.Printf("%-44s %.2fM events/s (%d events in %.2f s)\n",
+		"engine churn", r.ChurnEventsPerSec/1e6, r.ChurnEvents, r.ChurnWallS)
+	fmt.Printf("%-44s %.4f (%d freelist misses)\n", "allocs/event", r.AllocsPerEvent, r.ChurnEventAllocs)
+	fmt.Printf("%-44s %.2f s\n", "A6 pre-copy sweep wall", r.A6WallS)
+	fmt.Printf("%-44s %.2f s\n", "A9 wire ablation wall", r.A9WallS)
+	return writeBench("BENCH_core.json", r)
 }
 
 func check(err error) {

@@ -66,9 +66,11 @@ type MigrationEvent struct {
 
 // LoadView is what the policy layer knows about the cluster: the
 // membership table's disseminated heartbeat view. Both ha.Membership and
-// test fakes satisfy it.
+// test fakes satisfy it. ViewInto fills the caller's scratch buffer so a
+// policy loop sampling a 1,000-host view every period allocates nothing;
+// the returned rows are a snapshot, stable until the buffer's next use.
 type LoadView interface {
-	View(now sim.Time) []ha.Member
+	ViewInto(now sim.Time, buf *ha.ViewBuf) []ha.Member
 }
 
 // Balancer implements the §8 load-balancing application: move CPU-bound
@@ -100,7 +102,8 @@ type Balancer struct {
 	// MigrateRemote through the source's migd.
 	Migrate func(t *sim.Task, src string, pid int, dst string) (int, error)
 
-	recent map[string]sim.Time // "host/pid" -> arrival time of a recent move
+	recent  map[string]sim.Time // "host/pid" -> arrival time of a recent move
+	viewBuf ha.ViewBuf          // scratch for the per-step view snapshot
 }
 
 func cooldownKey(host string, pid int) string {
@@ -153,7 +156,7 @@ func (b *Balancer) migrate(t *sim.Task, src string, pid int, dst string) (int, e
 // Failed instead of being silently dropped.
 func (b *Balancer) Step(t *sim.Task) bool {
 	now := t.Now()
-	view := b.View.View(now)
+	view := b.View.ViewInto(now, &b.viewBuf)
 	var busiest, idlest *ha.Member
 	for i := range view {
 		m := &view[i]
@@ -174,10 +177,11 @@ func (b *Balancer) Step(t *sim.Task) bool {
 	if busiest == nil || busiest == idlest || busiest.Load-idlest.Load < min {
 		return false
 	}
-	ps := b.candidate(busiest, now)
-	if ps == nil {
+	cand := b.candidate(busiest, now)
+	if cand == nil {
 		return false
 	}
+	ps := *cand // copy: the row points into viewBuf, and migrate parks
 	newPid, err := b.migrate(t, busiest.Host, ps.PID, idlest.Host)
 	ev := MigrationEvent{
 		At: t.Now(), PID: ps.PID, New: newPid, From: busiest.Host, To: idlest.Host,

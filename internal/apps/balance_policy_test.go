@@ -15,7 +15,7 @@ type fakeView struct {
 	Members []ha.Member
 }
 
-func (v *fakeView) View(sim.Time) []ha.Member {
+func (v *fakeView) ViewInto(_ sim.Time, _ *ha.ViewBuf) []ha.Member {
 	out := make([]ha.Member, len(v.Members))
 	copy(out, v.Members)
 	return out
@@ -31,7 +31,7 @@ func cpuBound(pid, oldPid int, age sim.Duration) ha.ProcStat {
 func TestBalancerAntiThrash(t *testing.T) {
 	eng := sim.NewEngine()
 	view := &fakeView{Members: []ha.Member{
-		{Host: "a", Load: 3, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20 * sim.Second)}},
+		{Host: "a", Load: 3, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20*sim.Second)}},
 		{Host: "b", Load: 1, Alive: true},
 	}}
 	var moves []string
@@ -54,7 +54,7 @@ func TestBalancerAntiThrash(t *testing.T) {
 		// balancer must leave the freshly-moved pid alone.
 		view.Members = []ha.Member{
 			{Host: "a", Load: 1, Alive: true},
-			{Host: "b", Load: 3, Alive: true, Procs: []ha.ProcStat{cpuBound(110, 10, 25 * sim.Second)}},
+			{Host: "b", Load: 3, Alive: true, Procs: []ha.ProcStat{cpuBound(110, 10, 25*sim.Second)}},
 		}
 		tk.Sleep(sim.Second)
 		if b.Step(tk) {
@@ -82,8 +82,8 @@ func TestBalancerAntiThrash(t *testing.T) {
 func TestBalancerNearLevelLoad(t *testing.T) {
 	eng := sim.NewEngine()
 	view := &fakeView{Members: []ha.Member{
-		{Host: "a", Load: 2, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20 * sim.Second)}},
-		{Host: "b", Load: 1, Alive: true, Procs: []ha.ProcStat{cpuBound(20, 0, 20 * sim.Second)}},
+		{Host: "a", Load: 2, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20*sim.Second)}},
+		{Host: "b", Load: 1, Alive: true, Procs: []ha.ProcStat{cpuBound(20, 0, 20*sim.Second)}},
 	}}
 	b := &apps.Balancer{
 		View:   view,
@@ -112,7 +112,7 @@ func TestBalancerNearLevelLoad(t *testing.T) {
 func TestBalancerRecordsFailures(t *testing.T) {
 	eng := sim.NewEngine()
 	view := &fakeView{Members: []ha.Member{
-		{Host: "a", Load: 4, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20 * sim.Second)}},
+		{Host: "a", Load: 4, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20*sim.Second)}},
 		{Host: "b", Load: 0, Alive: true},
 	}}
 	b := &apps.Balancer{

@@ -31,6 +31,10 @@ type NightScheduler struct {
 	// Migrate performs one move (tests inject fakes); nil means
 	// MigrateRemote through the source's migd.
 	Migrate func(t *sim.Task, src string, pid int, dst string) (int, error)
+
+	// viewBuf backs every refresh; the scheduler is driven from a single
+	// task, so one snapshot at a time is live.
+	viewBuf ha.ViewBuf
 }
 
 type nightJob struct {
@@ -48,7 +52,7 @@ func (ns *NightScheduler) Add(host string, pid int) {
 // under it (a migration whose new pid we never learned) is found again
 // through the OldPID its restarted copy advertises.
 func (ns *NightScheduler) refresh(now sim.Time) []ha.Member {
-	view := ns.View.View(now)
+	view := ns.View.ViewInto(now, &ns.viewBuf)
 	for _, j := range ns.jobs {
 		if !j.stale {
 			continue

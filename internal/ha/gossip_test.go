@@ -1,0 +1,269 @@
+package ha_test
+
+import (
+	"fmt"
+	"testing"
+
+	"procmig/internal/ha"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+// gossipSource is a synthetic StatSource: a host with a fixed run-queue
+// length and no migratable processes. Gossip tests need liveness, not
+// kernels.
+type gossipSource struct {
+	name string
+	load int
+}
+
+func (s *gossipSource) HostName() string { return s.name }
+func (s *gossipSource) RunQueueLen() int { return s.load }
+func (s *gossipSource) AppendProcStats(now sim.Time, dst []ha.ProcStat) []ha.ProcStat {
+	return dst
+}
+
+type gossipCluster struct {
+	eng   *sim.Engine
+	net   *netsim.Network
+	hosts []*netsim.Host
+	nodes []*ha.Node
+	names []string
+}
+
+// bootGossip wires n synthetic hosts into one network, all running hbd
+// with default (auto) fanout, and seeds the engine PRNG.
+func bootGossip(t testing.TB, n int, seed uint64) *gossipCluster {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.Seed(seed)
+	net := netsim.New(eng, 100*sim.Microsecond, 0) // latency-only: beacons are small
+	gc := &gossipCluster{eng: eng, net: net}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("h%03d", i)
+		gc.names = append(gc.names, name)
+		gc.hosts = append(gc.hosts, net.AddHost(name))
+	}
+	for i := 0; i < n; i++ {
+		node, err := ha.StartSource(eng, gc.hosts[i], &gossipSource{name: gc.names[i], load: i % 7}, nil, ha.Config{})
+		if err != nil {
+			t.Fatalf("StartSource %s: %v", gc.names[i], err)
+		}
+		peers := make([]string, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, gc.names[j])
+			}
+		}
+		node.SetPeers(peers)
+		gc.nodes = append(gc.nodes, node)
+	}
+	return gc
+}
+
+func (gc *gossipCluster) stop() {
+	for _, n := range gc.nodes {
+		n.Stop()
+	}
+}
+
+// runIntervals advances the cluster by k beacon intervals.
+func (gc *gossipCluster) runIntervals(t testing.TB, k int) {
+	t.Helper()
+	limit := gc.eng.Now() + sim.Time(sim.Duration(k)*sim.Second)
+	if err := gc.eng.RunUntil(limit); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// converged reports how many nodes see the full, fully-alive member set.
+func (gc *gossipCluster) converged(now sim.Time) int {
+	ok := 0
+	for _, node := range gc.nodes {
+		ms := node.Members()
+		if ms.Len() != len(gc.names) {
+			continue
+		}
+		all := true
+		for _, name := range gc.names {
+			if !ms.Alive(name, now) {
+				all = false
+				break
+			}
+		}
+		if all {
+			ok++
+		}
+	}
+	return ok
+}
+
+// TestGossipConvergence: at every scale, every host learns of every other
+// host — alive — within a bounded number of beacon intervals, even though
+// each host beacons to only ~log₂N peers per interval.
+func TestGossipConvergence(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			if n == 1000 && testing.Short() {
+				t.Skip("short mode")
+			}
+			gc := bootGossip(t, n, 42)
+			defer gc.stop()
+			// Bound: direct beacons need 1 interval, gossip spread needs
+			// ~log_k(N) more; 8 intervals is generous at every scale.
+			const bound = 12
+			gc.runIntervals(t, bound)
+			now := gc.eng.Now()
+			if got := gc.converged(now); got != n {
+				t.Fatalf("after %d intervals only %d/%d nodes converged", bound, got, n)
+			}
+			if n > 50 {
+				k := gc.nodes[0].Fanout()
+				if k >= n-1 {
+					t.Fatalf("fanout %d not sub-quadratic for n=%d", k, n)
+				}
+			}
+		})
+	}
+}
+
+// TestGossipSuspectedExactlyOnce: a partitioned host transitions
+// alive→suspect exactly once at an observer — stale summaries circulating
+// through the cluster must never resurrect it (no flapping).
+func TestGossipSuspectedExactlyOnce(t *testing.T) {
+	const n = 100
+	gc := bootGossip(t, n, 7)
+	defer gc.stop()
+	gc.runIntervals(t, 12) // converge first
+	now := gc.eng.Now()
+	if got := gc.converged(now); got != n {
+		t.Fatalf("pre-partition: only %d/%d converged", got, n)
+	}
+
+	victim := gc.names[n/2]
+	gc.hosts[n/2].SetDown(true)
+
+	// Sample the observer's verdict 4× per interval for 40 intervals —
+	// far beyond the stretched suspicion timeout.
+	observer := gc.nodes[0].Members()
+	transitions := 0
+	prev := true
+	done := make(chan struct{})
+	gc.eng.Go("monitor", func(task *sim.Task) {
+		defer close(done)
+		for i := 0; i < 40*4; i++ {
+			task.Sleep(sim.Second / 4)
+			alive := observer.Alive(victim, task.Now())
+			if alive != prev {
+				transitions++
+				prev = alive
+			}
+		}
+	})
+	gc.runIntervals(t, 41)
+	<-done
+	if transitions != 1 {
+		t.Fatalf("victim flapped: %d alive-state transitions, want exactly 1", transitions)
+	}
+	if observer.Alive(victim, gc.eng.Now()) {
+		t.Fatalf("victim still alive at observer after 40 intervals of silence")
+	}
+	// Suspicion must land within the effective timeout plus one interval
+	// of slack (the observer samples, it doesn't interpose).
+	eff := gc.nodes[0].SuspectAfter()
+	if eff <= gc.nodes[0].Config().SuspectAfter {
+		t.Fatalf("gossip mode should stretch SuspectAfter (got %v, configured %v)",
+			eff, gc.nodes[0].Config().SuspectAfter)
+	}
+}
+
+// digest summarizes a run for determinism comparison: final virtual time,
+// total messages, and every node's sorted view (host, seq, alive).
+func (gc *gossipCluster) digest(t *testing.T) string {
+	now := gc.eng.Now()
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(now))
+	mix(uint64(gc.net.Messages))
+	var buf ha.ViewBuf
+	for _, node := range gc.nodes {
+		for _, m := range node.Members().ViewInto(now, &buf) {
+			for i := 0; i < len(m.Host); i++ {
+				mix(uint64(m.Host[i]))
+			}
+			mix(uint64(m.Seq))
+			mix(uint64(m.Load))
+			if m.Alive {
+				mix(1)
+			}
+		}
+	}
+	return fmt.Sprintf("%x/t=%d/msgs=%d", h, now, gc.net.Messages)
+}
+
+// TestGossipDeterministicPerSeed: the same seed replays the same cluster
+// history bit-for-bit; a different seed picks different gossip targets.
+func TestGossipDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) string {
+		gc := bootGossip(t, 50, seed)
+		defer gc.stop()
+		gc.runIntervals(t, 10)
+		return gc.digest(t)
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", a, b)
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seed produced identical history %s (gossip not drawing from engine PRNG?)", c)
+	}
+}
+
+// TestGossipMessageComplexity: per-interval heartbeat traffic is O(N·k),
+// not O(N²) — measured at the receivers' HBPort counters.
+func TestGossipMessageComplexity(t *testing.T) {
+	const n = 200
+	gc := bootGossip(t, n, 3)
+	defer gc.stop()
+	gc.runIntervals(t, 3) // settle
+	var before int64
+	for _, h := range gc.hosts {
+		before += h.PortMsgsIn(ha.HBPort)
+	}
+	const intervals = 5
+	gc.runIntervals(t, intervals)
+	var after int64
+	for _, h := range gc.hosts {
+		after += h.PortMsgsIn(ha.HBPort)
+	}
+	perInterval := float64(after-before) / intervals
+	// Anti-entropy sync is boot-only: once every roster is complete (well
+	// before the settle window ends) no node sends another sync, so the
+	// steady-state window must show zero sync traffic.
+	var syncs int64
+	for _, h := range gc.hosts {
+		syncs += h.PortMsgsIn(ha.MemberSyncPort)
+	}
+	gc.runIntervals(t, 1)
+	var syncs2 int64
+	for _, h := range gc.hosts {
+		syncs2 += h.PortMsgsIn(ha.MemberSyncPort)
+	}
+	if syncs2 != syncs {
+		t.Fatalf("anti-entropy sync still running after convergence: %d msgs in one steady-state interval", syncs2-syncs)
+	}
+	k := float64(gc.nodes[0].Fanout())
+	// Each beacon Call is two deliveries (request + ack), so O(N·k) shows
+	// up as ≤ ~2·N·k per interval; leave 25% slack for boot-phase skew.
+	if perInterval > 2.5*float64(n)*k {
+		t.Fatalf("hb traffic %.0f msgs/interval exceeds 2.5·N·k = %.0f", perInterval, 2.5*float64(n)*k)
+	}
+	fullMesh := 2 * float64(n) * float64(n-1)
+	if perInterval > fullMesh/8 {
+		t.Fatalf("hb traffic %.0f msgs/interval is not clearly sub-quadratic (full mesh %.0f)", perInterval, fullMesh)
+	}
+}

@@ -455,7 +455,7 @@ func (g *Guard) consider(t *sim.Task, st *ckptState) {
 	now := t.Now()
 	// A fresh checkpoint commit is as good as a heartbeat: whoever
 	// streamed it was alive moments ago.
-	if sim.Duration(now-st.committedAt) <= g.n.cfg.SuspectAfter {
+	if sim.Duration(now-st.committedAt) <= g.n.SuspectAfter() {
 		return
 	}
 	if g.n.members.Alive(st.source, now) {

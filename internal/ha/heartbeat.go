@@ -3,10 +3,12 @@
 // applications (load balancing, checkpointing long computations) take for
 // granted. Each host runs three cooperating daemons on top of netsim:
 //
-//   - hbd beacons liveness plus a digest of the local run queue to every
-//     peer; received beacons feed a membership table with timeout-based
-//     failure suspicion, giving every host the same eventually-consistent
-//     load view without ever touching a peer's kernel structures.
+//   - hbd beacons liveness plus a digest of the local run queue. In small
+//     clusters every peer hears every beacon directly; at scale each
+//     interval beacons go to k ≈ ⌈log₂N⌉+2 peers chosen by a deterministic
+//     shuffle of the engine PRNG, with third-party member summaries
+//     piggybacked so news still reaches everyone in O(log N / log k)
+//     intervals — O(N·k) messages per interval instead of O(N²).
 //   - guardd (source role) takes periodic incremental checkpoints of
 //     processes registered for protection — the PR 1 dirty-page stream
 //     format reused as delta checkpoints — and spools them to a buddy
@@ -24,9 +26,11 @@ package ha
 import (
 	"encoding/binary"
 	"errors"
+	"math"
 
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
+	"procmig/internal/obs"
 	"procmig/internal/sim"
 )
 
@@ -36,6 +40,7 @@ const (
 	HBPort         = 520 // hbd: heartbeat beacons
 	GuardPort      = 521 // guardd control verbs (release)
 	GuardSpoolPort = 522 // guardd checkpoint streams (netsim stream port)
+	MemberSyncPort = 523 // hbd anti-entropy: full member-state push-pull
 )
 
 // HeartbeatMagic continues the paper's octal numbering: 444 stack, 445
@@ -52,12 +57,26 @@ type ProcStat struct {
 	CPU    sim.Duration // user CPU consumed
 }
 
+// MemberSummary is gossip about a third party: what the sender's
+// membership table says about another host. Age is how long before the
+// beacon was sent that the sender last heard from the member, so the
+// receiver can reconstruct a liveness bound on its own clock without the
+// hosts sharing one.
+type MemberSummary struct {
+	Host    string
+	Seq     uint32
+	Load    int
+	Age     sim.Duration
+	Suspect bool // the sender believes this member is dead (probe failed)
+}
+
 // Heartbeat is one hbd beacon.
 type Heartbeat struct {
-	Host  string
-	Seq   uint32
-	Load  int // run-queue length (kernel.Machine.Load)
-	Procs []ProcStat
+	Host      string
+	Seq       uint32
+	Load      int // run-queue length (kernel.Machine.Load)
+	Procs     []ProcStat
+	Summaries []MemberSummary // piggybacked gossip (optional on the wire)
 }
 
 // procStatWire is the encoded size of one ProcStat.
@@ -65,9 +84,16 @@ const procStatWire = 4 + 4 + 8 + 8
 
 var errBadHeartbeat = errors.New("ha: bad heartbeat")
 
-// Encode serializes a heartbeat.
-func (hb *Heartbeat) Encode() []byte {
-	b := make([]byte, 0, 14+len(hb.Host)+len(hb.Procs)*procStatWire)
+// hbAck is the shared one-byte delivery ack — never mutated, so every
+// beacon response reuses it instead of allocating.
+var hbAck = []byte{1}
+
+// AppendTo serializes the heartbeat onto b and returns the extended slice;
+// passing a reused scratch buffer makes steady-state encoding
+// allocation-free. The summary block is emitted only when non-empty,
+// keeping the byte stream identical to the pre-gossip format otherwise
+// (old decoders read new proc-only beacons and vice versa).
+func (hb *Heartbeat) AppendTo(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, HeartbeatMagic)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(hb.Host)))
 	b = append(b, hb.Host...)
@@ -80,45 +106,187 @@ func (hb *Heartbeat) Encode() []byte {
 		b = binary.BigEndian.AppendUint64(b, uint64(ps.Age))
 		b = binary.BigEndian.AppendUint64(b, uint64(ps.CPU))
 	}
+	if len(hb.Summaries) > 0 {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(hb.Summaries)))
+		for _, s := range hb.Summaries {
+			b = binary.BigEndian.AppendUint16(b, uint16(len(s.Host)))
+			b = append(b, s.Host...)
+			b = binary.BigEndian.AppendUint32(b, s.Seq)
+			b = binary.BigEndian.AppendUint32(b, uint32(s.Load))
+			b = binary.BigEndian.AppendUint64(b, uint64(s.Age))
+			var flag byte
+			if s.Suspect {
+				flag = 1
+			}
+			b = append(b, flag)
+		}
+	}
 	return b
 }
 
+// Encode serializes a heartbeat into fresh storage.
+func (hb *Heartbeat) Encode() []byte {
+	return hb.AppendTo(make([]byte, 0, 16+len(hb.Host)+len(hb.Procs)*procStatWire+len(hb.Summaries)*25))
+}
+
 // DecodeHeartbeat parses a beacon, rejecting bad magic, truncation, and
-// trailing garbage. The proc count is validated against the remaining
-// bytes before any allocation, so hostile input cannot demand memory.
+// trailing garbage.
 func DecodeHeartbeat(raw []byte) (*Heartbeat, error) {
+	hb := &Heartbeat{}
+	if err := DecodeHeartbeatInto(raw, hb, nil); err != nil {
+		return nil, err
+	}
+	return hb, nil
+}
+
+// DecodeHeartbeatInto parses a beacon into hb, reusing hb's Procs and
+// Summaries storage. names, if non-nil, interns host strings so repeated
+// beacons from known hosts allocate nothing. Counts are validated against
+// the remaining bytes before any allocation, so hostile input cannot
+// demand memory. Bad magic, truncation, and trailing garbage are
+// rejected.
+func DecodeHeartbeatInto(raw []byte, hb *Heartbeat, names map[string]string) error {
+	p, err := decodeHBMain(raw, hb, names)
+	if err != nil {
+		return err
+	}
+	hb.Summaries = hb.Summaries[:0]
+	if p == len(raw) {
+		return nil // pre-gossip format: no summary block
+	}
+	ns, err := validateSummaries(raw, p)
+	if err != nil {
+		return err
+	}
+	p += 2
+	for i := 0; i < ns; i++ {
+		hl := int(binary.BigEndian.Uint16(raw[p:]))
+		hb.Summaries = append(hb.Summaries, MemberSummary{
+			Host:    internName(names, raw[p+2:p+2+hl]),
+			Seq:     binary.BigEndian.Uint32(raw[p+2+hl:]),
+			Load:    int(int32(binary.BigEndian.Uint32(raw[p+2+hl+4:]))),
+			Age:     sim.Duration(binary.BigEndian.Uint64(raw[p+2+hl+8:])),
+			Suspect: raw[p+2+hl+16] == 1,
+		})
+		p += 2 + hl + 17
+	}
+	return nil
+}
+
+// decodeHBMain parses the fixed header, host and proc block, returning the
+// offset where the optional summary block begins.
+func decodeHBMain(raw []byte, hb *Heartbeat, names map[string]string) (int, error) {
 	if len(raw) < 14 {
-		return nil, errBadHeartbeat
+		return 0, errBadHeartbeat
 	}
 	if binary.BigEndian.Uint16(raw) != HeartbeatMagic {
-		return nil, errBadHeartbeat
+		return 0, errBadHeartbeat
 	}
 	hostLen := int(binary.BigEndian.Uint16(raw[2:]))
 	if len(raw) < 4+hostLen+10 {
-		return nil, errBadHeartbeat
+		return 0, errBadHeartbeat
 	}
-	hb := &Heartbeat{Host: string(raw[4 : 4+hostLen])}
+	hb.Host = internName(names, raw[4:4+hostLen])
 	p := 4 + hostLen
 	hb.Seq = binary.BigEndian.Uint32(raw[p:])
 	hb.Load = int(int32(binary.BigEndian.Uint32(raw[p+4:])))
 	n := int(binary.BigEndian.Uint16(raw[p+8:]))
 	p += 10
-	if len(raw)-p != n*procStatWire {
-		return nil, errBadHeartbeat
+	if len(raw)-p < n*procStatWire {
+		return 0, errBadHeartbeat
 	}
-	if n > 0 {
-		hb.Procs = make([]ProcStat, n)
-	}
+	hb.Procs = hb.Procs[:0]
 	for i := 0; i < n; i++ {
-		hb.Procs[i] = ProcStat{
+		hb.Procs = append(hb.Procs, ProcStat{
 			PID:    int(int32(binary.BigEndian.Uint32(raw[p:]))),
 			OldPID: int(int32(binary.BigEndian.Uint32(raw[p+4:]))),
 			Age:    sim.Duration(binary.BigEndian.Uint64(raw[p+8:])),
 			CPU:    sim.Duration(binary.BigEndian.Uint64(raw[p+16:])),
-		}
+		})
 		p += procStatWire
 	}
-	return hb, nil
+	return p, nil
+}
+
+// validateSummaries checks the whole summary block at offset p — count,
+// per-entry bounds, flag values, exact end — before any byte is consumed,
+// so a consumer that streams entries into live state never applies half a
+// corrupt message. A zero count is rejected: encoders omit the block
+// instead, which keeps the encoding canonical (decode∘encode is the
+// identity).
+func validateSummaries(raw []byte, p int) (int, error) {
+	if len(raw)-p < 2 {
+		return 0, errBadHeartbeat
+	}
+	ns := int(binary.BigEndian.Uint16(raw[p:]))
+	p += 2
+	if ns == 0 {
+		return 0, errBadHeartbeat
+	}
+	for i := 0; i < ns; i++ {
+		if len(raw)-p < 2 {
+			return 0, errBadHeartbeat
+		}
+		hl := int(binary.BigEndian.Uint16(raw[p:]))
+		if len(raw)-p < 2+hl+17 {
+			return 0, errBadHeartbeat
+		}
+		if raw[p+2+hl+16] > 1 {
+			return 0, errBadHeartbeat
+		}
+		p += 2 + hl + 17
+	}
+	if p != len(raw) {
+		return 0, errBadHeartbeat
+	}
+	return ns, nil
+}
+
+// decodeHeartbeatObserve is the hbd hot path: identical wire validation to
+// DecodeHeartbeatInto, but summaries are streamed straight into the
+// membership — one map probe per entry, zero allocations for known hosts —
+// instead of being materialized on the Heartbeat. hb.Summaries is left
+// empty. Returns the number of summaries observed.
+func decodeHeartbeatObserve(raw []byte, hb *Heartbeat, names map[string]string, ms *Membership, now sim.Time) (int, error) {
+	p, err := decodeHBMain(raw, hb, names)
+	if err != nil {
+		return 0, err
+	}
+	hb.Summaries = hb.Summaries[:0]
+	if p == len(raw) {
+		return 0, nil
+	}
+	ns, err := validateSummaries(raw, p)
+	if err != nil {
+		return 0, err
+	}
+	p += 2
+	for i := 0; i < ns; i++ {
+		hl := int(binary.BigEndian.Uint16(raw[p:]))
+		age := sim.Duration(binary.BigEndian.Uint64(raw[p+2+hl+8:]))
+		ms.ObserveSummaryBytes(raw[p+2:p+2+hl],
+			binary.BigEndian.Uint32(raw[p+2+hl:]),
+			int(int32(binary.BigEndian.Uint32(raw[p+2+hl+4:]))),
+			raw[p+2+hl+16] == 1,
+			now-sim.Time(age), now)
+		p += 2 + hl + 17
+	}
+	return ns, nil
+}
+
+// internName maps raw bytes to a canonical string: the map[string]([]byte
+// key) lookup compiles to a no-allocation probe, so known hosts cost
+// nothing after their first beacon.
+func internName(names map[string]string, b []byte) string {
+	if names == nil {
+		return string(b)
+	}
+	if s, ok := names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	names[s] = s
+	return s
 }
 
 // Config tunes one node's control-plane daemons. Zero values take the
@@ -127,6 +295,8 @@ type Config struct {
 	Interval     sim.Duration // beacon period (default 1s)
 	SuspectAfter sim.Duration // beacon silence before suspicion (default 3×Interval)
 	CkptInterval sim.Duration // delta-checkpoint period (default 5s)
+	Fanout       int          // beacons per interval (default ⌈log₂N⌉+2, capped at N-1)
+	Piggyback    int          // member summaries per beacon (default 2×Fanout)
 }
 
 func (c Config) withDefaults() Config {
@@ -142,59 +312,188 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// StatSource is what hbd reads from its own host to build a beacon. A
+// kernel.Machine is the real source; scale scenarios substitute synthetic
+// ones so a 1,000-host cluster need not boot 1,000 kernels.
+type StatSource interface {
+	HostName() string
+	RunQueueLen() int
+	// AppendProcStats appends the migratable run-queue entries to dst and
+	// returns it (scratch-friendly: dst is reused across intervals).
+	AppendProcStats(now sim.Time, dst []ProcStat) []ProcStat
+}
+
+// machineSource adapts a kernel.Machine to StatSource.
+type machineSource struct{ m *kernel.Machine }
+
+func (s machineSource) HostName() string { return s.m.Name }
+func (s machineSource) RunQueueLen() int { return s.m.Load() }
+func (s machineSource) AppendProcStats(now sim.Time, dst []ProcStat) []ProcStat {
+	for _, p := range s.m.Procs() {
+		if p.State != kernel.ProcRunning || p.VM == nil {
+			continue
+		}
+		oldPID := 0
+		if p.Migrated {
+			oldPID = p.OldPID
+		}
+		dst = append(dst, ProcStat{
+			PID: p.PID, OldPID: oldPID,
+			Age: sim.Duration(now - p.StartedAt),
+			CPU: p.UTime,
+		})
+	}
+	return dst
+}
+
 // Node is one host's slice of the control plane: its hbd, its membership
-// view, and its guardian.
+// view, and (when started on a full machine) its guardian.
 type Node struct {
-	m       *kernel.Machine
+	src     StatSource
+	m       *kernel.Machine // nil when started via StartSource
 	host    *netsim.Host
+	eng     *sim.Engine
 	cfg     Config
 	members *Membership
 	Guard   *Guard
 
-	peers   []string
+	peers      []string
+	fanout     int          // effective beacons per interval
+	piggyback  int          // effective summaries per beacon
+	effSuspect sim.Duration // suspicion timeout incl. gossip spread margin
+
+	// hot-path scratch: the engine serializes actors, so one of each per
+	// node suffices.
+	pick   []int  // peer permutation for the partial shuffle
+	encBuf []byte // beacon encode buffer
+	txHB   Heartbeat
+	rxHB   Heartbeat
+	syncHB Heartbeat         // full-state scratch for anti-entropy exchanges
+	names  map[string]string // interned host names for decode
+
+	cBeaconsOut *obs.Counter
+	cBeaconsIn  *obs.Counter
+	cBeaconFail *obs.Counter
+	cSummaries  *obs.Counter
+	cSyncs      *obs.Counter
+
 	seq     uint32
 	stopped bool
 }
 
-// Start wires the control plane into a machine: listeners for heartbeats
-// and guardian traffic, plus the background beacon/checkpoint/monitor
-// loops. Call SetPeers before the engine runs; call Stop to let the
-// engine quiesce (the loops otherwise beacon forever).
+// Start wires the full control plane into a machine: listeners for
+// heartbeats and guardian traffic, plus the background
+// beacon/checkpoint/monitor loops. Call SetPeers before the engine runs;
+// call Stop to let the engine quiesce (the loops otherwise beacon
+// forever).
 func Start(m *kernel.Machine, host *netsim.Host, cfg Config) (*Node, error) {
-	cfg = cfg.withDefaults()
-	n := &Node{
-		m: m, host: host, cfg: cfg,
-		members: NewMembership(m.Name, cfg.SuspectAfter),
-	}
-	n.Guard = newGuard(n)
-	if err := host.Listen(HBPort, func(t *sim.Task, raw []byte) []byte {
-		hb, err := DecodeHeartbeat(raw)
-		if err != nil {
-			return nil
-		}
-		n.members.Observe(hb, n.now(t))
-		return []byte{1} // delivery ack; losing it costs only the sender
-	}); err != nil {
+	n, err := StartSource(m.Engine(), host, machineSource{m}, m.Obs, cfg)
+	if err != nil {
 		return nil, err
 	}
+	n.m = m
+	n.Guard = newGuard(n)
 	if err := n.Guard.listen(); err != nil {
 		return nil, err
 	}
 	eng := m.Engine()
-	// Staggered start: machines boot at slightly different phases, like
-	// the staggered pid counters — and simultaneous cluster-wide beacon
-	// bursts would serialize artificially on the shared engine.
 	stagger := sim.Duration(hashName(m.Name)%97) * sim.Millisecond
-	eng.GoAfter("hbd@"+m.Name, stagger, n.beaconLoop)
 	eng.GoAfter("guardd@"+m.Name, stagger, n.Guard.checkpointLoop)
 	eng.GoAfter("guardmon@"+m.Name, stagger, n.Guard.monitorLoop)
 	return n, nil
 }
 
-// SetPeers tells the node whom to beacon to (everyone else in the
-// cluster; membership changes are out of scope for this reproduction).
+// StartSource wires only the heartbeat/membership slice of the control
+// plane around an arbitrary StatSource — no guardian, no kernel. scope may
+// be nil to skip metrics.
+func StartSource(eng *sim.Engine, host *netsim.Host, src StatSource, scope *obs.Scope, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		src: src, host: host, eng: eng, cfg: cfg,
+		members:    NewMembership(src.HostName(), cfg.SuspectAfter),
+		effSuspect: cfg.SuspectAfter,
+		names:      map[string]string{},
+	}
+	if scope != nil {
+		n.cBeaconsOut = scope.Counter("hb.beacons_out")
+		n.cBeaconsIn = scope.Counter("hb.beacons_in")
+		n.cBeaconFail = scope.Counter("hb.beacon_fail")
+		n.cSummaries = scope.Counter("hb.summaries_in")
+		n.cSyncs = scope.Counter("hb.syncs_out")
+	}
+	if err := host.Listen(HBPort, n.handleBeacon); err != nil {
+		return nil, err
+	}
+	if err := host.Listen(MemberSyncPort, n.handleSync); err != nil {
+		return nil, err
+	}
+	// Staggered start: machines boot at slightly different phases, like
+	// the staggered pid counters — and simultaneous cluster-wide beacon
+	// bursts would serialize artificially on the shared engine.
+	stagger := sim.Duration(hashName(src.HostName())%97) * sim.Millisecond
+	eng.GoAfter("hbd@"+src.HostName(), stagger, n.beaconLoop)
+	return n, nil
+}
+
+// handleBeacon is the HBPort listener: decode into per-node scratch, fold
+// the sender's state and its piggybacked gossip into the table. The
+// handler never parks, so the scratch cannot be observed mid-update.
+func (n *Node) handleBeacon(t *sim.Task, raw []byte) []byte {
+	now := n.now(t)
+	nsumm, err := decodeHeartbeatObserve(raw, &n.rxHB, n.names, n.members, now)
+	if err != nil {
+		return nil
+	}
+	n.members.Observe(&n.rxHB, now)
+	if n.cBeaconsIn != nil {
+		n.cBeaconsIn.Inc()
+		n.cSummaries.Add(int64(nsumm))
+	}
+	return hbAck // delivery ack; losing it costs only the sender
+}
+
+// SetPeers tells the node who else is in the cluster. With at most
+// Fanout peers every beacon goes to everyone (and gossip adds nothing);
+// above that, each interval beacons go to a PRNG-chosen Fanout-subset and
+// the suspicion timeout stretches by the expected gossip spread time.
 func (n *Node) SetPeers(peers []string) {
-	n.peers = append([]string(nil), peers...)
+	n.peers = append(n.peers[:0], peers...)
+	n.fanout = n.cfg.Fanout
+	if n.fanout <= 0 {
+		n.fanout = ceilLog2(len(peers)+1) + 2
+	}
+	if n.fanout > len(peers) {
+		n.fanout = len(peers)
+	}
+	n.piggyback = n.cfg.Piggyback
+	if n.piggyback <= 0 {
+		n.piggyback = 2 * n.fanout
+	}
+	n.effSuspect = n.cfg.SuspectAfter
+	if n.fanout < len(n.peers) {
+		// A member's liveness reaches an observer two ways: epidemically
+		// (fresh news re-broadcast with budget, ~log_k(N) intervals) and
+		// via the rotation half of the piggyback, which mentions it to
+		// k·(p/2) random observers per interval cluster-wide. Stretch the
+		// suspicion timeout so that, at rate c = k·p/2 / N refreshes per
+		// interval, the chance that any of the N² observer/member pairs
+		// goes unrefreshed for the whole window is negligible:
+		// m ≈ ln(1000·N²)/c intervals.
+		nn := len(peers) + 1
+		spread := ceilLogK(nn, n.fanout)
+		c := float64(n.fanout) * float64(n.piggyback/2) / float64(nn)
+		margin := 2
+		if c < 1 {
+			margin = int(math.Ceil(math.Log(1000*float64(nn)*float64(nn)) / c))
+		}
+		n.effSuspect += sim.Duration(spread+margin) * n.cfg.Interval
+	}
+	n.members.SetSuspectAfter(n.effSuspect)
+	n.members.SetGossipParams(n.cfg.Interval/2, int(hashName(n.src.HostName())%1_000_003), n.fanout)
+	n.pick = n.pick[:0]
+	for i := range n.peers {
+		n.pick = append(n.pick, i)
+	}
 }
 
 // Members returns the node's membership view.
@@ -202,6 +501,16 @@ func (n *Node) Members() *Membership { return n.members }
 
 // Config returns the node's effective configuration.
 func (n *Node) Config() Config { return n.cfg }
+
+// Fanout reports how many peers each beacon interval reaches.
+func (n *Node) Fanout() int { return n.fanout }
+
+// Piggyback returns the per-beacon summary budget chosen by SetPeers.
+func (n *Node) Piggyback() int { return n.piggyback }
+
+// SuspectAfter reports the effective suspicion timeout: the configured
+// one, stretched by the gossip spread margin when fanout < cluster size.
+func (n *Node) SuspectAfter() sim.Duration { return n.effSuspect }
 
 // Stop shuts the node's daemon loops down at their next tick, letting
 // Engine.Run quiesce. Idempotent.
@@ -211,35 +520,45 @@ func (n *Node) now(t *sim.Task) sim.Time {
 	if t != nil {
 		return t.Now()
 	}
-	return n.m.Engine().Now()
+	return n.eng.Now()
 }
 
-// beacon builds this instant's heartbeat from the local machine — the
-// only kernel structures the control plane ever reads are its own.
+// beacon builds this instant's heartbeat in the node's scratch — the only
+// host structures the control plane ever reads are its own.
 func (n *Node) beacon(now sim.Time) *Heartbeat {
 	n.seq++
-	hb := &Heartbeat{Host: n.m.Name, Seq: n.seq, Load: n.m.Load()}
-	for _, p := range n.m.Procs() {
-		if p.State != kernel.ProcRunning || p.VM == nil {
-			continue
-		}
-		oldPID := 0
-		if p.Migrated {
-			oldPID = p.OldPID
-		}
-		hb.Procs = append(hb.Procs, ProcStat{
-			PID: p.PID, OldPID: oldPID,
-			Age: sim.Duration(now - p.StartedAt),
-			CPU: p.UTime,
-		})
+	hb := &n.txHB
+	hb.Host = n.src.HostName()
+	hb.Seq = n.seq
+	hb.Load = n.src.RunQueueLen()
+	hb.Procs = n.src.AppendProcStats(now, hb.Procs[:0])
+	hb.Summaries = hb.Summaries[:0]
+	if n.fanout < len(n.peers) {
+		hb.Summaries = n.members.appendGossip(hb.Summaries, n.piggyback, now)
 	}
 	return hb
 }
 
-// beaconLoop is hbd: every Interval, beacon to every peer. Lost beacons
-// are simply lost — the receiver's timeout does the detecting. A beacon
-// to a dead host costs the sender the network timeout, exactly as a real
-// datagram-and-ack heartbeat would.
+// choosePeers selects this interval's beacon targets into n.pick[:fanout]
+// via a partial Fisher-Yates shuffle drawn from the engine PRNG —
+// deterministic per seed. When fanout covers all peers no draws are made
+// (and the permutation is left in place), so small clusters behave
+// byte-for-byte as they did under all-peers beaconing.
+func (n *Node) choosePeers() []int {
+	if n.fanout >= len(n.peers) {
+		return n.pick
+	}
+	for i := 0; i < n.fanout; i++ {
+		j := i + int(n.eng.Rand()%uint64(len(n.pick)-i))
+		n.pick[i], n.pick[j] = n.pick[j], n.pick[i]
+	}
+	return n.pick[:n.fanout]
+}
+
+// beaconLoop is hbd: every Interval, beacon to this interval's peers. Lost
+// beacons are simply lost — the receiver's timeout does the detecting. A
+// beacon to a dead host costs the sender the network timeout, exactly as
+// a real datagram-and-ack heartbeat would.
 func (n *Node) beaconLoop(t *sim.Task) {
 	for !n.stopped {
 		t.Sleep(n.cfg.Interval)
@@ -249,13 +568,125 @@ func (n *Node) beaconLoop(t *sim.Task) {
 		if n.host.Down() {
 			continue // a partitioned host cannot beacon (nor hear itself)
 		}
-		hb := n.beacon(t.Now())
-		raw := hb.Encode()
-		n.members.Observe(hb, t.Now()) // the local view always includes self
-		for _, peer := range n.peers {
-			n.host.Call(t, peer, HBPort, raw) // best effort, by design
+		now := t.Now()
+		hb := n.beacon(now)
+		raw := hb.AppendTo(n.encBuf[:0])
+		n.encBuf = raw
+		encAt := now
+		n.members.Observe(hb, now) // the local view always includes self
+		gossip := n.fanout < len(n.peers)
+		if gossip && n.members.Len() < len(n.peers)+1 {
+			n.syncExchange(t)
+			now = t.Now()
+		}
+		for _, pi := range n.choosePeers() {
+			if sendAt := t.Now(); sendAt != encAt {
+				// Summary ages are deltas against the encode clock, and
+				// every Call below sleeps at least a round trip — a Call
+				// to a dead peer stalls a full network timeout. Sending
+				// the stale bytes would make receivers reconstruct
+				// hear-times inflated by the stall, manufacturing
+				// post-mortem liveness that falsely refutes suspicion.
+				// Re-age the same summary set (no reselection — gossip
+				// budgets were already spent) and re-encode per send.
+				for i := range hb.Summaries {
+					hb.Summaries[i].Age += sim.Duration(sendAt - encAt)
+				}
+				raw = hb.AppendTo(n.encBuf[:0])
+				n.encBuf = raw
+				encAt = sendAt
+			}
+			_, err := n.host.Call(t, n.peers[pi], HBPort, raw) // best effort, by design
+			if err != nil && gossip {
+				// The beacon doubled as a probe and the peer is dead or
+				// unreachable: suspect it and let the gossip channel carry
+				// the news. Full-mesh clusters keep pure timeout suspicion
+				// (every peer hears every beacon, no dissemination lag).
+				n.members.Suspect(n.peers[pi], t.Now())
+			}
+			if n.cBeaconsOut != nil {
+				n.cBeaconsOut.Inc()
+				if err != nil {
+					n.cBeaconFail.Inc()
+				}
+			}
 		}
 	}
+}
+
+// syncExchange is boot-time anti-entropy: push the full local member
+// state to one random peer and pull its state back from the reply.
+// Per-beacon piggybacking alone leaves a coupon-collector tail — a node
+// needs one fresh summary per peer but receives random ones, so the last
+// few peers take ~N·lnN/(k·p) intervals to show up. Push-pull full-state
+// exchange closes that tail in O(log N) rounds, and the beaconLoop guard
+// stops it once the roster is complete, so its steady-state cost is zero.
+func (n *Node) syncExchange(t *sim.Task) {
+	peer := n.peers[int(n.eng.Rand()%uint64(len(n.peers)))]
+	now := t.Now()
+	n.syncHB.Host = n.src.HostName()
+	n.syncHB.Seq = n.seq
+	n.syncHB.Load = n.src.RunQueueLen()
+	n.syncHB.Procs = n.syncHB.Procs[:0]
+	n.syncHB.Summaries = n.members.AppendSummaries(n.syncHB.Summaries[:0], now)
+	raw := n.syncHB.AppendTo(n.encBuf[:0])
+	n.encBuf = raw
+	if n.cSyncs != nil {
+		n.cSyncs.Inc()
+	}
+	resp, err := n.host.Call(t, peer, MemberSyncPort, raw)
+	if err != nil {
+		// Like a beacon, the sync doubled as a probe.
+		n.members.Suspect(peer, t.Now())
+		return
+	}
+	rnow := n.now(t)
+	if _, err := decodeHeartbeatObserve(resp, &n.rxHB, n.names, n.members, rnow); err != nil {
+		return
+	}
+	n.members.Observe(&n.rxHB, rnow)
+}
+
+// handleSync is the MemberSyncPort listener: fold the pushed state in,
+// then reply with everything we know — the pull half of push-pull. The
+// reply is freshly allocated: the caller reads it after this handler
+// returns, possibly after another sync has reused any shared scratch.
+func (n *Node) handleSync(t *sim.Task, raw []byte) []byte {
+	now := n.now(t)
+	if _, err := decodeHeartbeatObserve(raw, &n.rxHB, n.names, n.members, now); err != nil {
+		return nil
+	}
+	n.members.Observe(&n.rxHB, now)
+	n.syncHB.Host = n.src.HostName()
+	n.syncHB.Seq = n.seq
+	n.syncHB.Load = n.src.RunQueueLen()
+	n.syncHB.Procs = n.syncHB.Procs[:0]
+	n.syncHB.Summaries = n.members.AppendSummaries(n.syncHB.Summaries[:0], now)
+	return n.syncHB.AppendTo(nil)
+}
+
+// ceilLog2 returns ⌈log₂ n⌉ (0 for n ≤ 1).
+func ceilLog2(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	return k
+}
+
+// ceilLogK returns ⌈log_k n⌉ (1 for k < 2, matching "everything in one
+// hop" only when the caller knows better; callers pass k ≥ 2).
+func ceilLogK(n, k int) int {
+	if k < 2 {
+		return 1
+	}
+	s, p := 0, 1
+	for p < n {
+		p *= k
+		s++
+	}
+	return s
 }
 
 // hashName is a tiny FNV-1a over the host name, for deterministic phase

@@ -6,24 +6,92 @@ import (
 	"procmig/internal/sim"
 )
 
-// Membership is one host's view of the cluster, built purely from
-// received heartbeats. Failure detection is timeout-based suspicion: a
-// member that has been silent longer than SuspectAfter is not Alive. The
-// view is eventually consistent and can be wrong both ways — a suspect
-// may be merely partitioned (the guardian arbitrates before acting) and a
-// fresh member may have just crashed.
+// Membership is one host's view of the cluster, built from received
+// heartbeats and from member summaries piggybacked on them (gossip).
+// Failure detection is timeout-based suspicion: a member that has been
+// silent longer than SuspectAfter is not Alive. The view is eventually
+// consistent and can be wrong both ways — a suspect may be merely
+// partitioned (the guardian arbitrates before acting) and a fresh member
+// may have just crashed.
+//
+// The table is built for 1,000-host clusters: states are updated in place
+// (no per-beacon allocation once a member is known), reads go through
+// ViewInto/Get without copying proc lists anew each call, and a news
+// queue plus rotation cursor select which members to gossip about in O(k).
 type Membership struct {
 	self         string
 	suspectAfter sim.Duration
 	members      map[string]*memberState
+	byName       []*memberState // sorted by host name; also the rotation order
+	cursor       int            // rotation position in byName for gossip coverage
+	cursorSeed   int            // per-host rotation offset (desynchronizes laps)
+	cursorInit   bool
+	freshGrant   sim.Duration // liveness advance that counts as fresh news
+	budget       int          // per-item retransmission budget (0 = default)
+	gen          uint64       // bumped on every state change
+	mark         uint64       // appendGossip call stamp, for O(1) dedupe
+	// Two FIFOs of members with unspent retransmission budget. Explicit
+	// queues — not a recency scan — are what make dissemination survive
+	// scale: a node digests hundreds of summaries per interval, so any
+	// "recent updates" window has churned completely between two of its
+	// own beacons, and news adopted early in an interval would silently
+	// fall out of a windowed scan before it was ever forwarded. The
+	// queues are tiered because their backlogs differ by orders of
+	// magnitude: qUrgent carries alive-state transitions (suspicions,
+	// refutations — rare, and every interval of delay costs detection
+	// latency), qJoin carries roster news (N items at bootstrap, drained
+	// at k·p/2 slots per interval, so it can lag for many intervals).
+	// Draining urgent first keeps a crash wave epidemic even while the
+	// join backlog is still paying out.
+	qs [2]newsQueue
+}
+
+const (
+	qUrgent = 0
+	qJoin   = 1
+)
+
+type newsQueue struct {
+	q    []*memberState
+	head int
 }
 
 type memberState struct {
+	host      string
 	seq       uint32
 	load      int
 	procs     []ProcStat
 	lastHeard sim.Time
+	// suspected is the probe-failure verdict: set when a beacon to the
+	// member failed (or a peer gossiped that it did), cleared only by
+	// proof of life newer than the suspicion — a direct beacon, or an
+	// alive summary whose reconstructed heard-time is later than
+	// suspectAt. The time comparison is what makes suspicion monotone:
+	// every summary a member sent before dying reconstructs to a
+	// heard-time before the suspicion arose, so replayed stale news can
+	// never resurrect a dead member and observers see at most one
+	// alive→suspect transition per real failure.
+	suspected bool
+	suspectAt sim.Time
+	markGen   uint64 // last appendGossip call that included this member
+	// gossipLeft is the remaining retransmission budget for this member's
+	// latest news: granted on state changes — a join, a suspicion, a
+	// refutation — and spent once per beacon the member is summarized in.
+	// Budgeted retransmission is what makes dissemination an epidemic
+	// (each hop re-broadcasts to Fanout peers) rather than a subcritical
+	// recency race. Routine liveness advances deliberately earn no budget:
+	// they flow on the rotation channel, and budgeting them would keep all
+	// N members contending for the bounded fresh-news scan window.
+	gossipLeft int
+	inQueue    [2]bool // sitting in qs[qUrgent] / qs[qJoin]
 }
+
+// defaultGossipBudget is how many beacons re-broadcast one piece of fresh
+// news when SetGossipParams has not chosen a cluster-sized value. For an
+// epidemic to reach all N members w.h.p. each adopter must retransmit
+// ~log N times (the SWIM λ·log N rule): the Node sets budget to its
+// fanout, which is ⌈log₂N⌉+2.
+const defaultGossipBudget = 2
 
 // Member is one row of the view at a given instant.
 type Member struct {
@@ -33,43 +101,330 @@ type Member struct {
 	Procs     []ProcStat
 	LastHeard sim.Time
 	Alive     bool
+	Suspected bool // probe-failure verdict (Alive is false while set)
+}
+
+// ViewBuf is caller-owned scratch for ViewInto: the member rows and a flat
+// proc arena the rows' Procs slices point into. Reusing one across calls
+// makes the read path allocation-free at steady state.
+type ViewBuf struct {
+	members []Member
+	procs   []ProcStat
 }
 
 // NewMembership creates an empty table for the named host.
 func NewMembership(self string, suspectAfter sim.Duration) *Membership {
-	return &Membership{
+	ms := &Membership{
 		self:         self,
 		suspectAfter: suspectAfter,
 		members:      map[string]*memberState{},
 	}
+	return ms
 }
 
-// Observe folds one heartbeat into the table. Stale beacons (a sequence
-// number at or below the freshest seen) still refresh liveness — a
-// delayed duplicate proves the sender was alive when it sent — but never
-// roll the advertised state backward.
-func (ms *Membership) Observe(hb *Heartbeat, now sim.Time) {
-	st, ok := ms.members[hb.Host]
+// SetSuspectAfter adjusts the suspicion timeout (the node layer scales it
+// for gossip spread when fanout < cluster size).
+func (ms *Membership) SetSuspectAfter(d sim.Duration) { ms.suspectAfter = d }
+
+// SetGossipParams tunes dissemination: fresh is the liveness advance that
+// counts as news worth re-broadcasting (typically half the beacon
+// interval), and seed staggers this host's rotation cursor so the
+// cluster's coverage laps interleave instead of marching in lockstep.
+func (ms *Membership) SetGossipParams(fresh sim.Duration, seed, budget int) {
+	ms.budget = budget
+	ms.freshGrant = fresh
+	if seed < 0 {
+		seed = -seed
+	}
+	ms.cursorSeed = seed
+}
+
+// SuspectAfter reports the effective suspicion timeout.
+func (ms *Membership) SuspectAfter() sim.Duration { return ms.suspectAfter }
+
+// Gen reports the table's generation, bumped on every state change.
+// Readers can skip rebuilding derived state while it is unchanged.
+func (ms *Membership) Gen() uint64 { return ms.gen }
+
+// Len reports how many members the table knows (including self, once
+// self-observed).
+func (ms *Membership) Len() int { return len(ms.byName) }
+
+func (ms *Membership) state(host string) *memberState {
+	st, ok := ms.members[host]
 	if !ok {
-		st = &memberState{}
-		ms.members[hb.Host] = st
+		st = &memberState{host: host}
+		ms.members[host] = st
+		i := sort.Search(len(ms.byName), func(i int) bool { return ms.byName[i].host >= host })
+		ms.byName = append(ms.byName, nil)
+		copy(ms.byName[i+1:], ms.byName[i:])
+		ms.byName[i] = st
+		if i < ms.cursor {
+			ms.cursor++
+		}
+	}
+	return st
+}
+
+// grant (re)arms st's retransmission budget and enqueues it for the next
+// beacons' piggyback slots — on the urgent tier for alive-state
+// transitions, the join tier for roster news. Re-granting while queued
+// just refreshes the budget; each queue holds a member at most once, but
+// a member may sit in both (a known host that gets suspected while its
+// join is still paying out): the budget is shared and a summary always
+// carries current state, so the duplicate costs a slot, never a lie.
+func (ms *Membership) grant(which int, st *memberState) {
+	st.gossipLeft = ms.gossipBudget()
+	if !st.inQueue[which] {
+		st.inQueue[which] = true
+		ms.qs[which].q = append(ms.qs[which].q, st)
+	}
+}
+
+// drain moves up to half the piggyback capacity from one news queue into
+// dst. An item still holding budget after inclusion rotates to the tail,
+// so concurrent pieces of news share the slots fairly; a spent item is
+// dropped. Hitting an item already included in this very appendGossip
+// call means the queue has wrapped — stop rather than duplicate.
+func (ms *Membership) drain(which int, dst []MemberSummary, base, p int, now sim.Time) []MemberSummary {
+	nq := &ms.qs[which]
+	for len(dst)-base < p/2 && nq.head < len(nq.q) {
+		st := nq.q[nq.head]
+		if st.markGen == ms.mark {
+			break
+		}
+		nq.q[nq.head] = nil
+		nq.head++
+		if st.host == ms.self || st.gossipLeft <= 0 {
+			st.inQueue[which] = false
+			continue
+		}
+		st.gossipLeft--
+		st.markGen = ms.mark
+		dst = append(dst, ms.summarize(st, now))
+		if st.gossipLeft > 0 {
+			nq.q = append(nq.q, st)
+		} else {
+			st.inQueue[which] = false
+		}
+	}
+	if nq.head == len(nq.q) {
+		nq.q = nq.q[:0]
+		nq.head = 0
+	} else if nq.head >= 64 && 2*nq.head >= len(nq.q) {
+		n := copy(nq.q, nq.q[nq.head:])
+		nq.q = nq.q[:n]
+		nq.head = 0
+	}
+	return dst
+}
+
+// Observe folds one directly received heartbeat into the table. Stale
+// beacons (a sequence number at or below the freshest seen) still refresh
+// liveness — a delayed duplicate proves the sender was alive when it sent —
+// but never roll the advertised state backward. The proc list is copied
+// into the member's own storage, so callers may reuse hb.Procs.
+func (ms *Membership) Observe(hb *Heartbeat, now sim.Time) {
+	st, known := ms.members[hb.Host]
+	if !known {
+		st = ms.state(hb.Host)
+	}
+	if st.suspected {
+		// A direct beacon is proof of life: refute, and make the good news
+		// spread as fast as the suspicion did.
+		st.suspected = false
+		ms.grant(qUrgent, st)
+		ms.gen++
 	}
 	if now > st.lastHeard {
+		if !known {
+			ms.grant(qJoin, st) // a join is news; a routine beacon is not
+		}
 		st.lastHeard = now
+		ms.gen++
 	}
-	if ok && hb.Seq <= st.seq {
+	if known && hb.Seq <= st.seq {
 		return
 	}
 	st.seq = hb.Seq
 	st.load = hb.Load
-	st.procs = hb.Procs
+	st.procs = append(st.procs[:0], hb.Procs...)
+	ms.gen++
+}
+
+// Suspect records a failed probe of host: the caller beaconed to it and
+// the call came back dead. The suspicion is stamped with the failure
+// time, so only liveness evidence from after that instant clears it.
+func (ms *Membership) Suspect(host string, now sim.Time) {
+	if host == ms.self {
+		return
+	}
+	st := ms.state(host)
+	if st.suspected {
+		return
+	}
+	st.suspected = true
+	st.suspectAt = now
+	ms.grant(qUrgent, st)
+	ms.gen++
+}
+
+// ObserveSummary folds one gossiped third-party summary into the table.
+// heard is the sender's claim of when the member was last heard (already
+// converted to local virtual time); liveness only ever moves forward, so
+// replaying old summaries cannot re-suspect a member (no flapping), and a
+// member's own fresher beacons always win. Summaries carry no proc lists —
+// those flow only on direct beacons.
+func (ms *Membership) ObserveSummary(s MemberSummary, heard, now sim.Time) {
+	if s.Host == ms.self {
+		return // self-liveness comes from beaconing, not hearsay
+	}
+	st, known := ms.members[s.Host]
+	if !known {
+		st = ms.state(s.Host)
+	}
+	ms.observeSummary(st, known, s.Seq, s.Load, s.Suspect, heard, now)
+}
+
+// ObserveSummaryBytes is ObserveSummary keyed by the raw wire bytes of the
+// host name: the map probe compiles to a no-allocation lookup, so in steady
+// state (every host already known) processing a summary allocates nothing.
+// This is the hbd hot path — at N=1000 a node digests hundreds of
+// thousands of summaries per simulated second.
+func (ms *Membership) ObserveSummaryBytes(host []byte, seq uint32, load int, suspect bool, heard, now sim.Time) {
+	if string(host) == ms.self {
+		return // self-liveness comes from beaconing, not hearsay
+	}
+	st, known := ms.members[string(host)]
+	if !known {
+		st = ms.state(string(host))
+	}
+	ms.observeSummary(st, known, seq, load, suspect, heard, now)
+}
+
+func (ms *Membership) observeSummary(st *memberState, known bool, seq uint32, load int, suspect bool, heard, now sim.Time) {
+	if heard > now {
+		heard = now
+	}
+	if suspect {
+		// Second-hand suspicion; heard is the reconstructed time the
+		// suspicion arose. Adopt it only when it postdates our own last
+		// direct or indirect sign of life — a member we have heard from
+		// since cannot be declared dead by older news — and re-broadcast.
+		if !st.suspected && heard > st.lastHeard {
+			st.suspected = true
+			st.suspectAt = heard
+			ms.grant(qUrgent, st)
+			ms.gen++
+		}
+		return
+	}
+	if st.suspected && heard > st.suspectAt {
+		st.suspected = false
+		ms.grant(qUrgent, st)
+		ms.gen++
+	}
+	if heard > st.lastHeard {
+		// Only a materially fresher advance bumps the generation; smaller
+		// ones are recorded silently so the ~k·p summaries per interval
+		// don't each invalidate readers' cached views over news that
+		// changes nothing an observer can see. Note no retransmission
+		// budget: routine liveness circulates on the rotation channel,
+		// and budgeting it would keep all N members perpetually competing
+		// for the piggyback slots that genuine state changes (joins,
+		// suspicions, refutations) need.
+		if !known || sim.Duration(heard-st.lastHeard) >= ms.fresh() {
+			if !known {
+				ms.grant(qJoin, st)
+			}
+			ms.gen++
+		}
+		st.lastHeard = heard
+	}
+	if !known || seq > st.seq {
+		st.seq = seq
+		st.load = load
+		ms.gen++
+	}
+}
+
+// appendGossip appends up to p member summaries to dst: up to half the
+// piggyback is budgeted news (urgent alive-state transitions first, then
+// roster news), the rest drawn round-robin by a rotation cursor so every
+// member's liveness keeps circulating even when quiet. Self is skipped —
+// the enclosing beacon already carries it.
+func (ms *Membership) appendGossip(dst []MemberSummary, p int, now sim.Time) []MemberSummary {
+	if p <= 0 || len(ms.byName) == 0 {
+		return dst
+	}
+	ms.mark++
+	base := len(dst)
+	dst = ms.drain(qUrgent, dst, base, p, now)
+	dst = ms.drain(qJoin, dst, base, p, now)
+	// Rotation fills the rest: deterministic full coverage so even quiet
+	// members' liveness keeps circulating. Scan at most one full lap.
+	if !ms.cursorInit {
+		ms.cursorInit = true
+		ms.cursor = ms.cursorSeed % len(ms.byName)
+	}
+	for scanned := 0; len(dst)-base < p && scanned < len(ms.byName); scanned++ {
+		st := ms.byName[ms.cursor]
+		ms.cursor++
+		if ms.cursor >= len(ms.byName) {
+			ms.cursor = 0
+		}
+		if st.host == ms.self || st.markGen == ms.mark {
+			continue
+		}
+		st.markGen = ms.mark
+		dst = append(dst, ms.summarize(st, now))
+	}
+	return dst
+}
+
+func (ms *Membership) fresh() sim.Duration {
+	if ms.freshGrant > 0 {
+		return ms.freshGrant
+	}
+	return sim.Second / 2
+}
+
+func (ms *Membership) gossipBudget() int {
+	if ms.budget > 0 {
+		return ms.budget
+	}
+	return defaultGossipBudget
+}
+
+// AppendSummaries appends one summary per known member — self included —
+// in name order: the full-state payload for anti-entropy sync.
+func (ms *Membership) AppendSummaries(dst []MemberSummary, now sim.Time) []MemberSummary {
+	for _, st := range ms.byName {
+		dst = append(dst, ms.summarize(st, now))
+	}
+	return dst
+}
+
+// summarize builds the gossip entry for one member. For a live member the
+// age dates its freshest sign of life; for a suspected one it dates the
+// suspicion itself, so receivers can order it against their own evidence.
+func (ms *Membership) summarize(st *memberState, now sim.Time) MemberSummary {
+	since := st.lastHeard
+	if st.suspected {
+		since = st.suspectAt
+	}
+	age := sim.Duration(now - since)
+	if age < 0 {
+		age = 0
+	}
+	return MemberSummary{Host: st.host, Seq: st.seq, Load: st.load, Age: age, Suspect: st.suspected}
 }
 
 // Alive reports whether the named member has beaconed recently enough.
 // Hosts never heard from are not alive.
 func (ms *Membership) Alive(host string, now sim.Time) bool {
 	st, ok := ms.members[host]
-	return ok && sim.Duration(now-st.lastHeard) <= ms.suspectAfter
+	return ok && !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter
 }
 
 // LastHeard returns when the named member last beaconed (0, false if
@@ -82,19 +437,59 @@ func (ms *Membership) LastHeard(host string) (sim.Time, bool) {
 	return st.lastHeard, true
 }
 
-// View snapshots the table, sorted by host name for determinism.
-func (ms *Membership) View(now sim.Time) []Member {
-	out := make([]Member, 0, len(ms.members))
-	for host, st := range ms.members {
+// Get returns the named member's row without copying. The Procs slice
+// aliases the table's internal storage: it is valid until the next beacon
+// from that member is observed, so callers must copy anything they need
+// across a park.
+func (ms *Membership) Get(host string, now sim.Time) (Member, bool) {
+	st, ok := ms.members[host]
+	if !ok {
+		return Member{}, false
+	}
+	return Member{
+		Host: st.host, Seq: st.seq, Load: st.load, Procs: st.procs,
+		LastHeard: st.lastHeard,
+		Alive:     !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
+		Suspected: st.suspected,
+	}, true
+}
+
+// ViewInto snapshots the table into buf, sorted by host name, and returns
+// the member rows. The rows' Procs slices point into buf's arena; the
+// snapshot is stable across parks (beacons arriving later mutate the
+// table, not buf) but is overwritten by the next ViewInto on the same buf.
+// At steady state the call performs zero allocations.
+func (ms *Membership) ViewInto(now sim.Time, buf *ViewBuf) []Member {
+	total := 0
+	for _, st := range ms.byName {
+		total += len(st.procs)
+	}
+	// Size the arena up front: growing it mid-fill would reallocate and
+	// strand earlier rows' Procs headers on the old backing array.
+	if cap(buf.procs) < total {
+		buf.procs = make([]ProcStat, 0, total+total/2)
+	}
+	procs := buf.procs[:0]
+	out := buf.members[:0]
+	for _, st := range ms.byName {
+		start := len(procs)
+		procs = append(procs, st.procs...)
 		out = append(out, Member{
-			Host:      host,
-			Seq:       st.seq,
-			Load:      st.load,
-			Procs:     append([]ProcStat(nil), st.procs...),
+			Host: st.host, Seq: st.seq, Load: st.load,
+			Procs:     procs[start:len(procs):len(procs)],
 			LastHeard: st.lastHeard,
-			Alive:     sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
+			Alive:     !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
+			Suspected: st.suspected,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	buf.procs = procs
+	buf.members = out
 	return out
+}
+
+// View snapshots the table with freshly allocated storage, sorted by host
+// name. Kept for tests and one-shot callers; hot paths use ViewInto.
+func (ms *Membership) View(now sim.Time) []Member {
+	var buf ViewBuf
+	return ms.ViewInto(now, &buf)
 }

@@ -73,8 +73,13 @@ func (n *Network) ClearFaults() {
 	n.linkPortFaults = nil
 }
 
-// faultFor resolves the spec applying to one message.
+// faultFor resolves the spec applying to one message. The fault-free fast
+// path — every map nil, the overwhelmingly common case at scale — returns
+// without hashing a single key.
 func (n *Network) faultFor(from, to string, port int) FaultSpec {
+	if n.linkFaults == nil && n.portFaults == nil && n.linkPortFaults == nil {
+		return FaultSpec{}
+	}
 	f := n.linkFaults[linkKey{from, to}]
 	if pf, ok := n.portFaults[port]; ok {
 		f = f.combine(pf)

@@ -49,10 +49,10 @@ type Network struct {
 	BytesElided int64
 
 	// obs wiring (nil until SetObs): per-link delivered/dropped/duplicated
-	// counters, pre-resolved per link so the steady-state deliver path pays
-	// one map lookup and no allocations.
-	obsReg  *obs.Registry
-	linkObs map[linkKey]*linkObsSet
+	// counters, pre-resolved into each sender's obsTo cache so the
+	// steady-state deliver path pays one pointer-keyed map lookup and no
+	// allocations.
+	obsReg *obs.Registry
 }
 
 // linkObsSet is one directed link's pre-resolved counters, registered under
@@ -62,10 +62,13 @@ type linkObsSet struct {
 }
 
 // SetObs points the network at a metrics registry; message outcomes are
-// counted per directed link from then on.
+// counted per directed link from then on. Switching registries invalidates
+// every host's cached counters.
 func (n *Network) SetObs(reg *obs.Registry) {
 	n.obsReg = reg
-	n.linkObs = map[linkKey]*linkObsSet{}
+	for _, h := range n.hosts {
+		h.obsTo = nil
+	}
 }
 
 // Obs returns the registry the network reports to (nil without SetObs) —
@@ -73,22 +76,26 @@ func (n *Network) SetObs(reg *obs.Registry) {
 func (n *Network) Obs() *obs.Registry { return n.obsReg }
 
 // linkObsFor resolves (creating on first use) the counters for one
-// directed link. Nil when no registry is attached.
+// directed link. Nil when no registry is attached. The steady-state path
+// is a single pointer-keyed lookup in the sender's own cache — no string
+// hashing per message.
 func (n *Network) linkObsFor(from, to *Host) *linkObsSet {
 	if n.obsReg == nil {
 		return nil
 	}
-	k := linkKey{from.name, to.name}
-	lo := n.linkObs[k]
-	if lo == nil {
-		s := n.obsReg.Scope(from.name)
-		lo = &linkObsSet{
-			delivered:  s.Counter("link." + to.name + ".delivered"),
-			dropped:    s.Counter("link." + to.name + ".dropped"),
-			duplicated: s.Counter("link." + to.name + ".duplicated"),
-		}
-		n.linkObs[k] = lo
+	if lo, ok := from.obsTo[to]; ok {
+		return lo
 	}
+	s := n.obsReg.Scope(from.name)
+	lo := &linkObsSet{
+		delivered:  s.Counter("link." + to.name + ".delivered"),
+		dropped:    s.Counter("link." + to.name + ".dropped"),
+		duplicated: s.Counter("link." + to.name + ".duplicated"),
+	}
+	if from.obsTo == nil {
+		from.obsTo = map[*Host]*linkObsSet{}
+	}
+	from.obsTo[to] = lo
 	return lo
 }
 
@@ -130,6 +137,10 @@ type Host struct {
 	// portMsgsIn counts messages actually delivered to each local port
 	// (lost ones excluded) — the clock scripted crashes run on.
 	portMsgsIn map[int]int64
+
+	// obsTo caches this host's outbound per-link counters by destination,
+	// replacing a string-pair map probe on every delivered message.
+	obsTo map[*Host]*linkObsSet
 
 	crashAt   map[int]int // port -> messages until a scripted crash
 	crashHook func()

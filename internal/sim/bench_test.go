@@ -1,0 +1,103 @@
+package sim_test
+
+import (
+	"testing"
+
+	"procmig/internal/sim"
+)
+
+// churnStorm runs a schedule/wake/sleep storm: `actors` tasks each ping-pong
+// through a shared queue `rounds` times, mixing timer sleeps, queue waits,
+// timeouts that fire, and timeouts that are beaten by wakes — the event mix
+// the engine sees under cluster churn.
+func churnStorm(actors, rounds int) *sim.Engine {
+	eng := sim.NewEngine()
+	var q sim.Queue
+	for i := 0; i < actors; i++ {
+		eng.Go("churn", func(t *sim.Task) {
+			for r := 0; r < rounds; r++ {
+				t.Sleep(sim.Millisecond)
+				// Timeout that always fires (nobody wakes this queue).
+				var lonely sim.Queue
+				t.WaitTimeout(&lonely, sim.Millisecond)
+				// Wake a peer if one is parked, then park ourselves with a
+				// generous timeout so a later peer's wake beats it.
+				q.Wake(1)
+				t.WaitTimeout(&q, 10*sim.Millisecond)
+				t.Yield()
+			}
+		})
+	}
+	// Drain the queue at the end so stragglers don't stall.
+	eng.Go("drain", func(t *sim.Task) {
+		for t.Now() < sim.Time(1000*sim.Second) {
+			if q.WakeAll() == 0 && t.Now() > sim.Time(sim.Duration(rounds)*50*sim.Millisecond) {
+				return
+			}
+			t.Sleep(5 * sim.Millisecond)
+		}
+	})
+	return eng
+}
+
+// TestEngineChurnSteadyStateAllocs proves the event freelist holds: after a
+// warmup storm has populated the freelist and sized the heap/run-queue, an
+// identical second storm must allocate zero new event structs.
+func TestEngineChurnSteadyStateAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	var q sim.Queue
+	storm := func(n int) {
+		for i := 0; i < n; i++ {
+			eng.Go("w", func(t *sim.Task) {
+				for r := 0; r < 20; r++ {
+					t.Sleep(sim.Millisecond)
+					q.Wake(1)
+					t.WaitTimeout(&q, 2*sim.Millisecond)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("storm: %v", err)
+		}
+	}
+	storm(64) // warmup: fills the freelist
+	before := eng.Stats()
+	storm(64) // steady state: must be served entirely from the freelist
+	after := eng.Stats()
+	if d := after.EventAllocs - before.EventAllocs; d != 0 {
+		t.Fatalf("steady-state storm allocated %d event structs, want 0 (freelist miss)", d)
+	}
+	if after.Dispatched <= before.Dispatched {
+		t.Fatalf("storm dispatched no events")
+	}
+}
+
+// BenchmarkEngineChurn measures raw event throughput under a mixed
+// schedule/wake/sleep storm. Mirrors core's BenchmarkAssembler pattern:
+// assert the alloc bound first, then report the timed loop.
+func BenchmarkEngineChurn(b *testing.B) {
+	// Alloc assertion: steady-state event structs come from the freelist.
+	eng := churnStorm(32, 8)
+	if err := eng.Run(); err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	st := eng.Stats()
+	if st.EventAllocs > st.Scheduled/2 {
+		b.Fatalf("freelist ineffective: %d allocs for %d scheduled events", st.EventAllocs, st.Scheduled)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := int64(0)
+	for i := 0; i < b.N; i++ {
+		eng := churnStorm(64, 10)
+		if err := eng.Run(); err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		events += eng.Stats().Dispatched
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+}

@@ -7,13 +7,18 @@
 // and resumes the corresponding actor. Ties are broken by event sequence
 // number, so a given program produces identical virtual timings on every run.
 //
+// The event queue is built for cluster-scale runs (thousands of actors,
+// millions of events): a concrete binary heap ordered on (time, seq) with no
+// interface boxing, a freelist that recycles event structs, and a same-instant
+// run queue so Yield/Wake storms at the current instant never touch the heap.
+// Engine.Stats exposes the resulting counters for benchmarks.
+//
 // All primitives must be called from an actor goroutine; calling them from
 // outside (including from the goroutine running Engine.Run) corrupts the
 // handoff protocol.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -42,54 +47,58 @@ func (d Duration) String() string {
 	}
 }
 
-// event is a scheduled resumption of a task.
+// event is a scheduled resumption of a task. Events are pooled on the
+// engine's freelist: holders (Task.timeout, Task.pendingWake) may only keep
+// a reference while the event is still queued — the engine recycles it the
+// moment it is dispatched or discarded.
 type event struct {
 	t         Time
 	seq       int64
 	task      *Task
 	canceled  bool
 	fromQueue bool // resumption is a Queue wake, not a timer
-	index     int  // heap index
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// eventLess orders events by (time, sequence): the heap invariant and the
+// run-queue FIFO both reduce to this total order.
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// Stats counts what the engine has done — the perf ledger for scale runs.
+type Stats struct {
+	Dispatched  int64 // events delivered to tasks
+	Scheduled   int64 // events created (timers and queue wakes)
+	RunQueued   int64 // same-instant events that bypassed the heap
+	Canceled    int64 // events discarded after cancellation
+	EventAllocs int64 // event structs newly allocated (freelist misses)
+	HeapMax     int   // high-water mark of the pending-timer heap
 }
 
 // Engine is a discrete-event simulator.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     int64
-	handoff chan struct{} // actor -> engine: "I parked or exited"
-	nlive   int
-	tasks   map[*Task]struct{}
-	current *Task
-	rng     uint64 // splitmix64 state, see rand.go
+	now Time
+	// heap holds future events, ordered by eventLess: a concrete binary
+	// sift-up/sift-down heap, with both children compared on the way down,
+	// no container/heap interface calls and no `any` boxing.
+	heap []*event
+	// runq holds events scheduled for the current instant in seq (FIFO)
+	// order. Every heap event stamped with the current instant predates —
+	// and therefore outranks — everything in the run queue, so dispatch
+	// drains due heap events first, then the run queue.
+	runq     []*event
+	runqHead int
+	free     []*event // event freelist
+	seq      int64
+	handoff  chan struct{} // actor -> engine: "I parked or exited"
+	nlive    int
+	tasks    map[*Task]struct{}
+	current  *Task
+	rng      uint64 // splitmix64 state, see rand.go
+	stats    Stats
 }
 
 // Current returns the task that is currently executing, or nil when called
@@ -109,10 +118,92 @@ func NewEngine() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-func (e *Engine) schedule(t *Task, at Time) *event {
+// Stats returns a snapshot of the engine's event counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// newEvent takes an event from the freelist (or allocates one) and stamps
+// it with the next sequence number.
+func (e *Engine) newEvent(at Time, task *Task, fromQueue bool) *event {
 	e.seq++
-	ev := &event{t: at, seq: e.seq, task: t}
-	heap.Push(&e.events, ev)
+	e.stats.Scheduled++
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+		e.stats.EventAllocs++
+	}
+	ev.t, ev.seq, ev.task = at, e.seq, task
+	ev.canceled, ev.fromQueue = false, fromQueue
+	return ev
+}
+
+func (e *Engine) freeEvent(ev *event) {
+	ev.task = nil
+	e.free = append(e.free, ev)
+}
+
+// enqueue routes an event to the same-instant run queue or the heap.
+func (e *Engine) enqueue(ev *event) {
+	if ev.t == e.now {
+		e.runq = append(e.runq, ev)
+		e.stats.RunQueued++
+		return
+	}
+	e.heapPush(ev)
+}
+
+func (e *Engine) heapPush(ev *event) {
+	h := append(e.heap, ev)
+	e.heap = h
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	if len(h) > e.stats.HeapMax {
+		e.stats.HeapMax = len(h)
+	}
+}
+
+func (e *Engine) heapPop() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(h[r], h[c]) {
+			c = r
+		}
+		if !eventLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+func (e *Engine) schedule(t *Task, at Time) *event {
+	if at < e.now {
+		at = e.now // the clock never runs backward
+	}
+	ev := e.newEvent(at, t, false)
+	e.enqueue(ev)
 	return ev
 }
 
@@ -283,9 +374,8 @@ func (q *Queue) WakeTask(t *Task) bool {
 
 func (t *Task) deliverWake() {
 	e := t.eng
-	e.seq++
-	ev := &event{t: e.now, seq: e.seq, task: t, fromQueue: true}
-	heap.Push(&e.events, ev)
+	ev := e.newEvent(e.now, t, true)
+	e.enqueue(ev) // wakes are always same-instant: straight to the run queue
 	t.pendingWake = ev
 }
 
@@ -308,29 +398,70 @@ func (e *Engine) Run() error { return e.RunUntil(Time(1)<<62 - 1) }
 // would pass limit. Events beyond limit stay queued.
 func (e *Engine) RunUntil(limit Time) error {
 	for {
-		// Discard canceled events at the top.
-		for len(e.events) > 0 && e.events[0].canceled {
-			heap.Pop(&e.events)
+		var ev *event
+		// Due heap events first: anything stamped with the current instant
+		// was scheduled before the clock reached it, so it outranks (has a
+		// lower seq than) every run-queue entry.
+		for len(e.heap) > 0 && e.heap[0].canceled {
+			e.stats.Canceled++
+			e.freeEvent(e.heapPop())
 		}
-		if len(e.events) == 0 {
-			if e.nlive > 0 {
-				return &StallError{At: e.now, Blocked: e.blockedNames()}
+		if len(e.heap) > 0 && e.heap[0].t == e.now {
+			ev = e.heapPop()
+		} else {
+			// Then the same-instant run queue, in FIFO (= seq) order.
+			for e.runqHead < len(e.runq) {
+				c := e.runq[e.runqHead]
+				e.runq[e.runqHead] = nil
+				e.runqHead++
+				if c.canceled {
+					e.stats.Canceled++
+					e.freeEvent(c)
+					continue
+				}
+				ev = c
+				break
 			}
-			return nil
+			if ev == nil {
+				// Instant exhausted: reset the run queue and advance the
+				// clock to the next pending timer.
+				e.runq = e.runq[:0]
+				e.runqHead = 0
+				if len(e.heap) == 0 {
+					if e.nlive > 0 {
+						return &StallError{At: e.now, Blocked: e.blockedNames()}
+					}
+					return nil
+				}
+				if e.heap[0].t > limit {
+					return nil
+				}
+				ev = e.heapPop()
+				e.now = ev.t
+			}
 		}
-		if e.events[0].t > limit {
-			return nil
-		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.t
 		cause := wakeTimer
 		if ev.fromQueue {
 			cause = wakeQueue
 		}
-		e.current = ev.task
-		ev.task.resume <- cause
+		task := ev.task
+		e.freeEvent(ev)
+		e.stats.Dispatched++
+		e.current = task
+		task.resume <- cause
 		<-e.handoff
 		e.current = nil
+		// A long same-instant storm leaves a drained prefix in the run
+		// queue; compact it so the slice does not grow without bound.
+		if e.runqHead > 1024 && e.runqHead*2 >= len(e.runq) {
+			n := copy(e.runq, e.runq[e.runqHead:])
+			clearTail := e.runq[n:]
+			for i := range clearTail {
+				clearTail[i] = nil
+			}
+			e.runq = e.runq[:n]
+			e.runqHead = 0
+		}
 	}
 }
 

@@ -12,11 +12,16 @@
 //	migbench -fig a9    # wire-efficiency ablation (raw vs elide vs elide+LZ)
 //	migbench -fig a10   # observability: stitched trace + zero-alloc instrumentation
 //	migbench -fig a11   # 1,000-host scale scenario; writes BENCH_a11.json
+//	migbench -fig a12   # multi-seed chaos sweep (scenario DSL + invariants)
 //	migbench -fig core  # engine + data-path perf; writes BENCH_core.json
 //	migbench -ablations # only the ablations
 //
 // The a11 scenario takes -hosts, -procs, -intervals and -seed; both perf
-// figures write their JSON trajectory next to -benchdir.
+// figures write their JSON trajectory next to -benchdir. The a12 sweep
+// takes -seeds (count, default 20) and -seed (base); alternatively
+// -schedule <file> runs one scenario table from JSON, and
+// -replay <artifact> re-runs a failure artifact emitted by a previous
+// sweep. A failing a12 run writes CHAOS_REPLAY.json next to -benchdir.
 package main
 
 import (
@@ -27,14 +32,18 @@ import (
 	"path/filepath"
 
 	"procmig/internal/experiments"
+	"procmig/internal/scenario"
 )
 
 var (
 	a11Hosts     = flag.Int("hosts", 0, "a11: cluster size (0 = default 1000)")
 	a11Procs     = flag.Int("procs", 0, "a11: simulated processes (0 = default 10000)")
 	a11Intervals = flag.Int("intervals", 0, "a11: beacon intervals to run (0 = default 30)")
-	a11Seed      = flag.Uint64("seed", 0, "a11: engine seed (0 = default 11)")
+	a11Seed      = flag.Uint64("seed", 0, "a11: engine seed (0 = default 11); a12: base seed (0 = default 1)")
 	benchDir     = flag.String("benchdir", ".", "directory BENCH_*.json files are written to")
+	a12Seeds     = flag.Int("seeds", 0, "a12: number of consecutive chaos seeds to sweep (0 = default 20)")
+	a12Schedule  = flag.String("schedule", "", "a12: run one scenario table from this JSON file instead of sweeping")
+	a12Replay    = flag.String("replay", "", "a12: re-run a failure artifact written by a previous sweep")
 )
 
 // figure is one row of the shared figure table: everything -fig accepts,
@@ -57,6 +66,7 @@ var figures = []figure{
 	{"a9", "wire-efficient streaming ablation", a9},
 	{"a10", "observability: stitched traces, zero-alloc counters", a10},
 	{"a11", "1,000-host scale scenario (writes BENCH_a11.json)", a11},
+	{"a12", "multi-seed chaos sweep (-seeds/-schedule/-replay)", a12},
 	{"core", "engine + data-path perf (writes BENCH_core.json)", benchCore},
 }
 
@@ -64,6 +74,18 @@ func main() {
 	fig := flag.String("fig", "", "run only this figure (see the table in -h)")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	flag.Parse()
+
+	// The a12 mode flags are mutually exclusive and only meaningful with
+	// -fig a12; a silent misfire would masquerade as a passing sweep.
+	if (*a12Schedule != "" || *a12Replay != "" || *a12Seeds != 0) && *fig != "a12" {
+		usageErr("-seeds/-schedule/-replay require -fig a12")
+	}
+	if *a12Schedule != "" && *a12Replay != "" {
+		usageErr("-schedule and -replay are mutually exclusive")
+	}
+	if *a12Seeds != 0 && (*a12Schedule != "" || *a12Replay != "") {
+		usageErr("-seeds only applies to the sweep, not -schedule/-replay")
+	}
 
 	if *fig != "" {
 		for _, f := range figures {
@@ -123,6 +145,113 @@ func a11() error {
 	fmt.Printf("%-44s %.2fM events/s, %.4f allocs/event, heap max %d\n",
 		"engine", r.EventsPerSec/1e6, r.AllocsPerEvent, r.HeapMax)
 	return writeBench("BENCH_a11.json", r)
+}
+
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "migbench:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// a12 runs the chaos harness: by default a multi-seed sweep of generated
+// schedules, or one scenario table (-schedule) or failure artifact
+// (-replay). Any invariant violation writes CHAOS_REPLAY.json next to
+// -benchdir and fails the run with the one-command reproduction.
+func a12() error {
+	if *a12Replay != "" {
+		art, err := scenario.LoadArtifact(*a12Replay)
+		if err != nil {
+			return err
+		}
+		header(fmt.Sprintf("A12 — replaying %s (seed %d)", *a12Replay, art.Scenario.Seed))
+		fmt.Printf("original violation: %v\n", art.Violation)
+		res, err := art.Replay()
+		if err != nil {
+			return err
+		}
+		if v := res.FirstViolation(); v != nil {
+			fmt.Printf("reproduced:         %v\n", v)
+			return fmt.Errorf("a12: artifact still fails")
+		}
+		fmt.Println("replay passed — the failure no longer reproduces")
+		return nil
+	}
+	if *a12Schedule != "" {
+		raw, err := os.ReadFile(*a12Schedule)
+		if err != nil {
+			return err
+		}
+		sc, err := scenario.Decode(raw)
+		if err != nil {
+			return err
+		}
+		header(fmt.Sprintf("A12 — scenario %q (seed %d, %d events)", sc.Name, sc.Seed, len(sc.Events)))
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return err
+		}
+		return a12Report(sc, res)
+	}
+
+	base, n := *a11Seed, *a12Seeds
+	if base == 0 {
+		base = 1
+	}
+	if n == 0 {
+		n = 20
+	}
+	pts, art, err := experiments.A12ChaosSweep(base, n)
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("A12 — chaos sweep: %d seeded schedules (partitions, crash storms, herds)", n))
+	fmt.Printf("%-8s %8s %12s %12s %12s %s\n", "seed", "events", "migrations", "committed", "recoveries", "invariants")
+	for _, pt := range pts {
+		verdict := "all hold"
+		if !pt.Passed {
+			verdict = "VIOLATED: " + pt.Violation
+		}
+		fmt.Printf("%-8d %8d %12d %12d %12d %s\n",
+			pt.Seed, pt.Events, pt.Migrations, pt.Committed, pt.Recoveries, verdict)
+	}
+	if art != nil {
+		path := filepath.Join(*benchDir, "CHAOS_REPLAY.json")
+		if werr := art.WriteFile(path); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("a12: seed %d violated %s — reproduce with: migbench -fig a12 -replay %s",
+			art.Scenario.Seed, art.Violation.Invariant, path)
+	}
+	fmt.Printf("(%d seeds, every event checked for exactly-one-live-copy, conservation,\n", n)
+	fmt.Println(" split-brain, counter monotonicity; membership convergence at quiesce)")
+	return nil
+}
+
+// a12Report prints one scenario run and emits the replay artifact if an
+// invariant failed.
+func a12Report(sc *scenario.Scenario, res *scenario.Result) error {
+	fmt.Printf("%-44s %d of %d\n", "events executed", res.Events, len(sc.Events))
+	for _, m := range res.Migrations {
+		outcome := "aborted"
+		if m.Committed {
+			outcome = "committed"
+		}
+		fmt.Printf("%-44s %s -> %s %s (freeze %v, total %v)\n",
+			"migration "+m.Workload, m.From, m.To, outcome, m.Freeze, m.Total)
+	}
+	for _, rec := range res.Recoveries {
+		fmt.Printf("%-44s buddy %s, %d ckpts, recovery %v, lost work %v\n",
+			"recovery "+rec.Workload, rec.Buddy, rec.Checkpoints, rec.Recovery, rec.LostWork)
+	}
+	if v := res.FirstViolation(); v != nil {
+		path := filepath.Join(*benchDir, "CHAOS_REPLAY.json")
+		if err := scenario.NewArtifact(sc, res).WriteFile(path); err != nil {
+			return err
+		}
+		return fmt.Errorf("a12: %v — reproduce with: migbench -fig a12 -replay %s", v, path)
+	}
+	fmt.Println("all invariants hold")
+	return nil
 }
 
 func benchCore() error {

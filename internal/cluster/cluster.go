@@ -58,6 +58,7 @@ type Cluster struct {
 	consoles map[string]*tty.Terminal
 	order    []string
 	ha       map[string]*ha.Node
+	haCfg    ha.Config // StartHA's config, reused when a revived host rejoins
 }
 
 // DefaultUser is the ordinary user account used by tests and examples.
@@ -312,26 +313,60 @@ func (c *Cluster) StartHA(cfg ha.Config) error {
 		return fmt.Errorf("cluster: HA already started")
 	}
 	c.ha = map[string]*ha.Node{}
+	c.haCfg = cfg
 	for _, name := range c.order {
-		nh := c.hosts[name]
-		node, err := ha.Start(c.machines[name], nh, cfg)
-		if err != nil {
+		if err := c.startHANode(name, cfg.Incarnation); err != nil {
 			return err
 		}
-		host := nh
-		node.Guard.Arbitrate = func(t *sim.Task, peer string) bool {
-			return apps.ProbeAlive(t, host, peer)
-		}
-		var peers []string
-		for _, other := range c.order {
-			if other != name {
-				peers = append(peers, other)
-			}
-		}
-		node.SetPeers(peers)
-		c.ha[name] = node
+		// A revived host rejoins the control plane as a fresh boot with a
+		// bumped incarnation; the hook makes Host.RestartAfter-driven
+		// revivals rejoin too, not just explicit ReviveHost calls.
+		name := name
+		c.hosts[name].SetReviveHook(func() { c.rejoinHA(name) })
 	}
 	return nil
+}
+
+// startHANode boots one host's control-plane node with the given
+// incarnation and wires its guardian arbitration and peer list.
+func (c *Cluster) startHANode(name string, inc uint32) error {
+	nh := c.hosts[name]
+	cfg := c.haCfg
+	cfg.Incarnation = inc
+	node, err := ha.Start(c.machines[name], nh, cfg)
+	if err != nil {
+		return err
+	}
+	host := nh
+	node.Guard.Arbitrate = func(t *sim.Task, peer string) bool {
+		return apps.ProbeAlive(t, host, peer)
+	}
+	var peers []string
+	for _, other := range c.order {
+		if other != name {
+			peers = append(peers, other)
+		}
+	}
+	node.SetPeers(peers)
+	c.ha[name] = node
+	return nil
+}
+
+// rejoinHA replaces a host's control-plane node after revival: the old
+// node's daemons stop and its ports are released (its membership table and
+// guardian state die with it, as a reboot would lose them), and a fresh
+// node binds the same ports with the incarnation bumped so the cluster
+// refutes stale suspicion and re-admits the host exactly once.
+func (c *Cluster) rejoinHA(name string) {
+	old := c.ha[name]
+	inc := uint32(0)
+	if old != nil {
+		inc = old.Incarnation() + 1
+		old.Shutdown()
+	}
+	// Shutdown released the ports, so the only Listen failure mode is a
+	// name that was never booted — excluded by the callers.
+	_ = c.startHANode(name, inc)
 }
 
 // HA returns a machine's control-plane node (nil before StartHA).
@@ -352,6 +387,23 @@ func (c *Cluster) Crash(name string) {
 	if h, ok := c.hosts[name]; ok {
 		h.Crash()
 	}
+}
+
+// ReviveHost brings a crashed machine back as a fresh boot: reachable
+// again with cleared network state (no pending scripted crashes, zeroed
+// port counters), its processes already gone from the crash, and — when
+// HA is running — a new control-plane node on the same ports with a
+// bumped incarnation, so the cluster re-admits it exactly once.
+func (c *Cluster) ReviveHost(name string) error {
+	h, ok := c.hosts[name]
+	if !ok {
+		return fmt.Errorf("cluster: no machine %q", name)
+	}
+	if !h.Down() {
+		return fmt.Errorf("cluster: %s is not down", name)
+	}
+	h.Revive() // the revive hook set by StartHA rejoins the control plane
+	return nil
 }
 
 // Run drives the simulation to quiescence.

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"procmig/internal/scenario"
+)
+
+// --- A12: multi-seed chaos sweep ----------------------------------------------
+
+// A12Point is one seed of the chaos sweep: the generated scenario
+// (partition/heal churn, crash storms with revival, slow-link epochs,
+// thundering-herd migration bursts) ran to quiescence and every
+// cluster-wide invariant held — or the first violation is recorded and
+// the sweep stops with a replayable artifact.
+type A12Point struct {
+	Seed       uint64 `json:"seed"`
+	Events     int    `json:"events"`     // schedule steps executed
+	Migrations int    `json:"migrations"` // migration transactions driven
+	Committed  int    `json:"committed"`  // ... that committed
+	Recoveries int    `json:"recoveries"` // guardian recoveries observed
+	Passed     bool   `json:"passed"`
+	Violation  string `json:"violation,omitempty"` // first violated invariant
+}
+
+// A12ChaosSweep runs the seeded chaos scenario for n consecutive seeds
+// starting at base. Deterministic: the same (base, n) always produces
+// the same points. On an invariant violation the sweep stops and returns
+// the replay artifact alongside the points gathered so far — the caller
+// decides where to write it.
+func A12ChaosSweep(base uint64, n int) ([]*A12Point, *scenario.Artifact, error) {
+	var out []*A12Point
+	for i := 0; i < n; i++ {
+		seed := base + uint64(i)
+		sc := scenario.Chaos(seed)
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return out, nil, fmt.Errorf("a12 seed %d: %w", seed, err)
+		}
+		pt := &A12Point{
+			Seed:       seed,
+			Events:     res.Events,
+			Migrations: len(res.Migrations),
+			Recoveries: len(res.Recoveries),
+			Passed:     res.Passed(),
+		}
+		for _, m := range res.Migrations {
+			if m.Committed {
+				pt.Committed++
+			}
+		}
+		if v := res.FirstViolation(); v != nil {
+			pt.Violation = v.Invariant
+			out = append(out, pt)
+			return out, scenario.NewArtifact(sc, res), nil
+		}
+		out = append(out, pt)
+	}
+	return out, nil, nil
+}

@@ -178,6 +178,89 @@ func TestGossipSuspectedExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestGossipRevivalReadmittedOnce: a crashed host that comes back with a
+// bumped incarnation is re-admitted exactly once — observers see one
+// suspect→alive transition and no flapping, even while stale suspicion of
+// the old incarnation is still circulating — and the new life's state
+// (restarted sequence numbers, fresh load) wins over the old life's higher
+// sequence numbers.
+func TestGossipRevivalReadmittedOnce(t *testing.T) {
+	for _, n := range []int{10, 100} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			gc := bootGossip(t, n, 11)
+			defer gc.stop()
+			gc.runIntervals(t, 12)
+			if got := gc.converged(gc.eng.Now()); got != n {
+				t.Fatalf("pre-crash: only %d/%d converged", got, n)
+			}
+			vi := n / 2
+			victim := gc.names[vi]
+			gc.hosts[vi].Crash()
+			gc.runIntervals(t, 25) // well past the stretched suspicion bound
+			observer := gc.nodes[0].Members()
+			if observer.Alive(victim, gc.eng.Now()) {
+				t.Fatalf("victim still alive at observer before revival")
+			}
+
+			// Reboot: the old control plane dies with the host; the fresh
+			// boot binds the same ports with a bumped incarnation. Its load
+			// (6) differs from the old life's (vi%7), so adopting the new
+			// state is observable even though its seq restarted at 1.
+			oldInc := gc.nodes[vi].Incarnation()
+			gc.nodes[vi].Shutdown()
+			gc.hosts[vi].Revive()
+			node, err := ha.StartSource(gc.eng, gc.hosts[vi], &gossipSource{name: victim, load: 6},
+				nil, ha.Config{Incarnation: oldInc + 1})
+			if err != nil {
+				t.Fatalf("revive StartSource: %v", err)
+			}
+			peers := make([]string, 0, n-1)
+			for j := 0; j < n; j++ {
+				if j != vi {
+					peers = append(peers, gc.names[j])
+				}
+			}
+			node.SetPeers(peers)
+			gc.nodes[vi] = node
+
+			// From revival on, the observer must see exactly one
+			// suspect→alive transition: stale suspect summaries of the old
+			// incarnation must not re-kill the new one.
+			transitions := 0
+			prev := false
+			done := make(chan struct{})
+			gc.eng.Go("monitor", func(task *sim.Task) {
+				defer close(done)
+				for i := 0; i < 40*4; i++ {
+					task.Sleep(sim.Second / 4)
+					alive := observer.Alive(victim, task.Now())
+					if alive != prev {
+						transitions++
+						prev = alive
+					}
+				}
+			})
+			gc.runIntervals(t, 41)
+			<-done
+			if transitions != 1 {
+				t.Fatalf("revived victim re-admitted %d times, want exactly once", transitions)
+			}
+			now := gc.eng.Now()
+			if got := gc.converged(now); got != n {
+				t.Fatalf("post-revival: only %d/%d converged (revived roster incomplete?)", got, n)
+			}
+			m, ok := observer.Get(victim, now)
+			if !ok || m.Inc != oldInc+1 {
+				t.Fatalf("observer did not adopt the new incarnation: inc=%d ok=%v, want %d", m.Inc, ok, oldInc+1)
+			}
+			if m.Load != 6 {
+				t.Fatalf("observer kept the old life's state (load=%d, want 6): restarted seq lost to the old one", m.Load)
+			}
+		})
+	}
+}
+
 // digest summarizes a run for determinism comparison: final virtual time,
 // total messages, and every node's sorted view (host, seq, alive).
 func (gc *gossipCluster) digest(t *testing.T) string {

@@ -37,7 +37,7 @@ func TestDecodeHeartbeatRejects(t *testing.T) {
 		"bad magic":  append([]byte{0xff, 0xff}, good[2:]...),
 		"truncated":  good[:len(good)-3],
 		"trailing":   append(append([]byte{}, good...), 1, 2, 3),
-		"count lies": func() []byte { b := append([]byte{}, good...); b[len("alpha")+12] = 200; return b }(),
+		"count lies": func() []byte { b := append([]byte{}, good...); b[len("alpha")+16] = 200; return b }(),
 	} {
 		if _, err := ha.DecodeHeartbeat(raw); err == nil {
 			t.Errorf("%s: decoder accepted malformed beacon", name)

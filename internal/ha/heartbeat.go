@@ -61,19 +61,25 @@ type ProcStat struct {
 // membership table says about another host. Age is how long before the
 // beacon was sent that the sender last heard from the member, so the
 // receiver can reconstruct a liveness bound on its own clock without the
-// hosts sharing one.
+// hosts sharing one. Inc is the member's incarnation as the sender knows
+// it: news about an older incarnation is void at the receiver.
 type MemberSummary struct {
 	Host    string
 	Seq     uint32
+	Inc     uint32
 	Load    int
 	Age     sim.Duration
 	Suspect bool // the sender believes this member is dead (probe failed)
 }
 
-// Heartbeat is one hbd beacon.
+// Heartbeat is one hbd beacon. Inc is the sender's incarnation number: 0
+// for a first boot, bumped on every revival, so receivers can tell a
+// reborn host's fresh state (sequence numbers restart at 1) from a stale
+// replay of its previous life.
 type Heartbeat struct {
 	Host      string
 	Seq       uint32
+	Inc       uint32
 	Load      int // run-queue length (kernel.Machine.Load)
 	Procs     []ProcStat
 	Summaries []MemberSummary // piggybacked gossip (optional on the wire)
@@ -98,6 +104,7 @@ func (hb *Heartbeat) AppendTo(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(len(hb.Host)))
 	b = append(b, hb.Host...)
 	b = binary.BigEndian.AppendUint32(b, hb.Seq)
+	b = binary.BigEndian.AppendUint32(b, hb.Inc)
 	b = binary.BigEndian.AppendUint32(b, uint32(hb.Load))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(hb.Procs)))
 	for _, ps := range hb.Procs {
@@ -112,6 +119,7 @@ func (hb *Heartbeat) AppendTo(b []byte) []byte {
 			b = binary.BigEndian.AppendUint16(b, uint16(len(s.Host)))
 			b = append(b, s.Host...)
 			b = binary.BigEndian.AppendUint32(b, s.Seq)
+			b = binary.BigEndian.AppendUint32(b, s.Inc)
 			b = binary.BigEndian.AppendUint32(b, uint32(s.Load))
 			b = binary.BigEndian.AppendUint64(b, uint64(s.Age))
 			var flag byte
@@ -126,7 +134,7 @@ func (hb *Heartbeat) AppendTo(b []byte) []byte {
 
 // Encode serializes a heartbeat into fresh storage.
 func (hb *Heartbeat) Encode() []byte {
-	return hb.AppendTo(make([]byte, 0, 16+len(hb.Host)+len(hb.Procs)*procStatWire+len(hb.Summaries)*25))
+	return hb.AppendTo(make([]byte, 0, 20+len(hb.Host)+len(hb.Procs)*procStatWire+len(hb.Summaries)*29))
 }
 
 // DecodeHeartbeat parses a beacon, rejecting bad magic, truncation, and
@@ -164,11 +172,12 @@ func DecodeHeartbeatInto(raw []byte, hb *Heartbeat, names map[string]string) err
 		hb.Summaries = append(hb.Summaries, MemberSummary{
 			Host:    internName(names, raw[p+2:p+2+hl]),
 			Seq:     binary.BigEndian.Uint32(raw[p+2+hl:]),
-			Load:    int(int32(binary.BigEndian.Uint32(raw[p+2+hl+4:]))),
-			Age:     sim.Duration(binary.BigEndian.Uint64(raw[p+2+hl+8:])),
-			Suspect: raw[p+2+hl+16] == 1,
+			Inc:     binary.BigEndian.Uint32(raw[p+2+hl+4:]),
+			Load:    int(int32(binary.BigEndian.Uint32(raw[p+2+hl+8:]))),
+			Age:     sim.Duration(binary.BigEndian.Uint64(raw[p+2+hl+12:])),
+			Suspect: raw[p+2+hl+20] == 1,
 		})
-		p += 2 + hl + 17
+		p += 2 + hl + 21
 	}
 	return nil
 }
@@ -176,22 +185,23 @@ func DecodeHeartbeatInto(raw []byte, hb *Heartbeat, names map[string]string) err
 // decodeHBMain parses the fixed header, host and proc block, returning the
 // offset where the optional summary block begins.
 func decodeHBMain(raw []byte, hb *Heartbeat, names map[string]string) (int, error) {
-	if len(raw) < 14 {
+	if len(raw) < 18 {
 		return 0, errBadHeartbeat
 	}
 	if binary.BigEndian.Uint16(raw) != HeartbeatMagic {
 		return 0, errBadHeartbeat
 	}
 	hostLen := int(binary.BigEndian.Uint16(raw[2:]))
-	if len(raw) < 4+hostLen+10 {
+	if len(raw) < 4+hostLen+14 {
 		return 0, errBadHeartbeat
 	}
 	hb.Host = internName(names, raw[4:4+hostLen])
 	p := 4 + hostLen
 	hb.Seq = binary.BigEndian.Uint32(raw[p:])
-	hb.Load = int(int32(binary.BigEndian.Uint32(raw[p+4:])))
-	n := int(binary.BigEndian.Uint16(raw[p+8:]))
-	p += 10
+	hb.Inc = binary.BigEndian.Uint32(raw[p+4:])
+	hb.Load = int(int32(binary.BigEndian.Uint32(raw[p+8:])))
+	n := int(binary.BigEndian.Uint16(raw[p+12:]))
+	p += 14
 	if len(raw)-p < n*procStatWire {
 		return 0, errBadHeartbeat
 	}
@@ -228,13 +238,13 @@ func validateSummaries(raw []byte, p int) (int, error) {
 			return 0, errBadHeartbeat
 		}
 		hl := int(binary.BigEndian.Uint16(raw[p:]))
-		if len(raw)-p < 2+hl+17 {
+		if len(raw)-p < 2+hl+21 {
 			return 0, errBadHeartbeat
 		}
-		if raw[p+2+hl+16] > 1 {
+		if raw[p+2+hl+20] > 1 {
 			return 0, errBadHeartbeat
 		}
-		p += 2 + hl + 17
+		p += 2 + hl + 21
 	}
 	if p != len(raw) {
 		return 0, errBadHeartbeat
@@ -263,13 +273,14 @@ func decodeHeartbeatObserve(raw []byte, hb *Heartbeat, names map[string]string, 
 	p += 2
 	for i := 0; i < ns; i++ {
 		hl := int(binary.BigEndian.Uint16(raw[p:]))
-		age := sim.Duration(binary.BigEndian.Uint64(raw[p+2+hl+8:]))
+		age := sim.Duration(binary.BigEndian.Uint64(raw[p+2+hl+12:]))
 		ms.ObserveSummaryBytes(raw[p+2:p+2+hl],
 			binary.BigEndian.Uint32(raw[p+2+hl:]),
-			int(int32(binary.BigEndian.Uint32(raw[p+2+hl+4:]))),
-			raw[p+2+hl+16] == 1,
+			binary.BigEndian.Uint32(raw[p+2+hl+4:]),
+			int(int32(binary.BigEndian.Uint32(raw[p+2+hl+8:]))),
+			raw[p+2+hl+20] == 1,
 			now-sim.Time(age), now)
-		p += 2 + hl + 17
+		p += 2 + hl + 21
 	}
 	return ns, nil
 }
@@ -297,6 +308,7 @@ type Config struct {
 	CkptInterval sim.Duration // delta-checkpoint period (default 5s)
 	Fanout       int          // beacons per interval (default ⌈log₂N⌉+2, capped at N-1)
 	Piggyback    int          // member summaries per beacon (default 2×Fanout)
+	Incarnation  uint32       // this boot's incarnation (0 first boot; bump on revival)
 }
 
 func (c Config) withDefaults() Config {
@@ -378,6 +390,7 @@ type Node struct {
 	cSyncs      *obs.Counter
 
 	seq     uint32
+	inc     uint32 // incarnation, from Config (bumped externally on revival)
 	stopped bool
 }
 
@@ -413,6 +426,7 @@ func StartSource(eng *sim.Engine, host *netsim.Host, src StatSource, scope *obs.
 		members:    NewMembership(src.HostName(), cfg.SuspectAfter),
 		effSuspect: cfg.SuspectAfter,
 		names:      map[string]string{},
+		inc:        cfg.Incarnation,
 	}
 	if scope != nil {
 		n.cBeaconsOut = scope.Counter("hb.beacons_out")
@@ -512,9 +526,26 @@ func (n *Node) Piggyback() int { return n.piggyback }
 // one, stretched by the gossip spread margin when fanout < cluster size.
 func (n *Node) SuspectAfter() sim.Duration { return n.effSuspect }
 
+// Incarnation reports which boot of the host this node represents.
+func (n *Node) Incarnation() uint32 { return n.inc }
+
 // Stop shuts the node's daemon loops down at their next tick, letting
 // Engine.Run quiesce. Idempotent.
 func (n *Node) Stop() { n.stopped = true }
+
+// Shutdown stops the daemons and releases the node's network ports, so a
+// successor node — a revived host's fresh boot, with a bumped incarnation —
+// can bind them. The membership table and guardian state die with the
+// node, exactly as a reboot would lose them.
+func (n *Node) Shutdown() {
+	n.Stop()
+	n.host.Unlisten(HBPort)
+	n.host.Unlisten(MemberSyncPort)
+	if n.Guard != nil {
+		n.host.Unlisten(GuardPort)
+		n.host.UnlistenStream(GuardSpoolPort)
+	}
+}
 
 func (n *Node) now(t *sim.Task) sim.Time {
 	if t != nil {
@@ -530,6 +561,7 @@ func (n *Node) beacon(now sim.Time) *Heartbeat {
 	hb := &n.txHB
 	hb.Host = n.src.HostName()
 	hb.Seq = n.seq
+	hb.Inc = n.inc
 	hb.Load = n.src.RunQueueLen()
 	hb.Procs = n.src.AppendProcStats(now, hb.Procs[:0])
 	hb.Summaries = hb.Summaries[:0]
@@ -626,6 +658,7 @@ func (n *Node) syncExchange(t *sim.Task) {
 	now := t.Now()
 	n.syncHB.Host = n.src.HostName()
 	n.syncHB.Seq = n.seq
+	n.syncHB.Inc = n.inc
 	n.syncHB.Load = n.src.RunQueueLen()
 	n.syncHB.Procs = n.syncHB.Procs[:0]
 	n.syncHB.Summaries = n.members.AppendSummaries(n.syncHB.Summaries[:0], now)
@@ -659,6 +692,7 @@ func (n *Node) handleSync(t *sim.Task, raw []byte) []byte {
 	n.members.Observe(&n.rxHB, now)
 	n.syncHB.Host = n.src.HostName()
 	n.syncHB.Seq = n.seq
+	n.syncHB.Inc = n.inc
 	n.syncHB.Load = n.src.RunQueueLen()
 	n.syncHB.Procs = n.syncHB.Procs[:0]
 	n.syncHB.Summaries = n.members.AppendSummaries(n.syncHB.Summaries[:0], now)

@@ -57,8 +57,15 @@ type newsQueue struct {
 }
 
 type memberState struct {
-	host      string
-	seq       uint32
+	host string
+	seq  uint32
+	// inc is the freshest incarnation seen for this member. A revived host
+	// bumps its incarnation, so receivers can tell a rebirth (sequence
+	// numbers restart, old suspicion void) from a stale replay of the old
+	// life: any beacon or summary carrying a lower incarnation is ignored
+	// outright, and a higher one resets seq and clears suspicion exactly
+	// once, however many stale suspect summaries are still circulating.
+	inc       uint32
 	load      int
 	procs     []ProcStat
 	lastHeard sim.Time
@@ -97,6 +104,7 @@ const defaultGossipBudget = 2
 type Member struct {
 	Host      string
 	Seq       uint32
+	Inc       uint32
 	Load      int
 	Procs     []ProcStat
 	LastHeard sim.Time
@@ -229,6 +237,21 @@ func (ms *Membership) Observe(hb *Heartbeat, now sim.Time) {
 	if !known {
 		st = ms.state(hb.Host)
 	}
+	if known && hb.Inc < st.inc {
+		return // a delayed beacon from a previous life proves nothing
+	}
+	if hb.Inc > st.inc {
+		// A rebirth: the member restarted with a bumped incarnation, so
+		// everything its old life advertised — sequence numbers, suspicion —
+		// is void. Spread the news with urgency: stale suspicion of the old
+		// incarnation must not strand the new one.
+		st.inc = hb.Inc
+		st.seq = 0
+		if known {
+			ms.grant(qUrgent, st)
+		}
+		ms.gen++
+	}
 	if st.suspected {
 		// A direct beacon is proof of life: refute, and make the good news
 		// spread as fast as the suspicion did.
@@ -283,7 +306,7 @@ func (ms *Membership) ObserveSummary(s MemberSummary, heard, now sim.Time) {
 	if !known {
 		st = ms.state(s.Host)
 	}
-	ms.observeSummary(st, known, s.Seq, s.Load, s.Suspect, heard, now)
+	ms.observeSummary(st, known, s.Seq, s.Inc, s.Load, s.Suspect, heard, now)
 }
 
 // ObserveSummaryBytes is ObserveSummary keyed by the raw wire bytes of the
@@ -291,7 +314,7 @@ func (ms *Membership) ObserveSummary(s MemberSummary, heard, now sim.Time) {
 // state (every host already known) processing a summary allocates nothing.
 // This is the hbd hot path — at N=1000 a node digests hundreds of
 // thousands of summaries per simulated second.
-func (ms *Membership) ObserveSummaryBytes(host []byte, seq uint32, load int, suspect bool, heard, now sim.Time) {
+func (ms *Membership) ObserveSummaryBytes(host []byte, seq, inc uint32, load int, suspect bool, heard, now sim.Time) {
 	if string(host) == ms.self {
 		return // self-liveness comes from beaconing, not hearsay
 	}
@@ -299,12 +322,28 @@ func (ms *Membership) ObserveSummaryBytes(host []byte, seq uint32, load int, sus
 	if !known {
 		st = ms.state(string(host))
 	}
-	ms.observeSummary(st, known, seq, load, suspect, heard, now)
+	ms.observeSummary(st, known, seq, inc, load, suspect, heard, now)
 }
 
-func (ms *Membership) observeSummary(st *memberState, known bool, seq uint32, load int, suspect bool, heard, now sim.Time) {
+func (ms *Membership) observeSummary(st *memberState, known bool, seq, inc uint32, load int, suspect bool, heard, now sim.Time) {
 	if heard > now {
 		heard = now
+	}
+	if known && inc < st.inc {
+		return // hearsay about a previous life, however fresh it claims to be
+	}
+	if inc > st.inc {
+		// Second-hand rebirth news: void the old life's state. A suspicion
+		// of the old incarnation dies here and cannot come back (any
+		// further copies of it carry the old inc and are dropped above), so
+		// a revived member is re-admitted exactly once.
+		st.inc = inc
+		st.seq = 0
+		if st.suspected && !suspect {
+			st.suspected = false
+			ms.grant(qUrgent, st)
+		}
+		ms.gen++
 	}
 	if suspect {
 		// Second-hand suspicion; heard is the reconstructed time the
@@ -417,7 +456,7 @@ func (ms *Membership) summarize(st *memberState, now sim.Time) MemberSummary {
 	if age < 0 {
 		age = 0
 	}
-	return MemberSummary{Host: st.host, Seq: st.seq, Load: st.load, Age: age, Suspect: st.suspected}
+	return MemberSummary{Host: st.host, Seq: st.seq, Inc: st.inc, Load: st.load, Age: age, Suspect: st.suspected}
 }
 
 // Alive reports whether the named member has beaconed recently enough.
@@ -447,7 +486,7 @@ func (ms *Membership) Get(host string, now sim.Time) (Member, bool) {
 		return Member{}, false
 	}
 	return Member{
-		Host: st.host, Seq: st.seq, Load: st.load, Procs: st.procs,
+		Host: st.host, Seq: st.seq, Inc: st.inc, Load: st.load, Procs: st.procs,
 		LastHeard: st.lastHeard,
 		Alive:     !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
 		Suspected: st.suspected,
@@ -475,7 +514,7 @@ func (ms *Membership) ViewInto(now sim.Time, buf *ViewBuf) []Member {
 		start := len(procs)
 		procs = append(procs, st.procs...)
 		out = append(out, Member{
-			Host: st.host, Seq: st.seq, Load: st.load,
+			Host: st.host, Seq: st.seq, Inc: st.inc, Load: st.load,
 			Procs:     procs[start:len(procs):len(procs)],
 			LastHeard: st.lastHeard,
 			Alive:     !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter,

@@ -66,11 +66,43 @@ func (n *Network) FaultLinkPort(from, to string, port int, f FaultSpec) {
 	n.linkPortFaults[linkPortKey{from, to, port}] = f
 }
 
-// ClearFaults removes all link and port fault specs.
+// ClearFaults removes all link and port fault specs. Partitions are a
+// separate mechanism and are lifted by Heal, not by ClearFaults.
 func (n *Network) ClearFaults() {
 	n.linkFaults = nil
 	n.portFaults = nil
 	n.linkPortFaults = nil
+}
+
+// Partition cuts the network into groups: every message between hosts in
+// different groups is lost in transit (the sender waits out the timeout,
+// exactly as for a dropped message), deterministically and without
+// consuming PRNG draws. Hosts not named in any group stay connected to
+// everyone — the cut is between the named groups only. A new Partition
+// replaces the previous one; Heal removes it. Partitions compose with
+// FaultSpecs: intra-group traffic still suffers whatever drop/dup/delay
+// is configured.
+func (n *Network) Partition(groups ...[]string) {
+	n.partition = map[string]int{}
+	for gi, g := range groups {
+		for _, host := range g {
+			n.partition[host] = gi + 1
+		}
+	}
+}
+
+// Heal lifts the partition: every host can reach every host again (subject
+// to the ordinary fault specs).
+func (n *Network) Heal() { n.partition = nil }
+
+// Partitioned reports whether a message from one named host to another
+// would currently be cut by the partition.
+func (n *Network) Partitioned(from, to string) bool {
+	if n.partition == nil {
+		return false
+	}
+	gf, gt := n.partition[from], n.partition[to]
+	return gf != 0 && gt != 0 && gf != gt
 }
 
 // faultFor resolves the spec applying to one message. The fault-free fast
@@ -111,7 +143,8 @@ func (h *Host) SetCrashHook(fn func()) { h.crashHook = fn }
 
 // Crash is the extended SetDown(true): besides making the host
 // unreachable it runs the crash hook, so the machine behind it loses its
-// running processes too.
+// running processes too. If RestartAfter has armed a revival delay the
+// host schedules its own comeback.
 func (h *Host) Crash() {
 	if h.down {
 		return
@@ -119,6 +152,37 @@ func (h *Host) Crash() {
 	h.down = true
 	if h.crashHook != nil {
 		h.crashHook()
+	}
+	if h.restartAfter > 0 {
+		h.net.eng.GoAfter("revive@"+h.name, h.restartAfter, func(*sim.Task) { h.Revive() })
+	}
+}
+
+// RestartAfter arms automatic revival: every subsequent Crash schedules a
+// Revive d later, modelling a host that reboots on its own. Zero disarms.
+func (h *Host) RestartAfter(d sim.Duration) { h.restartAfter = d }
+
+// SetReviveHook registers fn to run when the host revives. The cluster
+// layer uses it to rejoin the control plane with a bumped incarnation.
+func (h *Host) SetReviveHook(fn func()) { h.reviveHook = fn }
+
+// Revive brings a crashed (or merely partitioned-off via SetDown) host
+// back as a fresh boot, as far as the network can tell: reachable again,
+// pending scripted crashes forgotten, and the per-port delivery counters
+// reset — a revived host must not inherit a CrashAfter armed against its
+// previous life, nor report messages its previous life received. The
+// revive hook runs last, after the host is reachable.
+func (h *Host) Revive() {
+	if !h.down {
+		return
+	}
+	h.down = false
+	h.crashAt = nil
+	for p := range h.portMsgsIn {
+		delete(h.portMsgsIn, p)
+	}
+	if h.reviveHook != nil {
+		h.reviveHook()
 	}
 }
 
@@ -163,6 +227,19 @@ func (n *Network) deliver(t *sim.Task, from, to *Host, client *Host, port int, n
 		}
 		n.chargeTimeout(t)
 		return false, errno.EHOSTDOWN
+	}
+	if n.Partitioned(from.name, to.name) {
+		// Cut by a partition: the message went on the wire and vanished.
+		// Deterministic (no PRNG draw) and invisible to scripted crashes —
+		// a message that never arrives cannot advance a CrashAfter count.
+		if lo != nil {
+			lo.dropped.Inc()
+		}
+		if t != nil {
+			t.Sleep(wire)
+		}
+		n.chargeTimeout(t)
+		return false, errno.ETIMEDOUT
 	}
 	if f.Drop > 0 && n.eng.RandFloat() < f.Drop {
 		if lo != nil {

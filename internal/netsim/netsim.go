@@ -36,6 +36,9 @@ type Network struct {
 	linkFaults     map[linkKey]FaultSpec
 	portFaults     map[int]FaultSpec
 	linkPortFaults map[linkPortKey]FaultSpec
+	// partition maps host -> group id while a Partition is in force (see
+	// fault.go); messages between different groups are cut. Nil when whole.
+	partition map[string]int
 
 	// Stats
 	Messages int64
@@ -142,8 +145,10 @@ type Host struct {
 	// replacing a string-pair map probe on every delivered message.
 	obsTo map[*Host]*linkObsSet
 
-	crashAt   map[int]int // port -> messages until a scripted crash
-	crashHook func()
+	crashAt      map[int]int // port -> messages until a scripted crash
+	crashHook    func()
+	reviveHook   func()
+	restartAfter sim.Duration // auto-revival delay armed by RestartAfter
 }
 
 // AddHost attaches a new host.
@@ -192,6 +197,13 @@ func (h *Host) Listen(port int, fn Handler) error {
 	return nil
 }
 
+// Unlisten removes the service handler on a port (a no-op when nothing
+// listens), freeing it for a fresh daemon after a host revival.
+func (h *Host) Unlisten(port int) { delete(h.services, port) }
+
+// UnlistenStream removes the stream acceptor on a stream port.
+func (h *Host) UnlistenStream(port int) { delete(h.streams, port) }
+
 // SetDown marks the host as crashed (or repaired). Calls to a down host
 // fail with EHOSTDOWN.
 func (h *Host) SetDown(down bool) { h.down = down }
@@ -221,7 +233,7 @@ func (h *Host) Call(t *sim.Task, to string, port int, req []byte) ([]byte, error
 		return nil, errno.EHOSTDOWN
 	}
 	fn, ok := dst.services[port]
-	if !ok && !dst.down {
+	if !ok && !dst.down && !h.net.Partitioned(h.name, dst.name) {
 		return nil, errno.ECONNREFUSED
 	}
 	if _, err := h.net.deliver(t, h, dst, h, port, len(req)); err != nil {
@@ -303,7 +315,7 @@ func (h *Host) OpenStream(t *sim.Task, to string, port int, hello []byte) (*Stre
 		return nil, errno.EHOSTDOWN
 	}
 	fn, ok := dst.streams[port]
-	if !ok && !dst.down {
+	if !ok && !dst.down && !h.net.Partitioned(h.name, dst.name) {
 		return nil, errno.ECONNREFUSED
 	}
 	if _, err := h.net.deliver(t, h, dst, h, port, len(hello)); err != nil {

@@ -240,6 +240,28 @@ func (r *Registry) Snapshot() []Row {
 	return out
 }
 
+// CounterRows renders only the counters, sorted by host then name.
+// Counters are monotone by contract while gauges move both ways, and
+// Snapshot does not distinguish them — invariant checkers that assert "no
+// counter ever regresses" need this narrower view.
+func (r *Registry) CounterRows() []Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Row
+	for host, s := range r.scopes {
+		for name, c := range s.counters {
+			out = append(out, Row{Host: host, Name: name, Value: c.v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
 // Totals sums counters and gauges of the same name across hosts (histograms
 // are omitted — summed buckets mislead more than they inform), sorted by
 // name: the cluster-wide view.

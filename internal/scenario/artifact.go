@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Artifact is what a failing run leaves behind: the full scenario (seed
+// included — for generated chaos schedules the events are embedded, so
+// the artifact replays even if the generator changes) plus the first
+// violated invariant. `migbench -fig a12 -replay <file>` re-runs it.
+type Artifact struct {
+	Scenario  *Scenario  `json:"scenario"`
+	Violation *Violation `json:"violation"`
+}
+
+// NewArtifact captures a failing run. Returns nil for a passing result.
+func NewArtifact(sc *Scenario, res *Result) *Artifact {
+	v := res.FirstViolation()
+	if v == nil {
+		return nil
+	}
+	return &Artifact{Scenario: sc, Violation: v}
+}
+
+// WriteFile renders the artifact as indented JSON at path.
+func (a *Artifact) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact written by WriteFile.
+func LoadArtifact(path string) (*Artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(raw, a); err != nil {
+		return nil, fmt.Errorf("scenario: artifact %s: %w", path, err)
+	}
+	if a.Scenario == nil {
+		return nil, fmt.Errorf("scenario: artifact %s: no scenario", path)
+	}
+	return a, nil
+}
+
+// Replay re-runs the artifact's scenario and reports whether the run
+// still fails, with the fresh result for comparison.
+func (a *Artifact) Replay() (*Result, error) { return Run(a.Scenario) }

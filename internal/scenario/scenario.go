@@ -1,0 +1,262 @@
+// Package scenario is the declarative chaos harness: a scenario value (a
+// Go struct, trivially JSON-serializable) describes a cluster topology,
+// workloads, a seeded fault schedule, and the invariants to hold; the
+// runner boots the cluster, drives the schedule from a single driver
+// task, and checks cluster-wide invariants after every event and at
+// quiesce. The same seed replays the same run bit for bit, so a failing
+// chaos run is reproduced by re-running its emitted artifact.
+//
+// The hand-coded fault experiments (A7, A8) are expressible as scenario
+// tables — tables.go builds them — which is the proof that the DSL
+// subsumes the bespoke harness code it replaces.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"procmig/internal/sim"
+)
+
+// Scenario is one deterministic cluster run.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed feeds the cluster engine PRNG; every drop, duplication, retry
+	// and gossip choice derives from it.
+	Seed  uint64   `json:"seed"`
+	Hosts []string `json:"hosts"` // boot order; all Sun-2s with name tracking
+
+	// HA, when non-nil, starts the availability control plane on every
+	// host (heartbeats, membership, guardians).
+	HA *HAConfig `json:"ha,omitempty"`
+
+	Workloads []Workload `json:"workloads"`
+	Events    []Event    `json:"events"`
+
+	// Settle is slept after the last event, before the quiesce invariant
+	// checks — chaos schedules that end on a revival or heal need the
+	// gossip spread time before membership convergence is checkable.
+	Settle sim.Duration `json:"settle,omitempty"`
+
+	Invariants Invariants `json:"invariants,omitempty"`
+}
+
+// HAConfig mirrors the ha.Config fields a scenario may set.
+type HAConfig struct {
+	Interval     sim.Duration `json:"interval"`
+	CkptInterval sim.Duration `json:"ckpt_interval,omitempty"`
+}
+
+// Workload is one long-running process the scenario tracks: spawned at
+// driver start on Host, referenced from events by Name, and subject to
+// the exactly-one-live-copy and conservation invariants for its whole
+// pid lineage (migrations and recoveries included).
+type Workload struct {
+	Name string `json:"name"`
+	Host string `json:"host"`
+	// Prog selects the program: "hog" (the A6 working-set toucher) or
+	// "counterhog" (the A8 variant with a progress counter in its first
+	// data word, required by calibrate/await_recovery lost-work math).
+	Prog       string `json:"prog"`
+	Path       string `json:"path"` // /bin install path (default /bin/<name>)
+	TotalBytes int    `json:"total_bytes"`
+	WSBytes    int    `json:"ws_bytes"`
+}
+
+// Event is one schedule step, executed in order by the driver task. Op
+// selects the action; the other fields parameterize it (unused ones stay
+// zero). Host fields accept the indirections "@home:<workload>" and
+// "@buddy:<workload>", resolved against the runner's live bookkeeping at
+// execution time — a chaos schedule can say "crash wherever hog1 lives
+// now" without knowing where migrations have taken it.
+//
+//	sleep            Dur
+//	await_ready      Workload — poll (1s) until its VM is mapped
+//	calibrate        Workload, Dur — measure the counterhog's counting rate
+//	fault_port       Port, Drop/Dup/Delay
+//	fault_link       From, To, Drop/Dup/Delay
+//	clear_faults
+//	partition        Groups (netsim full cut between the named groups)
+//	heal
+//	crash_after      Host, Port, N — scripted crash on the Nth delivery
+//	crash            Host — power failure (processes die with it)
+//	revive           Host — fresh boot; with HA, rejoin with bumped incarnation
+//	protect          Workload, To — guardian protection with To as buddy
+//	await_ckpt       Workload, N — poll (100ms) until the buddy committed seq ≥ N
+//	migrate          Workload, Host (client), To, Stream, Rounds, Chunks — and await
+//	migrate_async    same, but don't await (thundering herds)
+//	await_migrations barrier for every outstanding migrate_async
+//	await_recovery   Workload, Dur — poll (250ms) until the buddy restarted it
+//	counter_bump     Host, N — test-only: move a probe counter by N (negative
+//	                 N deliberately violates counter monotonicity)
+//	inject_dup       Workload, Host — test-only: start a second live copy
+//	inject_kill      Workload — test-only: kill the live copy off the books
+type Event struct {
+	Op       string       `json:"op"`
+	Workload string       `json:"workload,omitempty"`
+	Host     string       `json:"host,omitempty"`
+	From     string       `json:"from,omitempty"`
+	To       string       `json:"to,omitempty"`
+	Port     int          `json:"port,omitempty"`
+	N        int          `json:"n,omitempty"`
+	Dur      sim.Duration `json:"dur,omitempty"`
+	Drop     float64      `json:"drop,omitempty"`
+	Dup      float64      `json:"dup,omitempty"`
+	Delay    sim.Duration `json:"delay,omitempty"`
+	Groups   [][]string   `json:"groups,omitempty"`
+	Stream   bool         `json:"stream,omitempty"`
+	Rounds   string       `json:"rounds,omitempty"`
+	Chunks   int          `json:"chunks,omitempty"`
+}
+
+// Invariants selects which checks run. The zero value runs everything
+// applicable (membership convergence needs HA; lost-work accounting needs
+// a calibrated counterhog).
+type Invariants struct {
+	SkipLiveCopy     bool `json:"skip_live_copy,omitempty"`
+	SkipConservation bool `json:"skip_conservation,omitempty"`
+	SkipSplitBrain   bool `json:"skip_split_brain,omitempty"`
+	SkipMembership   bool `json:"skip_membership,omitempty"`
+	SkipCounters     bool `json:"skip_counters,omitempty"`
+}
+
+// Violation is one invariant failure: which invariant, after which event
+// (-1: the quiesce checks), when, and what the checker saw.
+type Violation struct {
+	Invariant  string   `json:"invariant"`
+	EventIndex int      `json:"event_index"`
+	At         sim.Time `json:"at"`
+	Detail     string   `json:"detail"`
+}
+
+func (v Violation) String() string {
+	where := fmt.Sprintf("event %d", v.EventIndex)
+	if v.EventIndex < 0 {
+		where = "quiesce"
+	}
+	return fmt.Sprintf("%s violated at %s (t=%d): %s", v.Invariant, where, v.At, v.Detail)
+}
+
+// MigrationOutcome is the result of one migrate/migrate_async event.
+type MigrationOutcome struct {
+	Workload  string       `json:"workload"`
+	From      string       `json:"from"`
+	To        string       `json:"to"`
+	Committed bool         `json:"committed"`
+	Total     sim.Duration `json:"total"`  // rmigrate real time
+	Freeze    sim.Duration `json:"freeze"` // source kernel's dump window
+}
+
+// RecoveryOutcome is the result of one await_recovery event.
+type RecoveryOutcome struct {
+	Workload    string       `json:"workload"`
+	Buddy       string       `json:"buddy"`
+	Checkpoints int          `json:"checkpoints"` // committed before the crash
+	Recovery    sim.Duration `json:"recovery"`    // crash → restored copy live
+	LostWork    sim.Duration `json:"lost_work"`   // replayed work, from the counter gap
+	Resumed     bool         `json:"resumed"`
+}
+
+// WorkloadOutcome is one workload's state at quiesce.
+type WorkloadOutcome struct {
+	LiveCopies   int    `json:"live_copies"`
+	Host         string `json:"host,omitempty"` // where the live copy ended up
+	Migrated     bool   `json:"migrated"`       // the live copy is a migrated/restored one
+	ExpectedLive bool   `json:"expected_live"`
+}
+
+// Result is everything a scenario run produced.
+type Result struct {
+	Name       string                      `json:"name"`
+	Seed       uint64                      `json:"seed"`
+	Events     int                         `json:"events"` // events executed
+	Violations []Violation                 `json:"violations,omitempty"`
+	Migrations []MigrationOutcome          `json:"migrations,omitempty"`
+	Recoveries []RecoveryOutcome           `json:"recoveries,omitempty"`
+	Workloads  map[string]*WorkloadOutcome `json:"workloads"`
+}
+
+// Passed reports whether every invariant held.
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+// FirstViolation returns the first invariant failure, or nil.
+func (r *Result) FirstViolation() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// Encode renders the scenario as indented JSON.
+func (sc *Scenario) Encode() ([]byte, error) { return json.MarshalIndent(sc, "", "  ") }
+
+// Decode parses a JSON scenario.
+func Decode(raw []byte) (*Scenario, error) {
+	sc := &Scenario{}
+	if err := json.Unmarshal(raw, sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// HogSrc is the A6 memory hog: touch a working set of wsBytes once per
+// 1 KiB page, forever, inside an image of totalBytes.
+func HogSrc(totalBytes, wsBytes int) string {
+	return fmt.Sprintf(`
+start:  movi r2, ws
+        movi r3, 7
+loop:   str  r2, r3
+        addi r2, 1024
+        cmpi r2, wsend
+        jlt  loop
+        movi r2, ws
+        jmp  loop
+        .data
+ws:     .space %d
+wsend:  .space %d
+`, wsBytes, totalBytes-wsBytes)
+}
+
+// CounterHogSrc is the hog with a progress counter: the first data word
+// is incremented once per working-set page touched, so an outside
+// observer can read how far the program has gotten — the lost-work math
+// in await_recovery depends on it.
+func CounterHogSrc(totalBytes, wsBytes int) string {
+	return fmt.Sprintf(`
+start:  movi r2, ws
+        movi r3, 7
+loop:   ld   r4, ctr
+        addi r4, 1
+        st   r4, ctr
+        str  r2, r3
+        addi r2, 1024
+        cmpi r2, wsend
+        jlt  loop
+        movi r2, ws
+        jmp  loop
+        .data
+ctr:    .space 4
+ws:     .space %d
+wsend:  .space %d
+`, wsBytes, totalBytes-wsBytes)
+}
+
+// progSrc resolves a workload's program source.
+func progSrc(w Workload) (string, error) {
+	switch w.Prog {
+	case "hog":
+		return HogSrc(w.TotalBytes, w.WSBytes), nil
+	case "counterhog":
+		return CounterHogSrc(w.TotalBytes, w.WSBytes), nil
+	default:
+		return "", fmt.Errorf("scenario: workload %q: unknown prog %q", w.Name, w.Prog)
+	}
+}
+
+// binPath resolves a workload's install path.
+func binPath(w Workload) string {
+	if w.Path != "" {
+		return w.Path
+	}
+	return "/bin/" + w.Name
+}

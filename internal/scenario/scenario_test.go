@@ -1,0 +1,302 @@
+package scenario_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"procmig/internal/experiments"
+	"procmig/internal/scenario"
+	"procmig/internal/sim"
+)
+
+// --- chaos smoke --------------------------------------------------------------
+
+// TestChaosSeeds runs the generated chaos scenario for a handful of seeds:
+// every invariant must hold on every run, and a fixed seed must reproduce
+// the identical result.
+func TestChaosSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		sc := scenario.Chaos(seed)
+		res, err := scenario.Run(sc)
+		if err != nil {
+			t.Fatalf("chaos seed %d: %v", seed, err)
+		}
+		if !res.Passed() {
+			t.Fatalf("chaos seed %d: %v", seed, res.FirstViolation())
+		}
+		if len(res.Migrations) == 0 {
+			t.Errorf("chaos seed %d: no migrations ran — generator produced a dull schedule", seed)
+		}
+		if len(res.Recoveries) != 1 {
+			t.Errorf("chaos seed %d: %d recoveries, want exactly 1", seed, len(res.Recoveries))
+		}
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a, err := scenario.Run(scenario.Chaos(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.Run(scenario.Chaos(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScenarioJSONRoundTrip: a chaos scenario survives Encode/Decode —
+// the artifact format carries the full schedule.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := scenario.Chaos(42)
+	raw, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatal("scenario did not survive the JSON round trip")
+	}
+}
+
+// --- A7/A8 equivalence --------------------------------------------------------
+
+// TestA7TableEquivalence holds the scenario re-expression of A7 to the
+// hand-coded sweep: same seed, same per-cell outcomes, bit for bit.
+func TestA7TableEquivalence(t *testing.T) {
+	const seed = 1
+	pts, err := experiments.A7FaultSweep(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := scenario.A7Tables(seed)
+	if len(tables) != len(pts) {
+		t.Fatalf("%d tables vs %d sweep cells", len(tables), len(pts))
+	}
+	for i, sc := range tables {
+		pt := pts[i]
+		res, err := scenario.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !res.Passed() {
+			t.Fatalf("%s: %v", sc.Name, res.FirstViolation())
+		}
+		if len(res.Migrations) != 1 {
+			t.Fatalf("%s: %d migrations, want 1", sc.Name, len(res.Migrations))
+		}
+		mig, wl := res.Migrations[0], res.Workloads["hog"]
+		if mig.Committed != pt.Committed || wl.Migrated != pt.Migrated || wl.LiveCopies != pt.LiveCopies {
+			t.Errorf("%s: committed/migrated/live = %v/%v/%d, sweep says %v/%v/%d",
+				sc.Name, mig.Committed, wl.Migrated, wl.LiveCopies,
+				pt.Committed, pt.Migrated, pt.LiveCopies)
+		}
+		if mig.Total != pt.Total || mig.Freeze != pt.Freeze {
+			t.Errorf("%s: total/freeze = %v/%v, sweep says %v/%v — the runs diverged",
+				sc.Name, mig.Total, mig.Freeze, pt.Total, pt.Freeze)
+		}
+	}
+}
+
+// TestA8TableEquivalence: same for the recovery sweep.
+func TestA8TableEquivalence(t *testing.T) {
+	const seed = 1
+	pts, err := experiments.A8FaultSweep(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := scenario.A8Tables(seed)
+	if len(tables) != len(pts) {
+		t.Fatalf("%d tables vs %d sweep cells", len(tables), len(pts))
+	}
+	for i, sc := range tables {
+		pt := pts[i]
+		res, err := scenario.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !res.Passed() {
+			t.Fatalf("%s: %v", sc.Name, res.FirstViolation())
+		}
+		if len(res.Recoveries) != 1 {
+			t.Fatalf("%s: %d recoveries, want 1", sc.Name, len(res.Recoveries))
+		}
+		rec, wl := res.Recoveries[0], res.Workloads["hog"]
+		if rec.Checkpoints != pt.Checkpoints || rec.Resumed != pt.Resumed || wl.LiveCopies != pt.LiveCopies {
+			t.Errorf("%s: ckpts/resumed/live = %d/%v/%d, sweep says %d/%v/%d",
+				sc.Name, rec.Checkpoints, rec.Resumed, wl.LiveCopies,
+				pt.Checkpoints, pt.Resumed, pt.LiveCopies)
+		}
+		if rec.Recovery != pt.Recovery || rec.LostWork != pt.LostWork {
+			t.Errorf("%s: recovery/lostwork = %v/%v, sweep says %v/%v — the runs diverged",
+				sc.Name, rec.Recovery, rec.LostWork, pt.Recovery, pt.LostWork)
+		}
+	}
+}
+
+// --- negative tests: each invariant must catch its deliberate violation ------
+
+// negBase is a quiet two-workload cluster the injections land on.
+func negBase() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:  "neg",
+		Seed:  5,
+		Hosts: []string{"alpha", "beta", "gamma"},
+		Workloads: []scenario.Workload{
+			{Name: "hog", Host: "alpha", Prog: "hog", TotalBytes: 32 << 10, WSBytes: 4 << 10},
+		},
+		Events: []scenario.Event{
+			{Op: "await_ready", Workload: "hog"},
+			{Op: "sleep", Dur: 2 * sim.Second},
+		},
+	}
+}
+
+// expectViolation runs the scenario and asserts the first violation names
+// the right invariant at the right event index.
+func expectViolation(t *testing.T, sc *scenario.Scenario, invariant string, eventIndex int) *scenario.Result {
+	t.Helper()
+	res, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	v := res.FirstViolation()
+	if v == nil {
+		t.Fatalf("%s: expected a %s violation, run passed", sc.Name, invariant)
+	}
+	if v.Invariant != invariant || v.EventIndex != eventIndex {
+		t.Fatalf("%s: first violation %v, want %s at event %d", sc.Name, v, invariant, eventIndex)
+	}
+	if eventIndex >= 0 && res.Events != eventIndex+1 {
+		t.Errorf("%s: runner executed %d events, want it to stop right after event %d",
+			sc.Name, res.Events, eventIndex)
+	}
+	return res
+}
+
+func TestNegativeLiveCopy(t *testing.T) {
+	sc := negBase()
+	sc.Name = "neg-live-copy"
+	sc.Events = append(sc.Events, scenario.Event{Op: "inject_dup", Workload: "hog", Host: "beta"})
+	expectViolation(t, sc, "live-copy", 2)
+}
+
+func TestNegativeConservation(t *testing.T) {
+	sc := negBase()
+	sc.Name = "neg-conservation"
+	sc.Events = append(sc.Events, scenario.Event{Op: "inject_kill", Workload: "hog"})
+	expectViolation(t, sc, "conservation", 2)
+}
+
+func TestNegativeCounterMonotonic(t *testing.T) {
+	sc := negBase()
+	sc.Name = "neg-counter"
+	// Two bumps: the first registers the probe counter with the checker,
+	// the second moves it backwards.
+	sc.Events = append(sc.Events,
+		scenario.Event{Op: "counter_bump", Host: "alpha", N: 10},
+		scenario.Event{Op: "counter_bump", Host: "alpha", N: -5},
+	)
+	expectViolation(t, sc, "counter-monotonic", 3)
+}
+
+// TestNegativeSplitBrain: a full partition between a protected process
+// and its buddy defeats arbitration — the probe cannot reach the live
+// source, the guardian restarts it anyway, and the checker must call the
+// resulting second copy a split brain.
+func TestNegativeSplitBrain(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name:  "neg-split-brain",
+		Seed:  5,
+		Hosts: []string{"alpha", "beta", "gamma"},
+		HA:    &scenario.HAConfig{Interval: sim.Second, CkptInterval: 2 * sim.Second},
+		Workloads: []scenario.Workload{
+			{Name: "hog", Host: "alpha", Prog: "counterhog", TotalBytes: 32 << 10, WSBytes: 4 << 10},
+		},
+		Events: []scenario.Event{
+			{Op: "await_ready", Workload: "hog"},
+			{Op: "protect", Workload: "hog", To: "beta"},
+			{Op: "await_ckpt", Workload: "hog", N: 2},
+			{Op: "partition", Groups: [][]string{{"alpha"}, {"beta", "gamma"}}},
+			{Op: "sleep", Dur: 45 * sim.Second},
+		},
+		// The split-brain verdict is the point; the duplicate copy and the
+		// divergent membership views are its side effects.
+		Invariants: scenario.Invariants{SkipLiveCopy: true, SkipMembership: true},
+	}
+	expectViolation(t, sc, "split-brain", 4)
+}
+
+// TestNegativeMembership: a crash with no settle time leaves the
+// survivors still believing the dead host is alive at quiesce.
+func TestNegativeMembership(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name:  "neg-membership",
+		Seed:  5,
+		Hosts: []string{"alpha", "beta", "gamma"},
+		HA:    &scenario.HAConfig{Interval: sim.Second},
+		Events: []scenario.Event{
+			{Op: "sleep", Dur: 10 * sim.Second}, // converge first
+			{Op: "crash", Host: "gamma"},
+		},
+	}
+	expectViolation(t, sc, "membership", -1)
+}
+
+// --- replay artifact ----------------------------------------------------------
+
+// TestArtifactReplay: a failing run emits an artifact that replays to the
+// same violation through the JSON round trip.
+func TestArtifactReplay(t *testing.T) {
+	sc := negBase()
+	sc.Name = "neg-artifact"
+	sc.Events = append(sc.Events, scenario.Event{Op: "inject_dup", Workload: "hog", Host: "beta"})
+	res, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := scenario.NewArtifact(sc, res)
+	if art == nil {
+		t.Fatal("failing run produced no artifact")
+	}
+	path := filepath.Join(t.TempDir(), "replay.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := res.FirstViolation(), res2.FirstViolation()
+	if v2 == nil || v1.Invariant != v2.Invariant || v1.EventIndex != v2.EventIndex || v1.At != v2.At {
+		t.Fatalf("replayed violation %v, original %v", v2, v1)
+	}
+	if scenario.NewArtifact(sc, res2) == nil {
+		t.Fatal("replay of a failing artifact passed")
+	}
+}
+
+// TestUnknownOpFailsLoudly: schedule typos must be rejected before the
+// cluster even boots, not silently skipped.
+func TestUnknownOpFailsLoudly(t *testing.T) {
+	sc := negBase()
+	sc.Events = append(sc.Events, scenario.Event{Op: "mitgrate", Workload: "hog", To: "beta"})
+	if _, err := scenario.Run(sc); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	sc2 := negBase()
+	sc2.Events = []scenario.Event{{Op: "protect", Workload: "hog", To: "beta"}}
+	if _, err := scenario.Run(sc2); err == nil {
+		t.Fatal("protect without ha accepted")
+	}
+}

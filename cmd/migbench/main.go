@@ -13,11 +13,13 @@
 //	migbench -fig a10   # observability: stitched trace + zero-alloc instrumentation
 //	migbench -fig a11   # 1,000-host scale scenario; writes BENCH_a11.json
 //	migbench -fig a12   # multi-seed chaos sweep (scenario DSL + invariants)
+//	migbench -fig a13   # declarative controller at 200 hosts; writes BENCH_a13.json
 //	migbench -fig core  # engine + data-path perf; writes BENCH_core.json
 //	migbench -ablations # only the ablations
 //
-// The a11 scenario takes -hosts, -procs, -intervals and -seed; both perf
-// figures write their JSON trajectory next to -benchdir. The a12 sweep
+// The a11 scenario takes -hosts, -procs, -intervals and -seed; a13
+// reuses -hosts (0 = its default 200) and -seed; the perf figures write
+// their JSON trajectories next to -benchdir. The a12 sweep
 // takes -seeds (count, default 20) and -seed (base); alternatively
 // -schedule <file> runs one scenario table from JSON, and
 // -replay <artifact> re-runs a failure artifact emitted by a previous
@@ -67,6 +69,7 @@ var figures = []figure{
 	{"a10", "observability: stitched traces, zero-alloc counters", a10},
 	{"a11", "1,000-host scale scenario (writes BENCH_a11.json)", a11},
 	{"a12", "multi-seed chaos sweep (-seeds/-schedule/-replay)", a12},
+	{"a13", "declarative controller: rollout, crash-wave heal, rolling drain (writes BENCH_a13.json)", a13},
 	{"core", "engine + data-path perf (writes BENCH_core.json)", benchCore},
 }
 
@@ -145,6 +148,28 @@ func a11() error {
 	fmt.Printf("%-44s %.2fM events/s, %.4f allocs/event, heap max %d\n",
 		"engine", r.EventsPerSec/1e6, r.AllocsPerEvent, r.HeapMax)
 	return writeBench("BENCH_a11.json", r)
+}
+
+func a13() error {
+	r, err := experiments.A13Controller(experiments.A13Config{
+		Hosts: *a11Hosts, Seed: *a11Seed,
+	})
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("A13 — declarative controller on %d hosts: %d service + %d batch replicas",
+		r.Hosts, r.Replicas, r.Batch))
+	fmt.Printf("%-44s %.0f s virtual, %d reconcile rounds\n", "rollout converged in", r.ConvergeS, r.ConvergeRounds)
+	fmt.Printf("%-44s %d hosts, %d replicas lost, %d respawned\n",
+		"crash wave", r.CrashWave, r.ReplicasLost, r.Respawns)
+	fmt.Printf("%-44s %.0f s virtual, %d rounds\n", "crash wave healed in", r.HealS, r.HealRounds)
+	fmt.Printf("%-44s %s: %d moves in %d waves, %.1f s makespan\n",
+		"rolling drain", r.DrainHost, r.DrainMoves, r.DrainWaves, r.DrainS)
+	fmt.Printf("%-44s %d running, deficit %d (audited from the kernels)\n",
+		"final census", r.FinalReplicas, r.FinalDeficit)
+	fmt.Printf("%-44s %.2f s wall for %.0f s virtual (%d events, %.2fM events/s)\n",
+		"wall clock", r.Wall, r.VirtualTime, r.Events, r.EventsPerSec/1e6)
+	return writeBench("BENCH_a13.json", r)
 }
 
 func usageErr(msg string) {

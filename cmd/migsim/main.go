@@ -30,6 +30,8 @@ import (
 	"strings"
 
 	"procmig/internal/cluster"
+	"procmig/internal/controller"
+	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/obs"
 	"procmig/internal/sim"
@@ -50,6 +52,10 @@ const usage = `script commands (one per line, # comments):
   tty <host>                    print the console transcript so far
   trace <host> on|off           toggle the ktrace-style kernel event log
   tracelog <host>               print the kernel event log
+  controller start <host>       start heartbeats + the desired-state controller on a host
+  controller submit <name> <path> <n> [spread|binpack]   declare an app of n replicas
+  controller drain <host>       start a rolling drain of a host
+  controller status             print desired vs. observed state and drain progress
   metrics [host]                print the metrics registry (all hosts + totals)
   spans                         print the migration span traces
   timeline <file>               export spans as Chrome trace-event JSON
@@ -163,6 +169,91 @@ func (s *session) runAndWait(tk *sim.Task, host, path string, args ...string) er
 	}
 	fmt.Printf("[%v] %s: %s exited %d\n", ts(tk), host, path, status)
 	return nil
+}
+
+// controller dispatches the desired-state subcommands. `start` boots the
+// HA heartbeat plane too (the controller's observed state is the view),
+// so a script only needs one line before submitting apps.
+func (s *session) controller(tk *sim.Task, cmd []string) error {
+	switch cmd[0] {
+	case "start":
+		if len(cmd) < 2 {
+			return fmt.Errorf("controller start wants a host")
+		}
+		if s.c.HA(cmd[1]) == nil {
+			if err := s.c.StartHA(ha.Config{Interval: sim.Second}); err != nil {
+				return err
+			}
+		}
+		if _, err := s.c.StartController(cmd[1], controller.Config{}); err != nil {
+			return err
+		}
+		fmt.Printf("[%v] controller running on %s\n", ts(tk), cmd[1])
+	case "submit":
+		if len(cmd) < 4 {
+			return fmt.Errorf("controller submit wants name, path, replicas")
+		}
+		n, err := strconv.Atoi(cmd[3])
+		if err != nil {
+			return fmt.Errorf("bad replica count %q", cmd[3])
+		}
+		spec := controllerSpec(cmd[1], cmd[2], n)
+		if len(cmd) > 4 {
+			spec.Policy = cmd[4]
+		}
+		ctl := s.c.Controller()
+		if ctl == nil {
+			return fmt.Errorf("no controller running (use 'controller start')")
+		}
+		if err := ctl.Submit(spec); err != nil {
+			return err
+		}
+		fmt.Printf("[%v] submitted app %s: %d × %s\n", ts(tk), cmd[1], n, cmd[2])
+		tk.Yield()
+	case "drain":
+		if len(cmd) < 2 {
+			return fmt.Errorf("controller drain wants a host")
+		}
+		if err := s.c.DrainHost(cmd[1]); err != nil {
+			return err
+		}
+		fmt.Printf("[%v] draining %s\n", ts(tk), cmd[1])
+	case "status":
+		ctl := s.c.Controller()
+		if ctl == nil {
+			return fmt.Errorf("no controller running (use 'controller start')")
+		}
+		st := ctl.Status()
+		conv := "converging"
+		if st.Converged() {
+			conv = "converged"
+		}
+		fmt.Printf("[%v] controller: round %d, %s\n", ts(tk), st.Round, conv)
+		for _, a := range st.Apps {
+			fmt.Printf("  app %-12s desired %d, live %d, pending %d (gen %d)\n",
+				a.Name, a.Desired, a.Live, a.Pending, a.Gen)
+			for _, r := range a.Replicas {
+				fmt.Printf("    slot %d: %s pid %d %s\n", r.Slot, r.Host, r.PID, r.State)
+			}
+		}
+		for _, d := range st.Drains {
+			state := fmt.Sprintf("%d remaining", d.Remaining)
+			if d.Done {
+				state = fmt.Sprintf("done in %v", d.Makespan)
+			}
+			fmt.Printf("  drain %-10s %d waves, %d moved, %d failed, %s\n",
+				d.Host, d.Waves, d.Moved, d.Failed, state)
+		}
+	default:
+		return fmt.Errorf("unknown controller subcommand %q", cmd[0])
+	}
+	return nil
+}
+
+// controllerSpec builds the default migsim app spec: spread placement,
+// no constraints — the script can exercise policy via the optional arg.
+func controllerSpec(name, path string, n int) controller.AppSpec {
+	return controller.AppSpec{Name: name, Path: path, Replicas: n}
 }
 
 func (s *session) exec(tk *sim.Task, cmd []string) error {
@@ -313,6 +404,11 @@ func (s *session) exec(tk *sim.Task, cmd []string) error {
 			fmt.Printf("  (%d older entries dropped past the %d-entry ring)\n",
 				n, kernel.MaxTraceEntries)
 		}
+	case "controller":
+		if err := need(1); err != nil {
+			return err
+		}
+		return s.controller(tk, cmd[1:])
 	case "metrics":
 		filter := ""
 		if len(cmd) > 1 {

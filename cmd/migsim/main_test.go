@@ -160,3 +160,66 @@ func TestPidReferences(t *testing.T) {
 		}
 	}
 }
+
+// TestScriptController drives the desired-state layer entirely from
+// script commands: start the controller, declare an app, drain a host,
+// and read the status back.
+func TestScriptController(t *testing.T) {
+	c, _ := runScript(t, [][]string{
+		{"controller", "start", "brick"},
+		{"sleep", "5"},
+		{"controller", "submit", "web", "/bin/counter", "2"},
+		{"sleep", "30"},
+		{"controller", "status"},
+		{"controller", "drain", "schooner"},
+		{"sleep", "30"},
+		{"controller", "status"},
+	})
+	ctl := c.Controller()
+	if ctl == nil {
+		t.Fatal("controller never started")
+	}
+	st := ctl.Status()
+	if len(st.Apps) != 1 || st.Apps[0].Live != 2 {
+		t.Fatalf("app status = %+v", st.Apps)
+	}
+	d, ok := ctl.DrainStatus("schooner")
+	if !ok || !d.Done || d.Failed != 0 {
+		t.Fatalf("drain status = %+v ok=%v", d, ok)
+	}
+	for _, r := range st.Apps[0].Replicas {
+		if r.Host == "schooner" {
+			t.Fatalf("replica still on drained host: %+v", r)
+		}
+	}
+}
+
+// TestScriptControllerErrors: controller subcommands validate loudly.
+func TestScriptControllerErrors(t *testing.T) {
+	c, err := cluster.NewSimple("brick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &session{c: c}
+	bad := [][]string{
+		{"controller"},           // no subcommand
+		{"controller", "status"}, // not started
+		{"controller", "submit", "web", "/bin/x", "2"}, // not started
+		{"controller", "drain", "brick"},               // not started
+		{"controller", "start"},                        // missing host
+		{"controller", "start", "ghost"},               // unknown host
+		{"controller", "flush"},                        // unknown subcommand
+	}
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		for _, cmd := range bad {
+			if err := s.exec(tk, cmd); err == nil {
+				t.Errorf("%v: expected an error", cmd)
+			}
+		}
+	})
+	if err := c.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		if _, stalled := err.(*sim.StallError); !stalled {
+			t.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 
+	"procmig/internal/errno"
 	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
@@ -94,6 +95,12 @@ type Balancer struct {
 	// (anti-thrash hysteresis on top of MinAge — a restarted process has
 	// a fresh start time, but beacons lag). Defaults to 2×Period.
 	Cooldown sim.Duration
+	// Skip vetoes candidates: a process for which it reports true is
+	// never migrated by the balancer. Wired to the cluster controller's
+	// Owns so the load balancer defers to controller-owned replicas —
+	// two policy daemons moving the same process would thrash. nil skips
+	// nothing.
+	Skip func(host string, pid int) bool
 
 	Events []MigrationEvent // committed moves
 	Failed []MigrationEvent // attempts that failed, with the reason
@@ -108,6 +115,26 @@ type Balancer struct {
 
 func cooldownKey(host string, pid int) string {
 	return fmt.Sprintf("%s/%d", host, pid)
+}
+
+// failReason buckets a migration failure into a stable metric label, so
+// dashboards can tell policy-layer failure modes apart (the txn layer's
+// own abort/retry counters live under migd's scope).
+func failReason(err error) string {
+	switch errno.Of(err) {
+	case errno.ETIMEDOUT:
+		return "timeout"
+	case errno.EHOSTDOWN:
+		return "host_down"
+	case errno.ECONNREFUSED:
+		return "refused"
+	case errno.EPERM:
+		return "denied"
+	case errno.ESRCH:
+		return "no_such_process"
+	default:
+		return "other"
+	}
 }
 
 func (b *Balancer) cooldown() sim.Duration {
@@ -126,6 +153,9 @@ func (b *Balancer) candidate(m *ha.Member, now sim.Time) *ha.ProcStat {
 		if ps.Age < b.MinAge {
 			continue
 		}
+		if b.Skip != nil && b.Skip(m.Host, ps.PID) {
+			continue
+		}
 		if at, ok := b.recent[cooldownKey(m.Host, ps.PID)]; ok &&
 			sim.Duration(now-at) < b.cooldown() {
 			continue
@@ -142,6 +172,17 @@ func (b *Balancer) candidate(m *ha.Member, now sim.Time) *ha.ProcStat {
 		}
 	}
 	return best
+}
+
+// count bumps a balancer outcome counter in the cluster registry (no-op
+// for bare test balancers with no network attachment).
+func (b *Balancer) count(name string) {
+	if b.Host == nil {
+		return
+	}
+	if reg := b.Host.Network().Obs(); reg != nil {
+		reg.Scope(b.Host.Name()).Counter(name).Inc()
+	}
 }
 
 func (b *Balancer) migrate(t *sim.Task, src string, pid int, dst string) (int, error) {
@@ -189,9 +230,11 @@ func (b *Balancer) Step(t *sim.Task) bool {
 	if err != nil {
 		ev.Err = err.Error()
 		b.Failed = append(b.Failed, ev)
+		b.count("balancer.failed." + failReason(err))
 		return false
 	}
 	b.Events = append(b.Events, ev)
+	b.count("balancer.migrations")
 	if b.recent == nil {
 		b.recent = map[string]sim.Time{}
 	}

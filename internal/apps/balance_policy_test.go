@@ -140,3 +140,56 @@ func TestBalancerRecordsFailures(t *testing.T) {
 		t.Fatalf("Failed = %+v, want the aborted attempt with its reason", b.Failed)
 	}
 }
+
+// TestBalancerRevivedHostTarget: a host that was down and comes back
+// (revival) is a legal migration target again — but a pid the balancer
+// just moved must not be bounced onto it inside the anti-thrash cooldown,
+// even though the revived host is now the idlest in the view.
+func TestBalancerRevivedHostTarget(t *testing.T) {
+	eng := sim.NewEngine()
+	view := &fakeView{Members: []ha.Member{
+		{Host: "a", Load: 3, Alive: true, Procs: []ha.ProcStat{cpuBound(10, 0, 20*sim.Second)}},
+		{Host: "b", Load: 1, Alive: true},
+		{Host: "c", Load: 0, Alive: false}, // crashed: never a target
+	}}
+	var moves []string
+	b := &apps.Balancer{
+		View:   view,
+		Period: 5 * sim.Second,
+		MinAge: sim.Second,
+		Migrate: func(_ *sim.Task, src string, pid int, dst string) (int, error) {
+			moves = append(moves, src+"→"+dst)
+			return pid + 100, nil
+		},
+	}
+	eng.Go("driver", func(tk *sim.Task) {
+		tk.Sleep(sim.Second)
+		// c is down, so the hog must land on b, not the (idler) dead host.
+		if !b.Step(tk) {
+			t.Error("balancer did not move the hog off the busy host")
+		}
+		// c revives: back in the view, alive and idle — the most attractive
+		// target. The freshly-moved pid is inside the cooldown, so nothing
+		// may move onto it yet.
+		view.Members = []ha.Member{
+			{Host: "a", Load: 1, Alive: true},
+			{Host: "b", Load: 3, Alive: true, Procs: []ha.ProcStat{cpuBound(110, 10, 25*sim.Second)}},
+			{Host: "c", Load: 0, Alive: true},
+		}
+		tk.Sleep(sim.Second)
+		if b.Step(tk) {
+			t.Error("balancer thrashed a freshly-moved pid onto the revived host inside the cooldown")
+		}
+		// Past the cooldown the revived host is a normal target.
+		tk.Sleep(10 * sim.Second)
+		if !b.Step(tk) {
+			t.Error("revived host never became a placement target")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 || moves[0] != "a→b" || moves[1] != "b→c" {
+		t.Fatalf("moves = %v, want a→b then (post-cooldown) b→c", moves)
+	}
+}

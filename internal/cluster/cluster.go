@@ -10,6 +10,7 @@ import (
 
 	"procmig/internal/aout"
 	"procmig/internal/apps"
+	"procmig/internal/controller"
 	"procmig/internal/core"
 	"procmig/internal/ha"
 	"procmig/internal/inet"
@@ -59,6 +60,7 @@ type Cluster struct {
 	order    []string
 	ha       map[string]*ha.Node
 	haCfg    ha.Config // StartHA's config, reused when a revived host rejoins
+	ctl      *controller.Controller
 }
 
 // DefaultUser is the ordinary user account used by tests and examples.

@@ -80,7 +80,8 @@ type memberState struct {
 	// alive→suspect transition per real failure.
 	suspected bool
 	suspectAt sim.Time
-	markGen   uint64 // last appendGossip call that included this member
+	censusAt  sim.Time // when procs was last refreshed by a direct beacon
+	markGen   uint64   // last appendGossip call that included this member
 	// gossipLeft is the remaining retransmission budget for this member's
 	// latest news: granted on state changes — a join, a suspicion, a
 	// refutation — and spent once per beacon the member is summarized in.
@@ -102,11 +103,17 @@ const defaultGossipBudget = 2
 
 // Member is one row of the view at a given instant.
 type Member struct {
-	Host      string
-	Seq       uint32
-	Inc       uint32
-	Load      int
-	Procs     []ProcStat
+	Host  string
+	Seq   uint32
+	Inc   uint32
+	Load  int
+	Procs []ProcStat
+	// CensusAt is when Procs was taken: the send time of the last direct
+	// beacon from this member. Gossip summaries refresh liveness but not
+	// the proc census, so at scale Procs can lag LastHeard by many
+	// intervals — a reader judging a process absent must compare against
+	// CensusAt, not LastHeard, or a stale census convicts a live process.
+	CensusAt  sim.Time
 	LastHeard sim.Time
 	Alive     bool
 	Suspected bool // probe-failure verdict (Alive is false while set)
@@ -272,6 +279,7 @@ func (ms *Membership) Observe(hb *Heartbeat, now sim.Time) {
 	st.seq = hb.Seq
 	st.load = hb.Load
 	st.procs = append(st.procs[:0], hb.Procs...)
+	st.censusAt = now
 	ms.gen++
 }
 
@@ -487,6 +495,7 @@ func (ms *Membership) Get(host string, now sim.Time) (Member, bool) {
 	}
 	return Member{
 		Host: st.host, Seq: st.seq, Inc: st.inc, Load: st.load, Procs: st.procs,
+		CensusAt:  st.censusAt,
 		LastHeard: st.lastHeard,
 		Alive:     !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
 		Suspected: st.suspected,
@@ -516,6 +525,7 @@ func (ms *Membership) ViewInto(now sim.Time, buf *ViewBuf) []Member {
 		out = append(out, Member{
 			Host: st.host, Seq: st.seq, Inc: st.inc, Load: st.load,
 			Procs:     procs[start:len(procs):len(procs)],
+			CensusAt:  st.censusAt,
 			LastHeard: st.lastHeard,
 			Alive:     !st.suspected && sim.Duration(now-st.lastHeard) <= ms.suspectAfter,
 			Suspected: st.suspected,

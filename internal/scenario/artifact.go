@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -39,8 +40,12 @@ func LoadArtifact(path string) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Strict like Decode: an artifact with unknown fields would replay a
+	// different schedule than the one that failed.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
 	a := &Artifact{}
-	if err := json.Unmarshal(raw, a); err != nil {
+	if err := dec.Decode(a); err != nil {
 		return nil, fmt.Errorf("scenario: artifact %s: %w", path, err)
 	}
 	if a.Scenario == nil {

@@ -59,6 +59,98 @@ func (r *runner) census() map[string][]liveCopy {
 	return out
 }
 
+// replicaCensus is the controller-app analogue of census: walk every
+// machine's process table and classify processes into app lineages —
+// fresh spawns by their program path, migrated and restored successors
+// by their OldHost:OldPID chain (migd spools the files file, so OldHost
+// survives the hop; an empty OldHost falls back to a pid-only match
+// within the app's own lineage). Pure reads, like census.
+func (r *runner) replicaCensus() map[string][]liveCopy {
+	out := map[string][]liveCopy{}
+	for _, name := range r.appOrder {
+		ar := r.apps[name]
+		path := appBinPath(name)
+		for adopted := true; adopted; {
+			adopted = false
+			for _, hn := range r.c.Names() {
+				for _, p := range r.c.Machine(hn).Procs() {
+					k := hp(hn, p.PID)
+					if ar.pids[k] {
+						continue
+					}
+					if p.Cmd == path ||
+						(p.Migrated && (ar.pids[hp(p.OldHost, p.OldPID)] ||
+							(p.OldHost == "" && lineageHasPID(ar, p.OldPID)))) {
+						ar.pids[k] = true
+						adopted = true
+					}
+				}
+			}
+		}
+		var copies []liveCopy
+		for _, hn := range r.c.Names() {
+			for _, p := range r.c.Machine(hn).Procs() {
+				if p.State == kernel.ProcRunning && ar.pids[hp(hn, p.PID)] {
+					copies = append(copies, liveCopy{host: hn, pid: p.PID})
+				}
+			}
+		}
+		out[name] = copies
+	}
+	return out
+}
+
+func lineageHasPID(ar *appRef, pid int) bool {
+	suffix := fmt.Sprintf(":%d", pid)
+	for k := range ar.pids {
+		if len(k) > len(suffix) && k[len(k)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// checkReplicas is the replicas-converged invariant, a quiesce-only
+// check (mid-run deviations are exactly what the reconcile loop exists
+// to heal): every submitted app must have precisely its desired number
+// of replica processes actually running — audited against the kernels,
+// not the controller's books — and none of them may sit on a host that
+// is cordoned for a drain.
+func (r *runner) checkReplicas(now sim.Time) {
+	cs := r.replicaCensus()
+	ctl := r.c.Controller()
+	for _, name := range r.appOrder {
+		ar := r.apps[name]
+		if !ar.submitted {
+			continue
+		}
+		copies := cs[name]
+		if len(copies) != ar.ap.Replicas {
+			r.violate("replicas-converged", -1, now,
+				"app %s has %d running replicas at quiesce, want %d: %v",
+				name, len(copies), ar.ap.Replicas, copyList(copies))
+		}
+		for _, cp := range copies {
+			if ctl != nil && ctl.Cordoned(cp.host) {
+				r.violate("replicas-converged", -1, now,
+					"app %s still has a replica (pid %d) on drained host %s",
+					name, cp.pid, cp.host)
+			}
+		}
+		wo := &AppOutcome{Desired: ar.ap.Replicas, Running: len(copies)}
+		if len(copies) > 0 {
+			wo.Hosts = map[string]int{}
+			for _, cp := range copies {
+				wo.Hosts[cp.host]++
+			}
+		}
+		if r.res.Apps == nil {
+			r.res.Apps = map[string]*AppOutcome{}
+		}
+		r.res.Apps[name] = wo
+	}
+}
+
 func (r *runner) violate(invariant string, eventIndex int, at sim.Time, format string, args ...any) {
 	r.res.Violations = append(r.res.Violations, Violation{
 		Invariant:  invariant,
@@ -76,6 +168,14 @@ func (r *runner) checkAfterEvent(tk *sim.Task, eventIndex int) {
 	now := tk.Now()
 	cs := r.census()
 	inv := r.sc.Invariants
+
+	// Grow the app lineages while the hops are still observable: a
+	// migrated replica can only be chained to its predecessor while the
+	// predecessor's entry is (or was) in the lineage — the source proc
+	// itself is reaped moments after the transaction commits.
+	if r.sc.Controller != nil {
+		r.replicaCensus()
+	}
 
 	for _, name := range r.wlOrder {
 		rf := r.refs[name]
@@ -193,6 +293,9 @@ func (r *runner) checkQuiesce(tk *sim.Task) {
 	}
 	if !inv.SkipCounters {
 		r.checkCounters(-1, now)
+	}
+	if !inv.SkipReplicas && r.sc.Controller != nil {
+		r.checkReplicas(now)
 	}
 }
 

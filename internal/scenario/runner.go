@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"procmig/internal/cluster"
+	"procmig/internal/controller"
 	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/netsim"
@@ -55,6 +56,19 @@ type pendingMig struct {
 	out  *migOutcome
 }
 
+// appRef is the runner's ground-truth bookkeeping for one controller
+// app: the pid lineage of every replica the controller has ever run
+// (fresh spawns recognized by program path, migrated and restored
+// successors adopted by their OldHost:OldPID chain). The controller's
+// own view is deliberately not consulted — the replicas-converged
+// invariant audits the kernels against the spec, so it still fires when
+// the controller is wrong, stopped, or sabotaged.
+type appRef struct {
+	ap        App
+	pids      map[string]bool // lineage as "host:pid" keys
+	submitted bool
+}
+
 type runner struct {
 	sc   *Scenario
 	c    *cluster.Cluster
@@ -62,8 +76,11 @@ type runner struct {
 	refs map[string]*ref
 	// wlOrder preserves Workloads order for deterministic iteration.
 	wlOrder []string
-	pending []pendingMig
-	prevCtr map[string]int64
+	apps    map[string]*appRef
+	// appOrder preserves Apps order for deterministic iteration.
+	appOrder []string
+	pending  []pendingMig
+	prevCtr  map[string]int64
 }
 
 // Run executes one scenario to quiescence and reports what happened. An
@@ -103,8 +120,23 @@ func Run(sc *Scenario) (*Result, error) {
 			return nil, err
 		}
 	}
+	for _, a := range sc.Apps {
+		src, err := appSrc(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.InstallVM(appBinPath(a.Name), src); err != nil {
+			return nil, err
+		}
+	}
 	if sc.HA != nil {
 		if err := c.StartHA(ha.Config{Interval: sc.HA.Interval, CkptInterval: sc.HA.CkptInterval}); err != nil {
+			return nil, err
+		}
+	}
+	if sc.Controller != nil {
+		cfg := controller.Config{Period: sc.Controller.Period, DrainWave: sc.Controller.DrainWave}
+		if _, err := c.StartController(sc.Controller.Host, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -112,7 +144,12 @@ func Run(sc *Scenario) (*Result, error) {
 		sc: sc, c: c,
 		res:     &Result{Name: sc.Name, Seed: sc.Seed, Workloads: map[string]*WorkloadOutcome{}},
 		refs:    map[string]*ref{},
+		apps:    map[string]*appRef{},
 		prevCtr: map[string]int64{},
+	}
+	for _, a := range sc.Apps {
+		r.apps[a.Name] = &appRef{ap: a, pids: map[string]bool{}}
+		r.appOrder = append(r.appOrder, a.Name)
 	}
 	var fail error
 	c.Eng.Go("driver", func(tk *sim.Task) { fail = r.drive(tk) })
@@ -146,6 +183,36 @@ func validate(sc *Scenario) error {
 			return err
 		}
 	}
+	if sc.Controller != nil {
+		if sc.HA == nil {
+			return fmt.Errorf("scenario %q: controller requires ha", sc.Name)
+		}
+		if !hosts[sc.Controller.Host] {
+			return fmt.Errorf("scenario %q: controller on unknown host %q", sc.Name, sc.Controller.Host)
+		}
+	}
+	aps := map[string]bool{}
+	for _, a := range sc.Apps {
+		if sc.Controller == nil {
+			return fmt.Errorf("scenario %q: app %q without a controller", sc.Name, a.Name)
+		}
+		if aps[a.Name] {
+			return fmt.Errorf("scenario %q: duplicate app %q", sc.Name, a.Name)
+		}
+		aps[a.Name] = true
+		if _, err := appSrc(a); err != nil {
+			return err
+		}
+		spec := a.spec()
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		for _, h := range append(append([]string{}, a.Hosts...), a.Avoid...) {
+			if !hosts[h] {
+				return fmt.Errorf("scenario %q: app %q constrains unknown host %q", sc.Name, a.Name, h)
+			}
+		}
+	}
 	for i, ev := range sc.Events {
 		if !knownOps[ev.Op] {
 			return fmt.Errorf("scenario %q: event %d: unknown op %q", sc.Name, i, ev.Op)
@@ -155,6 +222,12 @@ func validate(sc *Scenario) error {
 		}
 		if opNeedsHA[ev.Op] && sc.HA == nil {
 			return fmt.Errorf("scenario %q: event %d (%s): requires ha", sc.Name, i, ev.Op)
+		}
+		if opNeedsController[ev.Op] && sc.Controller == nil {
+			return fmt.Errorf("scenario %q: event %d (%s): requires a controller", sc.Name, i, ev.Op)
+		}
+		if opNeedsApp[ev.Op] && !aps[ev.App] {
+			return fmt.Errorf("scenario %q: event %d (%s): unknown app %q", sc.Name, i, ev.Op, ev.App)
 		}
 	}
 	return nil
@@ -168,7 +241,9 @@ var knownOps = map[string]bool{
 	"protect": true, "await_ckpt": true,
 	"migrate": true, "migrate_async": true, "await_migrations": true,
 	"await_recovery": true,
-	"counter_bump": true, "inject_dup": true, "inject_kill": true,
+	"counter_bump":   true, "inject_dup": true, "inject_kill": true,
+	"submit_app": true, "drain_host": true, "await_converged": true,
+	"controller_stop": true, "app_kill": true,
 }
 
 var opNeedsWorkload = map[string]bool{
@@ -181,6 +256,15 @@ var opNeedsHA = map[string]bool{
 	"protect": true, "await_ckpt": true, "await_recovery": true,
 }
 
+var opNeedsController = map[string]bool{
+	"submit_app": true, "drain_host": true, "await_converged": true,
+	"controller_stop": true, "app_kill": true,
+}
+
+var opNeedsApp = map[string]bool{
+	"submit_app": true, "app_kill": true,
+}
+
 // drive is the scenario's single driver task: spawn the workloads, walk
 // the schedule, settle, run the quiesce checks, and tear the cluster down
 // so the engine can quiesce. Returns a harness error, never an invariant
@@ -190,6 +274,9 @@ func (r *runner) drive(tk *sim.Task) error {
 	defer func() {
 		c.Net.ClearFaults()
 		c.Net.Heal()
+		if r.sc.Controller != nil {
+			c.StopController()
+		}
 		if r.sc.HA != nil {
 			c.StopHA()
 		}
@@ -430,6 +517,71 @@ func (r *runner) exec(tk *sim.Task, ev Event) error {
 			return err
 		}
 		rf.pids[hp(host, p.PID)] = true
+
+	case "submit_app":
+		ar := r.apps[ev.App]
+		if err := c.Controller().Submit(ar.ap.spec()); err != nil {
+			return err
+		}
+		ar.submitted = true
+
+	case "drain_host":
+		host, err := r.resolveHost(ev.Host)
+		if err != nil {
+			return err
+		}
+		if err := c.DrainHost(host); err != nil {
+			return err
+		}
+		wait := ev.Dur
+		if wait <= 0 {
+			wait = 240 * sim.Second
+		}
+		deadline := tk.Now() + sim.Time(wait)
+		for {
+			if ds, ok := c.Controller().DrainStatus(host); ok && ds.Done {
+				break
+			}
+			if tk.Now() >= deadline {
+				return fmt.Errorf("drain of %s not done before the deadline", host)
+			}
+			tk.Sleep(sim.Second)
+		}
+
+	case "await_converged":
+		wait := ev.Dur
+		if wait <= 0 {
+			wait = 120 * sim.Second
+		}
+		deadline := tk.Now() + sim.Time(wait)
+		for !c.Controller().Converged() {
+			if tk.Now() >= deadline {
+				return fmt.Errorf("controller not converged before the deadline: %+v",
+					c.Controller().Status())
+			}
+			tk.Sleep(sim.Second)
+		}
+
+	case "controller_stop":
+		c.StopController()
+
+	case "app_kill":
+		// Kill one running replica behind the controller's back: the
+		// ground-truth census finds a victim, the kernel kills it, the
+		// controller is told nothing. With the reconcile loop running this
+		// is healed within a few rounds; with it stopped, the
+		// replicas-converged invariant must call the deficit out.
+		copies := r.replicaCensus()[ev.App]
+		if len(copies) == 0 {
+			return fmt.Errorf("app %s has no running replica to kill", ev.App)
+		}
+		victim := copies[0]
+		p, ok := c.Machine(victim.host).FindProc(victim.pid)
+		if !ok {
+			return fmt.Errorf("app %s: pid %d not found on %s", ev.App, victim.pid, victim.host)
+		}
+		c.Machine(victim.host).Kill(kernel.Creds{}, victim.pid, kernel.SIGKILL)
+		p.AwaitExit(tk)
 
 	case "inject_kill":
 		rf := r.refs[ev.Workload]

@@ -12,9 +12,11 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
+	"procmig/internal/controller"
 	"procmig/internal/sim"
 )
 
@@ -29,6 +31,16 @@ type Scenario struct {
 	// HA, when non-nil, starts the availability control plane on every
 	// host (heartbeats, membership, guardians).
 	HA *HAConfig `json:"ha,omitempty"`
+
+	// Controller, when non-nil, starts the declarative desired-state
+	// controller on the named host (requires HA: its observed state is
+	// the heartbeat view). Apps reach it through submit_app events.
+	Controller *ControllerConfig `json:"controller,omitempty"`
+
+	// Apps are the declarative applications submit_app events may hand
+	// to the controller. Each app's program installs at /bin/app-<name>
+	// on every host at boot, like workload programs.
+	Apps []App `json:"apps,omitempty"`
 
 	Workloads []Workload `json:"workloads"`
 	Events    []Event    `json:"events"`
@@ -45,6 +57,53 @@ type Scenario struct {
 type HAConfig struct {
 	Interval     sim.Duration `json:"interval"`
 	CkptInterval sim.Duration `json:"ckpt_interval,omitempty"`
+}
+
+// ControllerConfig mirrors the controller.Config fields a scenario may
+// set (zero values take the controller's defaults).
+type ControllerConfig struct {
+	Host      string       `json:"host"`
+	Period    sim.Duration `json:"period,omitempty"`
+	DrainWave int          `json:"drain_wave,omitempty"`
+}
+
+// App is one declarative application for the controller: the desired
+// replica count and placement constraints, plus which program the
+// replicas run (the same hog/counterhog vocabulary as workloads).
+// Unlike a Workload, an app's processes are spawned and tracked by the
+// controller, not the runner — the runner only audits the ground truth
+// against the spec (the replicas-converged invariant).
+type App struct {
+	Name       string `json:"name"`
+	Prog       string `json:"prog"`
+	TotalBytes int    `json:"total_bytes"`
+	WSBytes    int    `json:"ws_bytes"`
+
+	Replicas     int      `json:"replicas"`
+	Policy       string   `json:"policy,omitempty"` // "spread" (default) or "binpack"
+	AntiAffinity bool     `json:"anti_affinity,omitempty"`
+	MaxPerHost   int      `json:"max_per_host,omitempty"`
+	Hosts        []string `json:"hosts,omitempty"`
+	Avoid        []string `json:"avoid,omitempty"`
+	Protect      bool     `json:"protect,omitempty"`
+}
+
+// appBinPath is where an app's program installs on every host.
+func appBinPath(name string) string { return "/bin/app-" + name }
+
+// spec renders the app as the controller's submission type.
+func (a App) spec() controller.AppSpec {
+	return controller.AppSpec{
+		Name:         a.Name,
+		Path:         appBinPath(a.Name),
+		Replicas:     a.Replicas,
+		Policy:       a.Policy,
+		AntiAffinity: a.AntiAffinity,
+		MaxPerHost:   a.MaxPerHost,
+		Hosts:        a.Hosts,
+		Avoid:        a.Avoid,
+		Protect:      a.Protect,
+	}
 }
 
 // Workload is one long-running process the scenario tracks: spawned at
@@ -91,9 +150,19 @@ type Workload struct {
 //	                 N deliberately violates counter monotonicity)
 //	inject_dup       Workload, Host — test-only: start a second live copy
 //	inject_kill      Workload — test-only: kill the live copy off the books
+//	submit_app       App — hand the named app spec to the controller
+//	drain_host       Host, Dur — rolling drain; blocks until the drain
+//	                 reports done (Dur caps the wait, default 240s)
+//	await_converged  Dur — poll (1s) until the controller reports every
+//	                 app at desired state and every drain finished
+//	controller_stop  stop the reconcile loop (sabotage helper: what the
+//	                 replicas-converged negative test needs)
+//	app_kill         App — test-only: kill one running replica off the
+//	                 controller's books (deliberate under-replication)
 type Event struct {
 	Op       string       `json:"op"`
 	Workload string       `json:"workload,omitempty"`
+	App      string       `json:"app,omitempty"`
 	Host     string       `json:"host,omitempty"`
 	From     string       `json:"from,omitempty"`
 	To       string       `json:"to,omitempty"`
@@ -118,6 +187,7 @@ type Invariants struct {
 	SkipSplitBrain   bool `json:"skip_split_brain,omitempty"`
 	SkipMembership   bool `json:"skip_membership,omitempty"`
 	SkipCounters     bool `json:"skip_counters,omitempty"`
+	SkipReplicas     bool `json:"skip_replicas,omitempty"`
 }
 
 // Violation is one invariant failure: which invariant, after which event
@@ -165,6 +235,15 @@ type WorkloadOutcome struct {
 	ExpectedLive bool   `json:"expected_live"`
 }
 
+// AppOutcome is one controller app's ground truth at quiesce: how many
+// replica processes actually run, and where — counted from the kernels,
+// not from the controller's own bookkeeping.
+type AppOutcome struct {
+	Desired int            `json:"desired"`
+	Running int            `json:"running"`
+	Hosts   map[string]int `json:"hosts,omitempty"` // running copies per host
+}
+
 // Result is everything a scenario run produced.
 type Result struct {
 	Name       string                      `json:"name"`
@@ -174,6 +253,7 @@ type Result struct {
 	Migrations []MigrationOutcome          `json:"migrations,omitempty"`
 	Recoveries []RecoveryOutcome           `json:"recoveries,omitempty"`
 	Workloads  map[string]*WorkloadOutcome `json:"workloads"`
+	Apps       map[string]*AppOutcome      `json:"apps,omitempty"`
 }
 
 // Passed reports whether every invariant held.
@@ -190,10 +270,14 @@ func (r *Result) FirstViolation() *Violation {
 // Encode renders the scenario as indented JSON.
 func (sc *Scenario) Encode() ([]byte, error) { return json.MarshalIndent(sc, "", "  ") }
 
-// Decode parses a JSON scenario.
+// Decode parses a JSON scenario. Unknown fields are rejected loudly — a
+// typo'd op parameter silently decoding to the zero value would turn a
+// chaos schedule into a quieter one than its author wrote.
 func Decode(raw []byte) (*Scenario, error) {
 	sc := &Scenario{}
-	if err := json.Unmarshal(raw, sc); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(sc); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return sc, nil
@@ -243,13 +327,22 @@ wsend:  .space %d
 
 // progSrc resolves a workload's program source.
 func progSrc(w Workload) (string, error) {
-	switch w.Prog {
+	return srcFor("workload "+w.Name, w.Prog, w.TotalBytes, w.WSBytes)
+}
+
+// appSrc resolves an app's program source.
+func appSrc(a App) (string, error) {
+	return srcFor("app "+a.Name, a.Prog, a.TotalBytes, a.WSBytes)
+}
+
+func srcFor(owner, prog string, totalBytes, wsBytes int) (string, error) {
+	switch prog {
 	case "hog":
-		return HogSrc(w.TotalBytes, w.WSBytes), nil
+		return HogSrc(totalBytes, wsBytes), nil
 	case "counterhog":
-		return CounterHogSrc(w.TotalBytes, w.WSBytes), nil
+		return CounterHogSrc(totalBytes, wsBytes), nil
 	default:
-		return "", fmt.Errorf("scenario: workload %q: unknown prog %q", w.Name, w.Prog)
+		return "", fmt.Errorf("scenario: %s: unknown prog %q", owner, prog)
 	}
 }
 

@@ -286,6 +286,128 @@ func TestArtifactReplay(t *testing.T) {
 	}
 }
 
+// --- controller ops -----------------------------------------------------------
+
+// ctlBase is a four-host cluster with a controller on alpha and one
+// three-replica app ready to submit.
+func ctlBase() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:       "ctl",
+		Seed:       5,
+		Hosts:      []string{"alpha", "beta", "gamma", "delta"},
+		HA:         &scenario.HAConfig{Interval: sim.Second},
+		Controller: &scenario.ControllerConfig{Host: "alpha", Period: 2 * sim.Second},
+		Apps: []scenario.App{
+			{Name: "web", Prog: "hog", TotalBytes: 32 << 10, WSBytes: 4 << 10, Replicas: 3},
+		},
+	}
+}
+
+// TestScenarioControllerDrain: submit an app, converge, drain a host the
+// app landed on, and hold every invariant — including the new
+// replicas-converged check — at quiesce. The drained host must end with
+// zero replicas while the count stays at desired.
+func TestScenarioControllerDrain(t *testing.T) {
+	sc := ctlBase()
+	sc.Name = "ctl-drain"
+	// One replica per host, four hosts, three replicas: whichever host
+	// stays free is the headroom the drain needs to be feasible.
+	sc.Apps[0].AntiAffinity = true
+	sc.Events = []scenario.Event{
+		{Op: "sleep", Dur: 5 * sim.Second}, // membership converges
+		{Op: "submit_app", App: "web"},
+		{Op: "await_converged"},
+		{Op: "drain_host", Host: "delta"},
+		{Op: "await_converged"},
+	}
+	sc.Settle = 5 * sim.Second
+	res, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatal(res.FirstViolation())
+	}
+	ao := res.Apps["web"]
+	if ao == nil || ao.Running != 3 {
+		t.Fatalf("app outcome = %+v, want 3 running", ao)
+	}
+	if ao.Hosts["delta"] != 0 {
+		t.Fatalf("drained host still runs %d replicas: %+v", ao.Hosts["delta"], ao.Hosts)
+	}
+}
+
+// TestNegativeReplicasConverged: with the reconcile loop stopped, a
+// replica killed off the books stays dead — the replicas-converged
+// invariant must call out the deficit at quiesce.
+func TestNegativeReplicasConverged(t *testing.T) {
+	sc := ctlBase()
+	sc.Name = "neg-replicas"
+	sc.Events = []scenario.Event{
+		{Op: "sleep", Dur: 5 * sim.Second},
+		{Op: "submit_app", App: "web"},
+		{Op: "await_converged"},
+		{Op: "controller_stop"},
+		{Op: "app_kill", App: "web"},
+		{Op: "sleep", Dur: 3 * sim.Second},
+	}
+	expectViolation(t, sc, "replicas-converged", -1)
+}
+
+// TestControllerOpValidation: controller ops without a controller, apps
+// without a controller, and unknown app names are all rejected before
+// the cluster boots.
+func TestControllerOpValidation(t *testing.T) {
+	sc := negBase()
+	sc.Events = append(sc.Events, scenario.Event{Op: "drain_host", Host: "beta"})
+	if _, err := scenario.Run(sc); err == nil {
+		t.Fatal("drain_host without a controller accepted")
+	}
+
+	sc2 := ctlBase()
+	sc2.Events = []scenario.Event{{Op: "submit_app", App: "nope"}}
+	if _, err := scenario.Run(sc2); err == nil {
+		t.Fatal("submit_app with unknown app accepted")
+	}
+
+	sc3 := ctlBase()
+	sc3.HA = nil
+	sc3.Events = []scenario.Event{{Op: "submit_app", App: "web"}}
+	if _, err := scenario.Run(sc3); err == nil {
+		t.Fatal("controller without ha accepted")
+	}
+
+	sc4 := negBase()
+	sc4.Apps = []scenario.App{{Name: "web", Prog: "hog", Replicas: 1}}
+	if _, err := scenario.Run(sc4); err == nil {
+		t.Fatal("apps without a controller accepted")
+	}
+
+	sc5 := ctlBase()
+	sc5.Apps[0].Replicas = 0
+	sc5.Events = []scenario.Event{{Op: "submit_app", App: "web"}}
+	if _, err := scenario.Run(sc5); err == nil {
+		t.Fatal("zero-replica app spec accepted")
+	}
+}
+
+// TestDecodeRejectsUnknownFields: a typo'd field in a scenario file must
+// fail the decode, not silently drop a parameter of the schedule.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	good := []byte(`{"name":"x","seed":1,"hosts":["a"],"workloads":null,"events":[{"op":"sleep","dur":5}]}`)
+	if _, err := scenario.Decode(good); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := []byte(`{"name":"x","seed":1,"hosts":["a"],"events":[{"op":"sleep","duur":5}]}`)
+	if _, err := scenario.Decode(bad); err == nil {
+		t.Fatal("unknown event field accepted")
+	}
+	bad2 := []byte(`{"name":"x","hosts":["a"],"controler":{"host":"a"},"events":[]}`)
+	if _, err := scenario.Decode(bad2); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+}
+
 // TestUnknownOpFailsLoudly: schedule typos must be rejected before the
 // cluster even boots, not silently skipped.
 func TestUnknownOpFailsLoudly(t *testing.T) {

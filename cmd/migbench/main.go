@@ -14,6 +14,7 @@
 //	migbench -fig a11   # 1,000-host scale scenario; writes BENCH_a11.json
 //	migbench -fig a12   # multi-seed chaos sweep (scenario DSL + invariants)
 //	migbench -fig a13   # declarative controller at 200 hosts; writes BENCH_a13.json
+//	migbench -fig a14   # cluster page store: mass-drain dedup; writes BENCH_a14.json
 //	migbench -fig core  # engine + data-path perf; writes BENCH_core.json
 //	migbench -ablations # only the ablations
 //
@@ -70,6 +71,7 @@ var figures = []figure{
 	{"a11", "1,000-host scale scenario (writes BENCH_a11.json)", a11},
 	{"a12", "multi-seed chaos sweep (-seeds/-schedule/-replay)", a12},
 	{"a13", "declarative controller: rollout, crash-wave heal, rolling drain (writes BENCH_a13.json)", a13},
+	{"a14", "cluster page store: mass drain raw vs session vs store dedup (writes BENCH_a14.json)", a14},
 	{"core", "engine + data-path perf (writes BENCH_core.json)", benchCore},
 }
 
@@ -170,6 +172,33 @@ func a13() error {
 	fmt.Printf("%-44s %.2f s wall for %.0f s virtual (%d events, %.2fM events/s)\n",
 		"wall clock", r.Wall, r.VirtualTime, r.Events, r.EventsPerSec/1e6)
 	return writeBench("BENCH_a13.json", r)
+}
+
+func a14() error {
+	r, err := experiments.A14Dedup(experiments.A14Config{
+		Hosts: *a11Hosts, Seed: *a11Seed,
+	})
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("A14 — cluster page store: mass drain of %d identical replicas (%d KiB each) at %d hosts",
+		r.Replicas, r.DataKiB, r.Hosts))
+	for _, m := range []*experiments.A14Mode{&r.Raw, &r.Session, &r.Store} {
+		fmt.Printf("%-44s %.1f s drain (%d waves, %d moves), %.1f MiB shipped, %d prewarms\n",
+			m.Mode, m.DrainS, m.DrainWaves, m.DrainMoves,
+			float64(m.DrainBytes)/(1<<20), m.DrainPrewarms)
+	}
+	fmt.Printf("%-44s %d refs, %d nacked, %d store hits, %d evictions\n",
+		"store mode speculation", r.Store.SpecPages, r.Store.SpecNacks,
+		r.Store.StoreHits, r.Store.StoreEvict)
+	fmt.Printf("%-44s %.1fx fewer drain bytes, %.2fx drain speedup vs session dedup\n",
+		"headline", r.DrainBytesRatio, r.DrainSpeedup)
+	fmt.Printf("%-44s %d lost, %d adopted, %d respawned, %.0f s heal, %.1f MiB ckpt traffic\n",
+		"crash wave (store mode)", r.Store.Lost, r.Store.Adoptions, r.Store.Respawns,
+		r.Store.HealS, float64(r.Store.CkptBytes)/(1<<20))
+	fmt.Printf("%-44s %.2f s wall for %.0f s virtual (%d events, %.2fM events/s)\n",
+		"wall clock", r.Wall, r.VirtualTime, r.Events, r.EventsPerSec/1e6)
+	return writeBench("BENCH_a14.json", r)
 }
 
 func usageErr(msg string) {

@@ -33,6 +33,13 @@ type precopyReq struct {
 	Rounds   int
 	Txn      uint32 // migration transaction id (0: untracked, no retry safety)
 	Wire     byte   // core.WireMode for the image stream (0: elide+LZ)
+	// Prewarm runs the pre-copy rounds only — no freeze, no restart: the
+	// victim keeps running and the stream is aborted after the last round.
+	// The point is the side effect: the shipped pages land in the
+	// destination's page store, so a later real migration of this process
+	// (or any identical replica) elides them to refs. The controller
+	// overlaps drain waves with it.
+	Prewarm bool
 }
 
 // Adaptive pre-copy policy (Rounds < 0): keep copying while the dirty set
@@ -44,11 +51,15 @@ const (
 	adaptiveGoalPages = 8
 )
 
-// startStreamMigd wires the two streaming endpoints into m's migd.
+// startStreamMigd wires the two streaming endpoints into m's migd, plus
+// the page-store summary service sources query before opening a stream.
 func startStreamMigd(m *kernel.Machine, host *netsim.Host) error {
 	if err := host.Listen(MigdPrecopyPort, func(t *sim.Task, raw []byte) []byte {
 		return handlePrecopy(t, m, host, raw)
 	}); err != nil {
+		return err
+	}
+	if err := core.ServeStoreSummary(host, m); err != nil {
 		return err
 	}
 	return host.ListenStream(MigdStreamPort, func(_ *sim.Task, _ string, hello []byte) (netsim.StreamSink, error) {
@@ -56,6 +67,7 @@ func startStreamMigd(m *kernel.Machine, host *netsim.Host) error {
 		if err != nil {
 			return nil, err
 		}
+		asm.SetStore(core.MachineStore(m))
 		return &migdSink{
 			m: m, st: migdStateFor(m), txn: asm.Hello().Txn, asm: asm,
 			recsIn:   m.Obs.Counter("stream.records_in"),
@@ -122,6 +134,13 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 	}
 	sess := &core.StreamSession{Stream: stream, Txn: req.Txn, Wire: core.WireMode(req.Wire)}
 	sess.Obs = core.NewStreamObs(m.Obs)
+	// Cross-session dedup: feed the host store as pages ship, and elide
+	// against the destination's advertised summary. Both are nil-safe —
+	// a host with its store disabled just streams like PR 4.
+	if sess.Wire != core.WireRaw {
+		sess.Store = core.MachineStore(m)
+		sess.Remote = core.FetchStoreSummary(t, host, req.Dest)
+	}
 	if req.Txn != 0 {
 		sess.Resolve = func(rt *sim.Task) int {
 			return resolveTxn(rt, host, req.Dest, req.Txn)
@@ -143,6 +162,10 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 		p.VM.SetDirtyTracking(false)
 		stream.Abort(t)
 		return fail(msg)
+	}
+	if req.Prewarm && req.Rounds == 0 {
+		// A prewarm with no rounds would ship nothing; run it adaptively.
+		req.Rounds = -1
 	}
 	if req.Rounds != 0 {
 		p.VM.SetDirtyTracking(true)
@@ -175,6 +198,16 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 			}
 		}
 	}
+	if req.Prewarm {
+		// Rounds were the whole job: the shipped pages now sit in the
+		// destination's store. Abort the stream (the partial spool must
+		// not restart anything) and let the victim run on untracked — the
+		// real migration re-arms tracking itself.
+		p.VM.SetDirtyTracking(false)
+		stream.Abort(t)
+		st.recordStream(sess.Stats())
+		return encode(&remoteResp{Status: 0})
+	}
 	core.ArmStreamDump(m, req.PID, sess)
 	if e := m.Kill(creds, req.PID, kernel.SIGDUMP); e != 0 {
 		core.DisarmStreamDump(m, req.PID)
@@ -196,7 +229,7 @@ func handlePrecopy(t *sim.Task, m *kernel.Machine, host *netsim.Host, raw []byte
 	if sess.Status == 0 {
 		st.record(req.Txn, 0)
 	}
-	return encode(&remoteResp{Status: sess.Status})
+	return encode(&remoteResp{Status: sess.Status, PID: sess.NewPID})
 }
 
 // migdSink is the destination side of one streaming migration: reassemble
@@ -232,6 +265,15 @@ func (s *migdSink) Chunk(t *sim.Task, rec []byte) {
 	if s.err == core.ErrHashMismatch {
 		s.hashMism.Inc()
 	}
+}
+
+// Sync answers the source's store-NACK poll: which speculative refs the
+// local store could not satisfy this round.
+func (s *migdSink) Sync(t *sim.Task, req []byte) []byte {
+	if t != nil {
+		s.m.CPU().Use(t, s.m.Costs.StreamChunkBase, nil)
+	}
+	return s.asm.SyncReply(req)
 }
 
 // discardSpool removes whatever dump files this stream spooled.
@@ -319,7 +361,9 @@ func (s *migdSink) Done(t *sim.Task) []byte {
 	// either way the staging files must not linger.
 	s.discardSpool()
 	s.seal(status)
-	return core.EncodeStreamStatus(status)
+	// The restart process became the restored process, so its pid is the
+	// migrated copy's new identity — ship it back with the verdict.
+	return core.EncodeStreamStatusPID(status, rp.PID)
 }
 
 // Abort runs when the stream dies before a successful Close: the opener

@@ -553,6 +553,76 @@ func MigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst stri
 	return resp.PID, nil
 }
 
+// StreamMigrateRemote is MigrateRemote over the streaming pre-copy path:
+// one transaction against src's migd on the precopy port, adaptive rounds,
+// the given wire mode — under the default mode the transfer rides the
+// session dedup tables and, where the hosts' page stores are enabled, the
+// cross-session store refs. The controller's drains use this.
+func StreamMigrateRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst string, wire core.WireMode) (int, error) {
+	return streamRemote(t, from, src, pid, dst, -1, wire, false)
+}
+
+// PrewarmRemote streams rounds pre-copy rounds of pid's image from src to
+// dst and stops — no freeze, no restart, the victim never notices. The
+// shipped pages seed dst's page store so a later real migration (of this
+// process or any identical replica) elides them. rounds <= 0 pre-copies
+// adaptively. Fire-and-forget semantics: a failed prewarm costs nothing
+// but the bytes already sent.
+func PrewarmRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst string, rounds int) error {
+	_, err := streamRemote(t, from, src, pid, dst, rounds, core.WireElideLZ, true)
+	return err
+}
+
+func streamRemote(t *sim.Task, from *netsim.Host, src string, pid int, dst string, rounds int, wire core.WireMode, prewarm bool) (int, error) {
+	txn := uint32(uint64(t.Now())*2654435761 + uint64(pid)*40503)
+	if txn == 0 {
+		txn = 1
+	}
+	kind := "streaming "
+	if prewarm {
+		// A prewarm is not a migration transaction: nothing commits, so
+		// duplicate suppression has nothing to suppress. Txn 0 keeps it out
+		// of the transaction tables.
+		txn = 0
+		kind = "prewarm "
+	}
+	var tr *obs.Tracer
+	if reg := from.Network().Obs(); reg != nil {
+		tr = reg.Tracer
+	}
+	root := tr.Root(txn, "migration", from.Name(), pid, t.Now())
+	if root != nil {
+		root.Detail = kind + src + " -> " + dst + " (policy)"
+	}
+	req := &precopyReq{
+		UID: 0, GID: 0,
+		PID: pid, Dest: dst, Rounds: rounds, Txn: txn,
+		Wire: byte(wire), Prewarm: prewarm,
+	}
+	raw, err := callRetry(t, from, src, MigdPrecopyPort, encode(req), txnCallAttempts)
+	if err != nil {
+		root.EndDetail(t.Now(), "aborted: "+err.Error())
+		return 0, err
+	}
+	var resp remoteResp
+	if derr := decode(raw, &resp); derr != nil {
+		root.EndDetail(t.Now(), "aborted: bad response")
+		return 0, derr
+	}
+	if resp.Status != 0 {
+		root.EndDetail(t.Now(), "aborted: "+resp.Err)
+		if resp.Err == errno.EPERM.Error() {
+			return 0, errno.EPERM
+		}
+		if resp.Err == errno.ESRCH.Error() {
+			return 0, errno.ESRCH
+		}
+		return 0, errno.EIO
+	}
+	root.EndDetail(t.Now(), "committed")
+	return resp.PID, nil
+}
+
 // migrateTxn is the transactional client shared by fmigrate and rmigrate:
 // run one migration as a transaction against the source migd, retrying
 // the whole transaction — same id, every verb idempotent — with capped

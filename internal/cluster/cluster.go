@@ -61,6 +61,22 @@ type Cluster struct {
 	ha       map[string]*ha.Node
 	haCfg    ha.Config // StartHA's config, reused when a revived host rejoins
 	ctl      *controller.Controller
+	migWire  core.WireMode // wire mode controller-driven migrations use
+}
+
+// SetMigrationWire selects the wire mode the controller's streaming
+// migrations (drains, constraint moves) encode pages with. The default is
+// the stream default (elide + LZ); experiments use WireRaw as the
+// no-dedup baseline.
+func (c *Cluster) SetMigrationWire(w core.WireMode) { c.migWire = w }
+
+// ConfigurePageStores sets every machine's content-addressed page store
+// to the given byte budget; 0 or negative disables the stores (the
+// "session dedup only" configuration A14 baselines against).
+func (c *Cluster) ConfigurePageStores(budget int64) {
+	for _, name := range c.order {
+		core.ConfigureMachineStore(c.machines[name], budget)
+	}
 }
 
 // DefaultUser is the ordinary user account used by tests and examples.
@@ -196,12 +212,15 @@ func New(opts Options) (*Cluster, error) {
 
 		// A host crash (scripted or explicit) takes the machine's running
 		// processes with it — the fault-injection experiments depend on a
-		// crashed destination really losing its half-restored copy.
+		// crashed destination really losing its half-restored copy. The
+		// page store is RAM too: it dies with the host, so a revived host
+		// re-advertises an empty summary rather than a stale one.
 		machine := m
 		nh.SetCrashHook(func() {
 			for _, pi := range machine.PS() {
 				machine.Kill(kernel.Creds{}, pi.PID, kernel.SIGKILL)
 			}
+			core.DropMachineStore(machine)
 		})
 		for pname, fn := range progs {
 			m.RegisterProgram(pname, fn)

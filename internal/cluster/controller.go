@@ -5,6 +5,7 @@ import (
 
 	"procmig/internal/apps"
 	"procmig/internal/controller"
+	"procmig/internal/core"
 	"procmig/internal/ha"
 	"procmig/internal/kernel"
 	"procmig/internal/sim"
@@ -55,7 +56,23 @@ func (a *ctlActuator) Kill(t *sim.Task, host string, pid int) error {
 }
 
 func (a *ctlActuator) Migrate(t *sim.Task, src string, pid int, dst string) (int, error) {
-	return apps.MigrateRemote(t, a.c.hosts[a.host], src, pid, dst)
+	return apps.StreamMigrateRemote(t, a.c.hosts[a.host], src, pid, dst, a.c.migWire)
+}
+
+// Prewarm implements controller.Prewarmer: stream pid's pages from src
+// into dst's page store ahead of the real migration. Declined (warmed
+// false) when the cluster migrates raw (nothing would elide) or dst's
+// store is disabled (the pages would land nowhere) — baselines must not
+// pay prewarm bytes they can never win back.
+func (a *ctlActuator) Prewarm(t *sim.Task, src string, pid int, dst string) (bool, error) {
+	if a.c.migWire == core.WireRaw {
+		return false, nil
+	}
+	m := a.c.machines[dst]
+	if m == nil || core.MachineStore(m) == nil {
+		return false, nil
+	}
+	return true, apps.PrewarmRemote(t, a.c.hosts[a.host], src, pid, dst, -1)
 }
 
 func (a *ctlActuator) Protect(t *sim.Task, host string, pid int, buddy string) error {

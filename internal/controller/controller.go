@@ -109,12 +109,16 @@ type Controller struct {
 	countScratch map[string]int
 	overScratch  map[string]int
 
-	// Metrics (resolved once in New).
+	// Metrics (resolved once in New). mDrainFailBy caches the per-reason
+	// drain-failure counters (controller.drain_failed.<reason>), resolved
+	// lazily off scope on the first failure of each kind.
 	mRounds, mSpawn, mSpawnFail, mKill, mMove, mMoveFail   *obs.Counter
 	mRespawn, mAdopt, mLost, mReap, mProtect, mProtectFail *obs.Counter
 	mDrainWave, mDrainMove, mDrainFail, mDrainStuck        *obs.Counter
-	mReplaceWave, mReplaced                                *obs.Counter
+	mDrainPrewarm, mReplaceWave, mReplaced                 *obs.Counter
 	gApps, gDesired, gLive, gDeviation                     *obs.Gauge
+	scope                                                  *obs.Scope
+	mDrainFailBy                                           map[string]*obs.Counter
 }
 
 // New builds a controller running on host, acting through act, reporting
@@ -154,6 +158,9 @@ func New(host string, act Actuator, cfg Config, reg *obs.Registry) *Controller {
 	c.mDrainMove = s.Counter("controller.drain_moves")
 	c.mDrainFail = s.Counter("controller.drain_failed")
 	c.mDrainStuck = s.Counter("controller.drain_stuck")
+	c.mDrainPrewarm = s.Counter("controller.drain_prewarms")
+	c.scope = s
+	c.mDrainFailBy = map[string]*obs.Counter{}
 	c.mReplaceWave = s.Counter("controller.replace_waves")
 	c.mReplaced = s.Counter("controller.replaced")
 	c.gApps = s.Gauge("controller.apps")

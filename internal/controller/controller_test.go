@@ -27,7 +27,11 @@ type fakeAct struct {
 
 	migrateDelay  sim.Duration
 	failMigrate   map[string]bool // src host → fail
+	migrateErr    error           // what failMigrate failures return (nil → a generic error)
 	loseNextReply bool            // next migration commits but reports pid 0
+
+	prewarm      func(src string, pid int, dst string) (bool, error) // nil → decline
+	prewarmCalls int
 
 	spawns, kills, migrations int
 }
@@ -106,6 +110,9 @@ func (f *fakeAct) Migrate(t *sim.Task, src string, pid int, dst string) (int, er
 		t.Sleep(f.migrateDelay)
 	}
 	if f.failMigrate[src] {
+		if f.migrateErr != nil {
+			return 0, f.migrateErr
+		}
 		return 0, fmt.Errorf("fake: migration from %s failed", src)
 	}
 	p, ok := f.procs[src][pid]
@@ -132,6 +139,17 @@ func (f *fakeAct) Protect(t *sim.Task, host string, pid int, buddy string) error
 }
 
 func (f *fakeAct) Recoveries(buddy string) []ha.Recovery { return f.recoveries[buddy] }
+
+// Prewarm implements controller.Prewarmer. The default fake declines every
+// warmup (like a raw-wire cluster); tests that want the pipelined path
+// install a hook.
+func (f *fakeAct) Prewarm(t *sim.Task, src string, pid int, dst string) (bool, error) {
+	f.prewarmCalls++
+	if f.prewarm == nil {
+		return false, nil
+	}
+	return f.prewarm(src, pid, dst)
+}
 
 // crash kills a host and everything on it.
 func (f *fakeAct) crash(host string) {

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"procmig/internal/core"
+	"procmig/internal/vm"
+)
+
+// FuzzDecodeStoreHandshake throws arbitrary bytes at the store-summary
+// decoder. The summary is the dedup handshake — it arrives from a remote
+// host over the fault-injected network, so the decoder must reject
+// anything malformed without panicking or over-allocating, and every
+// summary it does accept must behave: probing it must never crash, and a
+// re-encode of the accepted summary must decode again to the same filter.
+func FuzzDecodeStoreHandshake(f *testing.F) {
+	ps := core.NewPageStore(int64(8 * vm.PageSize))
+	for i := byte(0); i < 8; i++ {
+		p := make([]byte, vm.PageSize)
+		for j := range p {
+			p[j] = byte(int(i)*37 + j + 1)
+		}
+		ps.Insert(vm.HashPage(p), p)
+	}
+	raw := ps.Summary().Encode()
+	f.Add(raw)
+	f.Add(raw[:len(raw)-1])
+	f.Add(raw[:1])
+	f.Add([]byte{})
+	f.Add(append(append([]byte{}, raw...), 0)) // trailing garbage
+	f.Add(core.NewPageStore(int64(vm.PageSize)).Summary().Encode())
+	bigLen := append(append([]byte{}, raw[:11]...), 0xff, 0xff, 0xff, 0xff)
+	f.Add(bigLen) // bitmap length lies upward
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := core.DecodeStoreSummary(data)
+		if err != nil {
+			return
+		}
+		// Probing an accepted summary must be total.
+		for i := uint64(0); i < 64; i++ {
+			s.MayContain(i * 2654435761)
+		}
+		again, err := core.DecodeStoreSummary(s.Encode())
+		if err != nil {
+			t.Fatalf("accepted summary does not re-decode: %v (%x)", err, data)
+		}
+		if again.Gen != s.Gen || again.Entries != s.Entries || again.K != s.K ||
+			string(again.Bits) != string(s.Bits) {
+			t.Fatalf("summary mutated across a round-trip: %+v vs %+v", again, s)
+		}
+	})
+}

@@ -40,6 +40,27 @@ const (
 	RecPageZero byte = 5 // u32 page number; the page is all zeros
 	RecPageRef  byte = 6 // u32 page number, u64 hash: dest already holds these bytes
 	RecPageLZ   byte = 7 // u32 page number, u32 frameLen, LZ frame (decodes to one page)
+	// RecPageStoreRef is the cross-session ref: u32 page number, u64 hash,
+	// same 13-byte shape as RecPageRef but resolved against the host-wide
+	// page store rather than the session hash table. It is speculative — the
+	// source trusts a bloom summary, so a miss is not an error: the
+	// destination records it and reports it on the next store-NACK poll
+	// (Stream.Sync) for the source to resend. Only a poisoned store entry
+	// (re-verification mismatch) fails the transfer.
+	RecPageStoreRef byte = 8
+	// RecStoreNack is the one-byte Stream.Sync query: "which speculative
+	// refs could your store not satisfy?" The reply is u32 n, then n sorted
+	// u32 page numbers. Idempotent: satisfied pages leave the list as their
+	// bytes arrive, so polling twice is harmless.
+	RecStoreNack byte = 9
+	// RecPageStoreRefBatch aggregates speculative refs: u32 n, then n
+	// (u32 page number, u64 hash) pairs. Semantically identical to n
+	// RecPageStoreRef records, but one record instead of n: a mass-drain
+	// round whose pages all sit in the destination store would otherwise
+	// pay hundreds of per-record fixed costs (send/receive CPU charges and
+	// wire latency, each of which can queue behind a full scheduler quantum
+	// on a contended host) to ship a few kilobytes of refs.
+	RecPageStoreRefBatch byte = 10
 )
 
 // WireMode selects how a StreamSession encodes page contents on the wire.
@@ -147,13 +168,30 @@ func EncodeStreamStatus(status int) []byte {
 	return binary.BigEndian.AppendUint32(nil, uint32(int32(status)))
 }
 
-// DecodeStreamStatus parses a close response; anything malformed is a
-// generic failure.
+// EncodeStreamStatusPID is the 8-byte close response: the restart status
+// plus the pid the restored copy runs under (0 when unknown or failed).
+// Decoders accept both forms, so sinks may keep answering 4 bytes.
+func EncodeStreamStatusPID(status, pid int) []byte {
+	b := binary.BigEndian.AppendUint32(nil, uint32(int32(status)))
+	return binary.BigEndian.AppendUint32(b, uint32(pid))
+}
+
+// DecodeStreamStatus parses a close response (either length); anything
+// malformed is a generic failure.
 func DecodeStreamStatus(raw []byte) int {
-	if len(raw) != 4 {
+	if len(raw) != 4 && len(raw) != 8 {
 		return -1
 	}
 	return int(int32(binary.BigEndian.Uint32(raw)))
+}
+
+// DecodeStreamStatusPID extracts the restored pid from an 8-byte close
+// response (0 for the 4-byte form or anything malformed).
+func DecodeStreamStatusPID(raw []byte) int {
+	if len(raw) != 8 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(raw[4:]))
 }
 
 // recPool recycles per-record encode buffers: a pre-copy round used to
@@ -192,6 +230,24 @@ func appendPageRefRec(b []byte, pg uint32, h uint64) []byte {
 	b = binary.BigEndian.AppendUint32(b, pg)
 	return binary.BigEndian.AppendUint64(b, h)
 }
+
+func appendPageStoreRefRec(b []byte, pg uint32, h uint64) []byte {
+	b = append(b, RecPageStoreRef)
+	b = binary.BigEndian.AppendUint32(b, pg)
+	return binary.BigEndian.AppendUint64(b, h)
+}
+
+// specRef is one queued speculative ref awaiting the end-of-round batch
+// flush: the page number and the content hash the summary matched.
+type specRef struct {
+	pg uint32
+	h  uint64
+}
+
+// specBatchMax bounds the refs one RecPageStoreRefBatch carries, sized so
+// the encoded record (5-byte header + 12 bytes per ref) still fits the
+// pooled record buffer without growing it.
+const specBatchMax = (9 + TextChunk - 5) / 12
 
 func appendPageLZRec(b []byte, pg uint32, frame []byte) []byte {
 	b = append(b, RecPageLZ)
@@ -295,6 +351,24 @@ type StreamSession struct {
 	// explicitly asks for raw.
 	Wire WireMode
 
+	// Store, when set, is the source host's own page store: every hashed
+	// page that ships (by any encoding except zero) is inserted, so pages
+	// this host sends once are elidable by later sessions from the same
+	// host — the source half of the cross-migration dedup.
+	Store *PageStore
+
+	// Remote, when set, is the destination host's advertised store summary.
+	// A page the summary claims the destination holds ships as a 13-byte
+	// speculative RecPageStoreRef; the summary is a bloom filter, so false
+	// positives are expected and repaired by the store-NACK poll at the end
+	// of each round — correctness never depends on the filter.
+	Remote *StoreSummary
+
+	// NewPID is the pid the restored copy runs under on the destination,
+	// decoded from an 8-byte close response (0 when the sink answered the
+	// legacy 4-byte form or the transfer failed).
+	NewPID int
+
 	textSent  bool
 	fullSent  bool
 	sentPages map[uint32]struct{} // distinct pages shipped, for the commit record
@@ -306,9 +380,19 @@ type StreamSession struct {
 	// discards its assembler (and hash table) on the generation mismatch,
 	// so the two sides always reset together.
 	sentHashes map[uint32]uint64
-	pgScratch  []uint32 // reused dirty-page list
-	pageBuf    []byte   // reused page-contents buffer
-	lzBuf      []byte   // reused compression output buffer
+	pgScratch  []uint32  // reused dirty-page list
+	pageBuf    []byte    // reused page-contents buffer
+	lzBuf      []byte    // reused compression output buffer
+	specRound  int       // speculative refs shipped this round, pending the NACK poll
+	specQueue  []specRef // refs queued this round, flushed as batch records
+	// cpuDebt accumulates per-page CPU costs (hashing, compression, store
+	// inserts) between wire sends; each send — and the end of the round —
+	// pays the whole debt in one Resource.Use. One scheduler round-trip
+	// per record shipped instead of one per cost charged: on a contended
+	// source CPU every Use can queue behind a full quantum, so a round
+	// that elides hundreds of pages to refs must not pay hundreds of
+	// queue waits for a few milliseconds of actual work.
+	cpuDebt sim.Duration
 
 	WireBytes int64 // payload bytes handed to the stream
 	Rounds    int   // SendRound calls so far (including the final one)
@@ -316,8 +400,11 @@ type StreamSession struct {
 	Err       error // transfer failure, set instead of Status
 
 	// Wire-efficiency accounting: how each shipped page was encoded, and
-	// how many bytes the encoding saved against a raw RecPage.
+	// how many bytes the encoding saved against a raw RecPage. PagesSpec
+	// counts speculative store refs; SpecNacks counts the ones the
+	// destination bounced for resend (false positives and evictions).
 	PagesRaw, PagesZero, PagesRef, PagesLZ int
+	PagesSpec, SpecNacks                   int
 	SavedBytes                             int64
 
 	// Settled flips once the final round has decided the outcome either
@@ -345,6 +432,8 @@ type StreamObs struct {
 	PagesZero  *obs.Counter
 	PagesRef   *obs.Counter
 	PagesLZ    *obs.Counter
+	PagesSpec  *obs.Counter // speculative cross-session store refs shipped
+	SpecNacks  *obs.Counter // speculative refs bounced for resend
 }
 
 // NewStreamObs resolves the stream counters under one host scope.
@@ -358,6 +447,8 @@ func NewStreamObs(s *obs.Scope) *StreamObs {
 		PagesZero:  s.Counter("stream.pages_zero"),
 		PagesRef:   s.Counter("stream.pages_ref"),
 		PagesLZ:    s.Counter("stream.pages_lz"),
+		PagesSpec:  s.Counter("stream.pages_spec"),
+		SpecNacks:  s.Counter("stream.spec_nacks"),
 	}
 }
 
@@ -406,7 +497,9 @@ func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, 
 		s.sentHashes = map[uint32]uint64{}
 	}
 	send := func(rec []byte) error {
-		charge(costs.StreamChunkBase + sim.Duration(len(rec))*costs.StreamPerByte)
+		s.cpuDebt += costs.StreamChunkBase + sim.Duration(len(rec))*costs.StreamPerByte
+		charge(s.cpuDebt)
+		s.cpuDebt = 0
 		return s.sendRec(t, rec)
 	}
 	if !s.textSent {
@@ -436,18 +529,125 @@ func (s *StreamSession) SendRound(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, 
 	}
 	if cpu.DirtyTracking() {
 		cpu.ClearDirty()
-		charge(sim.Duration(len(pages)) * costs.DirtyScanPerPage)
+		s.cpuDebt += sim.Duration(len(pages)) * costs.DirtyScanPerPage
 	}
 	if s.pageBuf == nil {
 		s.pageBuf = make([]byte, vm.PageSize)
 	}
 	for _, pg := range pages {
 		cpu.PageDataInto(pg, s.pageBuf)
-		if err := s.sendPage(pg, s.pageBuf, costs, charge, send); err != nil {
+		if err := s.sendPage(pg, s.pageBuf, costs, send, true); err != nil {
 			return err
 		}
 	}
+	if err := s.flushSpecRefs(send); err != nil {
+		return err
+	}
+	if s.specRound > 0 {
+		if err := s.resolveNacks(t, cpu, costs, charge, send); err != nil {
+			return err
+		}
+	}
+	if s.cpuDebt > 0 {
+		// A round whose tail elided every page (nothing left to send) still
+		// owes its scan and hash time.
+		charge(s.cpuDebt)
+		s.cpuDebt = 0
+	}
 	s.Rounds++
+	return nil
+}
+
+// flushSpecRefs ships the round's queued speculative refs as
+// RecPageStoreRefBatch records, specBatchMax refs apiece. Runs before the
+// NACK poll (the destination must have seen every ref it is asked about)
+// and reuses the queue's storage across rounds, so the steady-state send
+// round stays allocation-free.
+func (s *StreamSession) flushSpecRefs(send func([]byte) error) error {
+	for off := 0; off < len(s.specQueue); off += specBatchMax {
+		end := off + specBatchMax
+		if end > len(s.specQueue) {
+			end = len(s.specQueue)
+		}
+		batch := s.specQueue[off:end]
+		bp := recBufGet()
+		b := (*bp)[:0]
+		b = append(b, RecPageStoreRefBatch)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(batch)))
+		for _, ref := range batch {
+			b = binary.BigEndian.AppendUint32(b, ref.pg)
+			b = binary.BigEndian.AppendUint64(b, ref.h)
+		}
+		*bp = b
+		err := send(b)
+		if err == nil {
+			saved := len(batch)*rawPageRecLen - len(b)
+			s.SavedBytes += int64(saved)
+			s.Stream.CountElided(saved)
+			if s.Obs != nil {
+				s.Obs.SavedBytes.Add(int64(saved))
+			}
+		}
+		recBufPut(bp)
+		if err != nil {
+			return err
+		}
+	}
+	s.specQueue = s.specQueue[:0]
+	return nil
+}
+
+// storeNackReq is the one-byte Sync query every NACK poll sends; a package
+// constant so polling allocates nothing.
+var storeNackReq = []byte{RecStoreNack}
+
+// resolveNacks closes out a round that shipped speculative store refs: ask
+// the destination which refs its store could not satisfy and resend those
+// pages with refs disabled (current contents, re-read — so a page dirtied
+// since its speculative ref simply ships its newest bytes, and the next
+// round's dirty scan re-sends it again, preserving the pre-copy
+// invariant). Runs before the round is counted, so a frozen-victim final
+// round is not complete until every speculative ref is resolved.
+func (s *StreamSession) resolveNacks(t *sim.Task, cpu *vm.CPU, costs kernel.Costs, charge func(sim.Duration), send func([]byte) error) error {
+	var resp []byte
+	var err error
+	for i := 0; i <= streamSendRetries; i++ {
+		if i > 0 && s.Obs != nil {
+			s.Obs.Resends.Inc()
+		}
+		s.cpuDebt += costs.StreamChunkBase
+		charge(s.cpuDebt)
+		s.cpuDebt = 0
+		resp, err = s.Stream.Sync(t, storeNackReq)
+		if err != errno.ETIMEDOUT {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	s.specRound = 0
+	s.WireBytes += int64(len(storeNackReq) + len(resp))
+	if s.Obs != nil {
+		s.Obs.WireBytes.Add(int64(len(storeNackReq) + len(resp)))
+	}
+	nacks, err := DecodeStoreNacks(resp)
+	if err != nil {
+		return err
+	}
+	if len(nacks) == 0 {
+		return nil
+	}
+	s.SpecNacks += len(nacks)
+	if s.Obs != nil {
+		s.Obs.SpecNacks.Add(int64(len(nacks)))
+	}
+	for _, pg := range nacks {
+		cpu.PageDataInto(pg, s.pageBuf)
+		if err := s.sendPage(pg, s.pageBuf, costs, send, false); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -462,32 +662,61 @@ const rawPageRecLen = 9 + vm.PageSize
 // got resent (sendRec) or killed the round, and a killed round kills the
 // whole session (migration) or breaks the protection (checkpoint), both
 // of which discard the hash tables on both sides.
-func (s *StreamSession) sendPage(pg uint32, data []byte, costs kernel.Costs, charge func(sim.Duration), send func([]byte) error) error {
-	bp := recBufGet()
-	defer recBufPut(bp)
-	b := (*bp)[:0]
-	var kind *int
+//
+// refsOK gates both ref encodings. The NACK-resend path passes false so a
+// bounced speculative ref always resolves to actual bytes (zero, LZ or
+// raw) — never to another ref that could bounce again.
+func (s *StreamSession) sendPage(pg uint32, data []byte, costs kernel.Costs, send func([]byte) error, refsOK bool) error {
 	var h uint64
 	var known bool
 	hashed := s.Wire != WireRaw
 	if hashed {
-		charge(costs.PageHashCost)
+		s.cpuDebt += costs.PageHashCost
 		h = vm.HashPage(data)
 		var prev uint64
 		prev, known = s.sentHashes[pg]
 		known = known && prev == h
 	}
+	if refsOK && hashed && !known && !vm.IsZeroPage(data) &&
+		s.Remote != nil && s.Remote.MayContain(h) {
+		// The destination's store summary claims it holds these bytes from
+		// an earlier session. Speculative: the end-of-round NACK poll
+		// repairs false positives, so a wrong filter costs a resend, never
+		// correctness. The ref is queued, not sent — the round flushes the
+		// queue as RecPageStoreRefBatch records, so a round that elides
+		// hundreds of pages pays a couple of record costs rather than
+		// hundreds. Updating the tables before the flush ships is safe by
+		// the same argument as below: a failed flush kills the round, and
+		// a killed round kills the session and both hash tables with it.
+		s.specQueue = append(s.specQueue, specRef{pg: pg, h: h})
+		s.specRound++
+		s.PagesSpec++
+		s.sentPages[pg] = struct{}{}
+		s.sentHashes[pg] = h
+		if s.Store != nil {
+			s.cpuDebt += costs.StorePageCost
+			s.Store.Insert(h, data)
+		}
+		if s.Obs != nil {
+			s.Obs.PagesSpec.Inc()
+		}
+		return nil
+	}
+	bp := recBufGet()
+	defer recBufPut(bp)
+	b := (*bp)[:0]
+	var kind *int
 	switch {
 	case hashed && vm.IsZeroPage(data):
 		// Checked before the hash table: a 5-byte RecPageZero beats a
 		// 13-byte RecPageRef even when the destination already holds it.
 		b = appendPageZeroRec(b, pg)
 		kind = &s.PagesZero
-	case known:
+	case refsOK && known:
 		b = appendPageRefRec(b, pg, h)
 		kind = &s.PagesRef
 	case s.Wire == WireElideLZ:
-		charge(costs.LZPageCost)
+		s.cpuDebt += costs.LZPageCost
 		s.lzBuf = AppendLZ(s.lzBuf[:0], data)
 		if len(s.lzBuf) < vm.PageSize {
 			b = appendPageLZRec(b, pg, s.lzBuf)
@@ -508,6 +737,14 @@ func (s *StreamSession) sendPage(pg uint32, data []byte, costs kernel.Costs, cha
 	s.sentPages[pg] = struct{}{}
 	if hashed {
 		s.sentHashes[pg] = h
+		if s.Store != nil && kind != &s.PagesZero {
+			// Source-side insert: this host has now shipped these bytes, so
+			// a later session from here can elide them when a destination's
+			// summary says so. Zero pages stay out — RecPageZero is cheaper
+			// than any ref.
+			s.cpuDebt += costs.StorePageCost
+			s.Store.Insert(h, data)
+		}
 	}
 	saved := rawPageRecLen - len(b)
 	if saved > 0 {
@@ -540,6 +777,7 @@ type StreamStats struct {
 	Rounds                                 int
 	WireBytes, SavedBytes                  int64
 	PagesRaw, PagesZero, PagesRef, PagesLZ int
+	PagesSpec, SpecNacks                   int
 }
 
 // Stats returns the session's current accounting.
@@ -548,6 +786,7 @@ func (s *StreamSession) Stats() StreamStats {
 		Rounds: s.Rounds, WireBytes: s.WireBytes, SavedBytes: s.SavedBytes,
 		PagesRaw: s.PagesRaw, PagesZero: s.PagesZero,
 		PagesRef: s.PagesRef, PagesLZ: s.PagesLZ,
+		PagesSpec: s.PagesSpec, SpecNacks: s.SpecNacks,
 	}
 }
 
@@ -583,6 +822,7 @@ func (s *StreamSession) CloseSynthetic(t *sim.Task, cpu *vm.CPU, pid uint32, cos
 		return -1, err
 	}
 	s.Status = DecodeStreamStatus(resp)
+	s.NewPID = DecodeStreamStatusPID(resp)
 	return s.Status, nil
 }
 
@@ -764,6 +1004,7 @@ func streamDumpSend(p *kernel.Proc, sess *StreamSession) errno.Errno {
 		return abort(errno.Of(err))
 	}
 	sess.Status = DecodeStreamStatus(resp)
+	sess.NewPID = DecodeStreamStatusPID(resp)
 	csp.EndDetail(t.Now(), fmt.Sprintf("status %d", sess.Status))
 	if sess.Status != 0 {
 		// The destination ran to a verdict and it was "failed": nothing
@@ -801,7 +1042,23 @@ type ImageAssembler struct {
 	// generation bump discards the assembler and this table with it, in
 	// lockstep with the source discarding its sentHashes.
 	hashes map[uint32]uint64
+	// store, when set, is the destination host's page store: speculative
+	// RecPageStoreRefs resolve against it, and every verified page that
+	// arrives by value feeds it. Outlives the assembler — that asymmetry
+	// with hashes is the whole point of the store.
+	store *PageStore
+	// specMiss is the set of pages whose speculative refs the store could
+	// not satisfy, reported on the next RecStoreNack poll and cleared as
+	// their bytes arrive. Committed refuses a spool while any remain: a
+	// missed ref for a page holding stale earlier-round bytes would pass
+	// the PageCount check with wrong contents otherwise.
+	specMiss map[uint32]struct{}
 }
+
+// SetStore attaches the host page store the assembler resolves speculative
+// refs against and feeds verified pages into. Nil (the default) disables
+// both: speculative refs all miss and are NACKed for resend.
+func (a *ImageAssembler) SetStore(ps *PageStore) { a.store = ps }
 
 // NewImageAssembler starts reassembly for one streaming migration.
 func NewImageAssembler(helloRaw []byte) (*ImageAssembler, error) {
@@ -864,7 +1121,10 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 			return ErrTruncated
 		}
 		copy(a.page(pg), data)
-		a.hashes[pg] = vm.HashPage(data)
+		h := vm.HashPage(data)
+		a.hashes[pg] = h
+		a.storeInsert(h, data)
+		delete(a.specMiss, pg)
 	case RecPageZero:
 		pg := r.u32()
 		if r.err != nil {
@@ -875,6 +1135,7 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 			p[i] = 0
 		}
 		a.hashes[pg] = zeroPageHash
+		delete(a.specMiss, pg)
 	case RecPageRef:
 		pg := r.u32()
 		h := r.u64()
@@ -890,6 +1151,31 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 		if !ok || held != h {
 			return ErrHashMismatch
 		}
+		delete(a.specMiss, pg)
+	case RecPageStoreRef:
+		pg := r.u32()
+		h := r.u64()
+		if r.err != nil {
+			return r.err
+		}
+		return a.applyStoreRef(pg, h)
+	case RecPageStoreRefBatch:
+		n := int(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		// Exactly n refs, nothing trailing: a short batch would silently
+		// drop refs, a long one would smuggle undecoded bytes.
+		if len(r.buf) != 12*n {
+			return ErrTruncated
+		}
+		for i := 0; i < n; i++ {
+			pg := r.u32()
+			h := r.u64()
+			if err := a.applyStoreRef(pg, h); err != nil {
+				return err
+			}
+		}
 	case RecPageLZ:
 		pg := r.u32()
 		n := int(r.u32())
@@ -904,7 +1190,10 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 		if err := DecompressLZInto(p, frame); err != nil {
 			return err
 		}
-		a.hashes[pg] = vm.HashPage(p)
+		h := vm.HashPage(p)
+		a.hashes[pg] = h
+		a.storeInsert(h, p)
+		delete(a.specMiss, pg)
 	case RecMeta:
 		a.stackLen = int(r.u32())
 		a.filesRaw = append([]byte(nil), r.take(int(r.u32()))...)
@@ -925,11 +1214,105 @@ func (a *ImageAssembler) Apply(rec []byte) error {
 	return nil
 }
 
+// storeInsert feeds one verified page into the host store (all-zero pages
+// excepted: RecPageZero is cheaper than any ref, so storing them buys
+// nothing). No-op without a store.
+func (a *ImageAssembler) storeInsert(h uint64, data []byte) {
+	if a.store != nil && h != zeroPageHash {
+		a.store.Insert(h, data)
+	}
+}
+
+// applyStoreRef resolves a speculative cross-session ref. Three outcomes:
+// the store (or this session's own table) holds the bytes and the page
+// lands; the store misses — recorded for the NACK poll, never an error,
+// because the source only trusted a bloom filter; or the store entry is
+// poisoned (re-verification mismatch), which fails the transfer loudly
+// like a bad RecPageRef would.
+func (a *ImageAssembler) applyStoreRef(pg uint32, h uint64) error {
+	if held, ok := a.hashes[pg]; ok && held == h {
+		// Already holding these exact bytes from this session (a resend
+		// raced the poll, or the store fed an earlier identical ref).
+		delete(a.specMiss, pg)
+		return nil
+	}
+	if a.store != nil {
+		data, err := a.store.Acquire(h)
+		if err != nil {
+			return err
+		}
+		if data != nil {
+			copy(a.page(pg), data)
+			a.hashes[pg] = h
+			delete(a.specMiss, pg)
+			return nil
+		}
+	}
+	if a.specMiss == nil {
+		a.specMiss = map[uint32]struct{}{}
+	}
+	a.specMiss[pg] = struct{}{}
+	return nil
+}
+
+// EncodeStoreNacks serializes the pending speculative-ref misses as the
+// RecStoreNack reply: u32 count, then the page numbers sorted ascending
+// (map iteration order must not leak onto the wire — the engine is
+// deterministic, the wire must be too).
+func (a *ImageAssembler) EncodeStoreNacks() []byte {
+	pages := make([]uint32, 0, len(a.specMiss))
+	for pg := range a.specMiss {
+		pages = append(pages, pg)
+	}
+	for i := 1; i < len(pages); i++ {
+		for j := i; j > 0 && pages[j-1] > pages[j]; j-- {
+			pages[j-1], pages[j] = pages[j], pages[j-1]
+		}
+	}
+	b := make([]byte, 0, 4+4*len(pages))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(pages)))
+	for _, pg := range pages {
+		b = binary.BigEndian.AppendUint32(b, pg)
+	}
+	return b
+}
+
+// DecodeStoreNacks parses a RecStoreNack reply back into the page list.
+func DecodeStoreNacks(raw []byte) ([]uint32, error) {
+	r := &reader{buf: raw}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 4*n {
+		return nil, ErrTruncated
+	}
+	pages := make([]uint32, n)
+	for i := range pages {
+		pages[i] = r.u32()
+	}
+	return pages, nil
+}
+
+// SyncReply answers a Stream.Sync query against the assembler: the sink
+// adapters (migd, guardd, tests) delegate their StreamSyncer.Sync here.
+// Unknown queries answer nil, which the source's decoder rejects.
+func (a *ImageAssembler) SyncReply(req []byte) []byte {
+	if len(req) == 1 && req[0] == RecStoreNack {
+		return a.EncodeStoreNacks()
+	}
+	return nil
+}
+
 // Committed reports whether a commit record has arrived and matches both
 // the hello and what was actually assembled — the gate Spool enforces.
+// Unresolved speculative refs block it: such a page may sit in a.pages
+// with stale earlier-round bytes, which the PageCount check alone cannot
+// tell from the real thing.
 func (a *ImageAssembler) Committed() bool {
 	c := a.commit
 	return c != nil && a.metaSeen &&
+		len(a.specMiss) == 0 &&
 		c.Txn == a.hello.Txn &&
 		c.PID == a.hello.PID &&
 		c.TextLen == a.hello.TextLen &&

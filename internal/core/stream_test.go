@@ -30,6 +30,10 @@ func (s *asmSink) Done(_ *sim.Task) []byte {
 	return EncodeStreamStatus(0)
 }
 
+func (s *asmSink) Sync(_ *sim.Task, req []byte) []byte {
+	return s.asm.SyncReply(req)
+}
+
 func TestStreamHelloRoundTrip(t *testing.T) {
 	h := &StreamHello{PID: 42, ISA: vm.ISA2, Entry: 0x1c, TextLen: 5000, DataLen: 3000, Source: "alpha"}
 	got, err := DecodeStreamHello(h.Encode())

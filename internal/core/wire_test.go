@@ -291,3 +291,81 @@ func BenchmarkAssembler(b *testing.B) {
 		b.Fatal(sink.err)
 	}
 }
+
+// BenchmarkAssemblerStore is the cross-session variant: both stores wired,
+// the destination's summary advertised, so the steady-state round elides
+// its dirty page to a speculative store ref (queued, batch-flushed,
+// NACK-polled) — and that whole path must stay as allocation-free as the
+// plain one.
+func BenchmarkAssemblerStore(b *testing.B) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, 0, 0)
+	src := net.AddHost("src")
+	net.AddHost("dst")
+	text := make([]byte, 256)
+	data := make([]byte, 16*vm.PageSize)
+	for i := range data {
+		data[i] = byte(i >> 2)
+	}
+	destStore := NewPageStore(DefaultStoreBudget)
+	var sink *asmSink
+	dstHost, _ := net.Host("dst")
+	dstHost.ListenStream(9, func(_ *sim.Task, _ string, hello []byte) (netsim.StreamSink, error) {
+		asm, err := NewImageAssembler(hello)
+		if err != nil {
+			return nil, err
+		}
+		asm.SetStore(destStore)
+		sink = &asmSink{asm: asm}
+		return sink, nil
+	})
+	c := vm.New(text, data, vm.MinISA(text))
+	c.SetDirtyTracking(true)
+	hello := &StreamHello{PID: 1, TextLen: uint32(len(text)), DataLen: uint32(len(data))}
+	st, err := src.OpenStream(nil, "dst", 9, hello.Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := &StreamSession{Stream: st, Store: NewPageStore(DefaultStoreBudget)}
+	reg := obs.NewRegistry()
+	sess.Obs = NewStreamObs(reg.Scope("src"))
+	net.SetObs(reg)
+	costs := kernel.DefaultCosts()
+	charge := func(sim.Duration) {}
+	dataBase := vm.DataBase(len(text))
+
+	// The dirty page alternates between two contents. Once both versions
+	// sit in the destination store, every round's page hash is one the
+	// summary claims but differs from the last shipped — the speculative
+	// store-ref condition — so the steady state is: queue one ref, flush
+	// one batch record, poll NACKs, get none.
+	round := func(i int) {
+		c.WriteU32(dataBase+8*vm.PageSize, uint32(i%2))
+		if err := sess.SendRound(nil, c, costs, charge); err != nil {
+			b.Fatal(err)
+		}
+	}
+	round(0)
+	round(1)
+	sess.Remote = destStore.Summary()
+	spec0 := sess.PagesSpec
+	n := 0
+	for ; n < 32; n++ {
+		round(n)
+	}
+	if sess.PagesSpec <= spec0 || sess.SpecNacks != 0 {
+		b.Fatalf("warmed rounds shipped no speculative refs: %+v", sess.Stats())
+	}
+	if avg := testing.AllocsPerRun(100, func() { round(n); n++ }); avg > 2 {
+		b.Fatalf("warmed-store steady-state send round allocates %.1f times, want ≤2", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round(i)
+	}
+	b.StopTimer()
+	if sink.err != nil {
+		b.Fatal(sink.err)
+	}
+}

@@ -1,0 +1,187 @@
+package ha_test
+
+import (
+	"testing"
+
+	"procmig/internal/cluster"
+	"procmig/internal/core"
+	"procmig/internal/ha"
+	"procmig/internal/netsim"
+	"procmig/internal/sim"
+)
+
+// Regression tests for how guardd interacts with the host-wide page
+// store: a protection-generation bump discards the per-session hash
+// tables on both ends, but the store belongs to the host, not to any
+// session — it must survive the bump, and its churn (flushes, evictions)
+// must never wedge the checkpoint pipeline.
+
+// awaitSeq polls the buddy's committed-checkpoint count for source/pid
+// until it reaches want or the deadline passes, returning the last count.
+func awaitSeq(tk *sim.Task, g *ha.Guard, source string, pid, want int, deadline sim.Time) int {
+	for g.CommittedSeq(source, pid) < want && tk.Now() < deadline {
+		tk.Sleep(50 * sim.Millisecond)
+	}
+	return g.CommittedSeq(source, pid)
+}
+
+// tearSpool drops alpha→beta checkpoint spools long enough for one full
+// openRetry cycle (8 attempts × network timeout + backoff ≈ 18 s) to
+// fail and mark the protection broken, then heals the link. Heartbeats
+// are untouched, so nobody suspects anybody.
+func tearSpool(tk *sim.Task, c *cluster.Cluster) {
+	c.Net.FaultLinkPort("alpha", "beta", ha.GuardSpoolPort, netsim.FaultSpec{Drop: 1})
+	tk.Sleep(25 * sim.Second)
+	c.Net.ClearFaults()
+}
+
+// TestGuardGenBumpKeepsHostStore: a torn checkpoint forces the next one
+// to bump the generation and resync a full image. The bump must NOT
+// flush the buddy's page store — the surviving store is exactly what
+// makes the resync cheap, satisfying the speculative refs the source
+// sends against the buddy's summary.
+func TestGuardGenBumpKeepsHostStore(t *testing.T) {
+	c := bootHA(t, ha.Config{Interval: sim.Second, CkptInterval: 2 * sim.Second},
+		"alpha", "beta", "gamma")
+	store := core.MachineStore(c.Machine("beta"))
+	po := core.NewPageStoreObs(c.Obs.Scope("buddy_store_probe"))
+	store.SetObs(po)
+	var warmLen int
+	var genSame, resynced bool
+	var resyncHits int64
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		defer killAll(c)
+		hog, err := c.Spawn("alpha", nil, cluster.DefaultUser, "/bin/hog")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buddy := c.HA("beta").Guard
+		c.HA("alpha").Guard.Protect(hog.PID, "beta")
+		if awaitSeq(tk, buddy, "alpha", hog.PID, 2, sim.Time(30*sim.Second)) < 2 {
+			t.Error("no warm checkpoints committed")
+			return
+		}
+		warmLen = store.Len()
+		gen := store.Gen()
+		hits0 := po.Hits.Value()
+		seq0 := buddy.CommittedSeq("alpha", hog.PID)
+		tearSpool(tk, c)
+		deadline := tk.Now() + sim.Time(40*sim.Second)
+		resynced = awaitSeq(tk, buddy, "alpha", hog.PID, seq0+1, deadline) > seq0
+		genSame = store.Gen() == gen
+		resyncHits = po.Hits.Value() - hits0
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if warmLen == 0 {
+		t.Fatal("warm checkpoints never fed the buddy's page store")
+	}
+	if !resynced {
+		t.Fatal("no checkpoint committed after the torn transfer healed")
+	}
+	if !genSame {
+		t.Fatal("the generation bump flushed or churned the buddy's page store")
+	}
+	if resyncHits == 0 {
+		t.Fatal("resync drew nothing from the surviving store — the full image re-shipped as bytes")
+	}
+}
+
+// TestGuardResyncSurvivesBuddyStoreFlush: the buddy's store is flushed
+// (budget churn, operator reset) while the spool link is also torn. The
+// gen-bumped resync then runs against an empty summary: no refs to lean
+// on, so the full image ships as bytes — and must still commit, refilling
+// the store as the pages land. Store loss degrades, never wedges.
+func TestGuardResyncSurvivesBuddyStoreFlush(t *testing.T) {
+	c := bootHA(t, ha.Config{Interval: sim.Second, CkptInterval: 2 * sim.Second},
+		"alpha", "beta", "gamma")
+	store := core.MachineStore(c.Machine("beta"))
+	var resynced bool
+	var lenAfter int
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		defer killAll(c)
+		hog, err := c.Spawn("alpha", nil, cluster.DefaultUser, "/bin/hog")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buddy := c.HA("beta").Guard
+		c.HA("alpha").Guard.Protect(hog.PID, "beta")
+		if awaitSeq(tk, buddy, "alpha", hog.PID, 1, sim.Time(30*sim.Second)) < 1 {
+			t.Error("no checkpoint committed before the flush")
+			return
+		}
+		seq0 := buddy.CommittedSeq("alpha", hog.PID)
+		store.Reset()
+		tearSpool(tk, c)
+		deadline := tk.Now() + sim.Time(40*sim.Second)
+		resynced = awaitSeq(tk, buddy, "alpha", hog.PID, seq0+1, deadline) > seq0
+		lenAfter = store.Len()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resynced {
+		t.Fatal("checkpoints wedged after the buddy's store was flushed")
+	}
+	if lenAfter == 0 {
+		t.Fatal("the committed resync did not refeed the flushed store")
+	}
+}
+
+// TestProtectDuringCheckpointTick: a Protect() registered while guardd's
+// checkpoint tick is parked on the network must not be lost when the tick
+// finishes and sweeps its table. The spool ACK path is delayed so the
+// source guardian is still mid-tick — waiting out the close ACK — when
+// the driver observes the buddy's commit and registers the second hog.
+func TestProtectDuringCheckpointTick(t *testing.T) {
+	c := bootHA(t, ha.Config{Interval: sim.Second, CkptInterval: 2 * sim.Second},
+		"alpha", "beta")
+	var protected, committed bool
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		defer killAll(c)
+		hog1, err := c.Spawn("alpha", nil, cluster.DefaultUser, "/bin/hog")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		hog2, err := c.Spawn("alpha", nil, cluster.DefaultUser, "/bin/hog")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Every beta→alpha ack on the spool port takes an extra half
+		// second: after the buddy commits, the source's checkpoint() is
+		// still parked waiting for the close ack, so a Protect issued the
+		// moment the commit is visible lands mid-tick by construction.
+		c.Net.FaultLinkPort("beta", "alpha", ha.GuardSpoolPort,
+			netsim.FaultSpec{Delay: 500 * sim.Millisecond})
+		g := c.HA("alpha").Guard
+		buddy := c.HA("beta").Guard
+		g.Protect(hog1.PID, "beta")
+		deadline := tk.Now() + sim.Time(30*sim.Second)
+		for buddy.CommittedSeq("alpha", hog1.PID) < 1 && tk.Now() < deadline {
+			tk.Sleep(20 * sim.Millisecond)
+		}
+		if buddy.CommittedSeq("alpha", hog1.PID) < 1 {
+			t.Error("first hog never checkpointed")
+			return
+		}
+		g.Protect(hog2.PID, "beta")
+		protected = g.Protected(hog2.PID)
+		committed = awaitSeq(tk, buddy, "alpha", hog2.PID, 1,
+			tk.Now()+sim.Time(30*sim.Second)) >= 1
+		c.Net.ClearFaults()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !protected {
+		t.Fatal("Protect() issued mid-tick was dropped from the guard table")
+	}
+	if !committed {
+		t.Fatal("mid-tick registration never got a committed checkpoint")
+	}
+}

@@ -73,6 +73,7 @@ type protection struct {
 	txn    uint32
 	sess   *core.StreamSession
 	broken bool // last checkpoint failed; next one resyncs a full image
+	ended  bool // released; swept from the table at the end of the tick
 }
 
 type ckptKey struct {
@@ -135,6 +136,11 @@ func (g *Guard) listen() error {
 	if err := g.n.host.Listen(GuardPort, g.handleCall); err != nil {
 		return err
 	}
+	// The summary service may already be up (migd registers it too);
+	// ServeStoreSummary tolerates that.
+	if err := core.ServeStoreSummary(g.n.host, g.n.m); err != nil {
+		return err
+	}
 	return g.n.host.ListenStream(GuardSpoolPort, g.acceptSpool)
 }
 
@@ -189,9 +195,20 @@ func (g *Guard) checkpointLoop(t *sim.Task) {
 		if g.n.host.Down() {
 			continue // a crashed host checkpoints nothing (and must not release)
 		}
+		// Checkpoint by index, not over a snapshot: checkpoint() parks on
+		// the network for seconds at a time, and a Protect() registered
+		// meanwhile appends to g.prot — an aliased rebuild would silently
+		// drop it. Ended protections are only marked here and swept below,
+		// where the filter runs without yielding.
+		for i := 0; i < len(g.prot); i++ {
+			pr := g.prot[i]
+			if !pr.ended && !g.checkpoint(t, pr) {
+				pr.ended = true
+			}
+		}
 		kept := g.prot[:0]
 		for _, pr := range g.prot {
-			if g.checkpoint(t, pr) {
+			if !pr.ended {
 				kept = append(kept, pr)
 			}
 		}
@@ -231,6 +248,19 @@ func (g *Guard) checkpoint(t *sim.Task, pr *protection) bool {
 		// the same session), and this must not silently change if the
 		// default ever does.
 		pr.sess = &core.StreamSession{Txn: pr.txn, Checkpoint: true, Wire: core.WireElideLZ}
+		// The generation bump resets the per-session hash tables on both
+		// sides — but not the hosts' page stores, which is what makes a
+		// resync after a torn transfer cheap: the full image re-ships
+		// mostly as speculative store refs against the buddy's summary.
+		pr.sess.Store = core.MachineStore(m)
+		pr.sess.Remote = core.FetchStoreSummary(t, g.n.host, pr.buddy)
+		// The summary fetch parks on the network; the victim may have
+		// ended while we waited, in which case this is a release, not a
+		// checkpoint.
+		if p.State != kernel.ProcRunning || p.VM == nil {
+			g.release(t, pr)
+			return false
+		}
 		pr.broken = false
 		p.VM.SetDirtyTracking(true)
 	}
@@ -344,6 +374,7 @@ func (g *Guard) acceptSpool(_ *sim.Task, from string, helloRaw []byte) (netsim.S
 	if err != nil {
 		return nil, err
 	}
+	asm.SetStore(core.MachineStore(g.n.m))
 	key := ckptKey{from, int(asm.Hello().PID)}
 	st := g.ckpts[key]
 	if st == nil {
@@ -409,6 +440,16 @@ func (s *guardSink) Done(t *sim.Task) []byte {
 }
 
 func (s *guardSink) Abort(_ *sim.Task) {}
+
+// Sync answers the source's store-NACK poll against the protection's
+// assembler.
+func (s *guardSink) Sync(t *sim.Task, req []byte) []byte {
+	m := s.g.n.m
+	if t != nil {
+		m.CPU().Use(t, m.Costs.StreamChunkBase, nil)
+	}
+	return s.st.asm.SyncReply(req)
+}
 
 // monitorLoop is guardd's buddy half: watch the membership table and
 // recover protections whose source is confirmed dead.

@@ -58,6 +58,7 @@ type Costs struct {
 	DirtyScanPerPage sim.Duration // walking the dirty set each round
 	PageHashCost     sim.Duration // hashing one page for dedup/elision
 	LZPageCost       sim.Duration // LZ-compressing one candidate page
+	StorePageCost    sim.Duration // inserting one page into the host page store
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -101,6 +102,7 @@ func DefaultCosts() Costs {
 		DirtyScanPerPage: 20 * sim.Microsecond,
 		PageHashCost:     150 * sim.Microsecond,
 		LZPageCost:       512 * sim.Microsecond,
+		StorePageCost:    80 * sim.Microsecond,
 	}
 }
 

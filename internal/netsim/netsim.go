@@ -264,6 +264,14 @@ type StreamAborter interface {
 	Abort(t *sim.Task)
 }
 
+// StreamSyncer is an optional StreamSink extension: Sync answers a small
+// mid-stream query from the sender (Stream.Sync) — the back-channel
+// chunks themselves lack. Queries must be idempotent: a reply lost to a
+// drop fault means Sync ran and will run again on the retry.
+type StreamSyncer interface {
+	Sync(t *sim.Task, req []byte) []byte
+}
+
 // abortSink tears a sink down if it knows how.
 func abortSink(t *sim.Task, sink StreamSink) {
 	if a, ok := sink.(StreamAborter); ok {
@@ -374,6 +382,35 @@ func (s *Stream) Send(t *sim.Task, chunk []byte) error {
 	*bp = buf
 	chunkPool.Put(bp)
 	return nil
+}
+
+// Sync performs one charged query/reply round trip on the open stream,
+// running the sink's Sync in the calling task's context (like Chunk). It
+// fails with EINVAL when the sink does not implement StreamSyncer, and
+// with the usual delivery errors (ETIMEDOUT on a lost query or reply)
+// otherwise; callers retry idempotent queries exactly like lost chunks.
+func (s *Stream) Sync(t *sim.Task, req []byte) ([]byte, error) {
+	if t == nil {
+		t = s.net.eng.Current()
+	}
+	if s.closed {
+		return nil, errno.EPIPE
+	}
+	if s.from.down {
+		return nil, errno.EHOSTDOWN
+	}
+	sy, ok := s.sink.(StreamSyncer)
+	if !ok {
+		return nil, errno.EINVAL
+	}
+	if _, err := s.net.deliver(t, s.from, s.to, s.from, s.port, len(req)); err != nil {
+		return nil, err
+	}
+	resp := sy.Sync(t, req)
+	if _, err := s.net.deliver(t, s.to, s.from, s.from, s.port, len(resp)); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // CountElided records n payload bytes the sender elided from this stream

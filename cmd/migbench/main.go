@@ -15,6 +15,7 @@
 //	migbench -fig a12   # multi-seed chaos sweep (scenario DSL + invariants)
 //	migbench -fig a13   # declarative controller at 200 hosts; writes BENCH_a13.json
 //	migbench -fig a14   # cluster page store: mass-drain dedup; writes BENCH_a14.json
+//	migbench -fig a15   # client-visible SLI plane under a drain; writes BENCH_a15.json
 //	migbench -fig core  # engine + data-path perf; writes BENCH_core.json
 //	migbench -ablations # only the ablations
 //
@@ -72,6 +73,7 @@ var figures = []figure{
 	{"a12", "multi-seed chaos sweep (-seeds/-schedule/-replay)", a12},
 	{"a13", "declarative controller: rollout, crash-wave heal, rolling drain (writes BENCH_a13.json)", a13},
 	{"a14", "cluster page store: mass drain raw vs session vs store dedup (writes BENCH_a14.json)", a14},
+	{"a15", "cluster SLI plane: client p99 + stall blame, stop vs precopy vs store (writes BENCH_a15.json)", a15},
 	{"core", "engine + data-path perf (writes BENCH_core.json)", benchCore},
 }
 
@@ -199,6 +201,34 @@ func a14() error {
 	fmt.Printf("%-44s %.2f s wall for %.0f s virtual (%d events, %.2fM events/s)\n",
 		"wall clock", r.Wall, r.VirtualTime, r.Events, r.EventsPerSec/1e6)
 	return writeBench("BENCH_a14.json", r)
+}
+
+func a15() error {
+	r, err := experiments.A15SLI(experiments.A15Config{
+		Hosts: *a11Hosts, Seed: *a11Seed,
+	})
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("A15 — client-visible latency under a drain: %d replicas (%d KiB each) at %d hosts",
+		r.Replicas, r.DataKiB, r.Hosts))
+	fmt.Printf("%-10s %10s %10s %10s %10s %8s %8s %10s\n",
+		"mode", "p50 µs", "p99 µs", "p999 µs", "max µs", "requests", "dropped", "drain s")
+	for _, m := range []*experiments.A15Mode{&r.Stop, &r.Precopy, &r.Store} {
+		fmt.Printf("%-10s %10d %10d %10d %10d %8d %8d %10.1f\n",
+			m.Mode, m.P50us, m.P99us, m.P999us, m.MaxUs, m.Completed, m.Dropped, m.DrainS)
+	}
+	fmt.Printf("%-44s %.1fx lower client p99 than stop-and-copy\n", "headline (store)", r.P99Ratio)
+	for _, m := range []*experiments.A15Mode{&r.Stop, &r.Precopy, &r.Store} {
+		for _, b := range m.Blame {
+			fmt.Printf("  blame %-8s %-12s %4d requests, %8d µs stalled (worst %d µs)\n",
+				m.Mode, b.Phase, b.Count, int64(b.Stall), int64(b.Max))
+		}
+	}
+	fmt.Println("(open-loop clients keep submitting while the server is frozen, so the tail")
+	fmt.Println(" is honest; each SLO-breaching request is blamed on the migration-phase span")
+	fmt.Println(" it overlapped — 'queued' means it stalled behind the backlog, not a phase)")
+	return writeBench("BENCH_a15.json", r)
 }
 
 func usageErr(msg string) {

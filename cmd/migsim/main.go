@@ -57,8 +57,11 @@ const usage = `script commands (one per line, # comments):
   controller drain <host>       start a rolling drain of a host
   controller status             print desired vs. observed state and drain progress
   metrics [host]                print the metrics registry (all hosts + totals)
+  metrics -format prom          print the registry in Prometheus text exposition
+  status                        print per-host loss/occupancy gauges (trace drops,
+                                frozen procs, migd table occupancy + evictions)
   spans                         print the migration span traces
-  timeline <file>               export spans as Chrome trace-event JSON
+  timeline <file>               export spans + latency series as Chrome trace JSON
   time                          print the virtual clock
 Pids: $N refers to the pid of the N-th 'run'.`
 
@@ -410,6 +413,12 @@ func (s *session) exec(tk *sim.Task, cmd []string) error {
 		}
 		return s.controller(tk, cmd[1:])
 	case "metrics":
+		if len(cmd) > 2 && cmd[1] == "-format" {
+			if cmd[2] != "prom" {
+				return fmt.Errorf("unknown metrics format %q (only prom)", cmd[2])
+			}
+			return obs.WriteProm(os.Stdout, s.c.Obs)
+		}
 		filter := ""
 		if len(cmd) > 1 {
 			filter = cmd[1]
@@ -427,8 +436,46 @@ func (s *session) exec(tk *sim.Task, cmd []string) error {
 		}
 		if filter == "" {
 			for _, r := range s.c.Obs.Totals() {
-				fmt.Printf("  %-10s %-26s %d\n", "(total)", r.Name, r.Value)
+				if r.Detail != "" {
+					fmt.Printf("  %-10s %-26s %s\n", "(total)", r.Name, r.Detail)
+				} else {
+					fmt.Printf("  %-10s %-26s %d\n", "(total)", r.Name, r.Value)
+				}
 			}
+		}
+	case "status":
+		// The loss/occupancy dashboard: where observability itself is
+		// degrading (trace rings overflowing, migd tables evicting) and
+		// which hosts currently hold frozen processes.
+		gauges := []string{
+			"kernel.trace_dropped", "kernel.frozen",
+			"migd.txn_table", "migd.txn_evicted",
+			"migd.stream_table", "migd.stream_evicted",
+			"load.dropped",
+		}
+		byHost := map[string]map[string]int64{}
+		for _, r := range s.c.Obs.Snapshot() {
+			for _, g := range gauges {
+				if r.Name == g {
+					if byHost[r.Host] == nil {
+						byHost[r.Host] = map[string]int64{}
+					}
+					byHost[r.Host][g] = r.Value
+				}
+			}
+		}
+		fmt.Printf("[%v] status:\n", ts(tk))
+		fmt.Printf("  %-10s %12s %8s %10s %12s %12s %14s %10s\n",
+			"host", "trace_drops", "frozen", "txn_table", "txn_evicted", "stream_tbl", "stream_evicted", "load_drops")
+		for _, hn := range s.c.Obs.Hosts() {
+			g := byHost[hn]
+			if g == nil {
+				continue
+			}
+			fmt.Printf("  %-10s %12d %8d %10d %12d %12d %14d %10d\n",
+				hn, g["kernel.trace_dropped"], g["kernel.frozen"],
+				g["migd.txn_table"], g["migd.txn_evicted"],
+				g["migd.stream_table"], g["migd.stream_evicted"], g["load.dropped"])
 		}
 	case "spans":
 		fmt.Printf("[%v] spans:\n", ts(tk))
@@ -445,7 +492,7 @@ func (s *session) exec(tk *sim.Task, cmd []string) error {
 		if err != nil {
 			return err
 		}
-		werr := obs.WriteTimeline(f, s.c.Obs.Tracer, s.c.Names())
+		werr := obs.WriteTimelineObs(f, s.c.Obs, s.c.Obs.Tracer, s.c.Names())
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}

@@ -223,3 +223,62 @@ func TestScriptControllerErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestScriptStatusAndProm: the loss/occupancy dashboard and the
+// Prometheus exposition both render after a migration.
+func TestScriptStatusAndProm(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	captured := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		captured <- sb.String()
+	}()
+	runScript(t, [][]string{
+		{"run", "brick", "/bin/counter"},
+		{"sleep", "2"},
+		{"run", "schooner", "/bin/fmigrate", "-p", "1", "-f", "brick", "-t", "schooner", "-s", "-r", "2"},
+		{"sleep", "30"},
+		{"status"},
+		{"metrics", "-format", "prom"},
+	})
+	w.Close()
+	os.Stdout = old
+	out := <-captured
+	for _, want := range []string{
+		"status:", "trace_drops", "frozen", "txn_table", "stream_evicted",
+		"# TYPE procmig_stream_wire_bytes counter",
+		"procmig_migd_txn_table{host=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Unknown formats fail loudly rather than falling back to the table.
+	c, err := cluster.NewSimple("brick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &session{c: c}
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		if err := s.exec(tk, []string{"metrics", "-format", "xml"}); err == nil {
+			t.Error("metrics -format xml: expected an error")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

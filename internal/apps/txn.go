@@ -138,6 +138,10 @@ type migdObs struct {
 	txnCommits, txnAborts, txnEvicted     *obs.Counter
 	streams, streamEvicted                *obs.Counter
 	streamRounds, streamWire, streamSaved *obs.Counter
+	// Occupancy gauges for the two bounded tables, so an operator can see
+	// how close each host sits to its eviction horizon (the eviction
+	// *counters* above only show losses after the fact).
+	txnTable, streamTable *obs.Gauge
 }
 
 func newMigdObs(s *obs.Scope) migdObs {
@@ -150,6 +154,8 @@ func newMigdObs(s *obs.Scope) migdObs {
 		streamRounds:  s.Counter("migd.stream_rounds"),
 		streamWire:    s.Counter("migd.stream_wire_bytes"),
 		streamSaved:   s.Counter("migd.stream_saved_bytes"),
+		txnTable:      s.Gauge("migd.txn_table"),
+		streamTable:   s.Gauge("migd.stream_table"),
 	}
 }
 
@@ -197,6 +203,7 @@ func (s *migdState) put(txn uint32, status int) {
 		s.order = s.order[:len(s.order)-1]
 		s.obs.txnEvicted.Inc()
 	}
+	s.obs.txnTable.Set(int64(len(s.done)))
 }
 
 func (s *migdState) recordStream(stats core.StreamStats) {
@@ -214,6 +221,7 @@ func (s *migdState) recordStream(stats core.StreamStats) {
 		s.streams = s.streams[:migdStreamHistory]
 		s.obs.streamEvicted.Inc()
 	}
+	s.obs.streamTable.Set(int64(len(s.streams)))
 }
 
 // LastStreamStats reports the transfer accounting of the newest streaming

@@ -60,8 +60,9 @@ type Cluster struct {
 	order    []string
 	ha       map[string]*ha.Node
 	haCfg    ha.Config // StartHA's config, reused when a revived host rejoins
-	ctl      *controller.Controller
-	migWire  core.WireMode // wire mode controller-driven migrations use
+	ctl        *controller.Controller
+	migWire    core.WireMode // wire mode controller-driven migrations use
+	migClassic bool          // controller migrations use the classic stop-and-copy path
 }
 
 // SetMigrationWire selects the wire mode the controller's streaming
@@ -69,6 +70,12 @@ type Cluster struct {
 // the stream default (elide + LZ); experiments use WireRaw as the
 // no-dedup baseline.
 func (c *Cluster) SetMigrationWire(w core.WireMode) { c.migWire = w }
+
+// SetMigrationClassic switches controller-driven migrations to the
+// paper's original stop-and-copy path (full dump to the file server,
+// then restart) instead of the streaming engine. The SLI experiments
+// use it to price the freeze a client actually sees under each design.
+func (c *Cluster) SetMigrationClassic(on bool) { c.migClassic = on }
 
 // ConfigurePageStores sets every machine's content-addressed page store
 // to the given byte budget; 0 or negative disables the stores (the

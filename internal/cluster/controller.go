@@ -56,6 +56,9 @@ func (a *ctlActuator) Kill(t *sim.Task, host string, pid int) error {
 }
 
 func (a *ctlActuator) Migrate(t *sim.Task, src string, pid int, dst string) (int, error) {
+	if a.c.migClassic {
+		return apps.MigrateRemote(t, a.c.hosts[a.host], src, pid, dst)
+	}
 	return apps.StreamMigrateRemote(t, a.c.hosts[a.host], src, pid, dst, a.c.migWire)
 }
 
@@ -65,7 +68,7 @@ func (a *ctlActuator) Migrate(t *sim.Task, src string, pid int, dst string) (int
 // store is disabled (the pages would land nowhere) — baselines must not
 // pay prewarm bytes they can never win back.
 func (a *ctlActuator) Prewarm(t *sim.Task, src string, pid int, dst string) (bool, error) {
-	if a.c.migWire == core.WireRaw {
+	if a.c.migClassic || a.c.migWire == core.WireRaw {
 		return false, nil
 	}
 	m := a.c.machines[dst]

@@ -149,6 +149,7 @@ type kernelObs struct {
 	dumps      *obs.Counter   // SIGDUMP dumps attempted
 	dumpAborts *obs.Counter   // dumps that aborted and resumed the victim
 	traceDrops *obs.Counter   // ktrace ring-buffer entries discarded
+	frozen     *obs.Gauge     // processes currently inside a dump freeze
 	dumpReal   *obs.Histogram // real time of each dump window (µs)
 }
 
@@ -162,6 +163,7 @@ func (m *Machine) resolveObs() {
 		dumps:      s.Counter("kernel.dumps"),
 		dumpAborts: s.Counter("kernel.dump_aborts"),
 		traceDrops: s.Counter("kernel.trace_dropped"),
+		frozen:     s.Gauge("kernel.frozen"),
 		dumpReal:   s.Histogram("kernel.dump_real_us", obs.LatencyBuckets),
 	}
 }

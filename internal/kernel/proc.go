@@ -90,6 +90,14 @@ type Proc struct {
 	OldPID   int
 	OldHost  string
 
+	// Dumping marks the freeze window: true for the whole of the SIGDUMP
+	// hook — classic dump+hold, or the streaming freeze → final-delta →
+	// commit sequence. The SLI plane's request generators read it: a
+	// request arriving while its server is frozen cannot be served and
+	// queues, which is exactly the client-visible stall the paper never
+	// measured.
+	Dumping bool
+
 	// Syscall-restart bookkeeping: while a VM process is inside a system
 	// call, syscallPC holds the address of the SYS instruction so a dump
 	// taken mid-syscall resumes by re-executing the trap (BSD restart
@@ -380,8 +388,12 @@ func (p *Proc) deliverSignals() bool {
 					}
 					p.RewindSyscall()
 					p.M.kobs.dumps.Inc()
+					p.Dumping = true
+					p.M.kobs.frozen.Add(1)
 					start, scpu := p.task.Now(), p.STime
 					e := p.M.Hooks.Dump(p)
+					p.Dumping = false
+					p.M.kobs.frozen.Add(-1)
 					p.M.Metrics.LastDump = OpTiming{
 						CPU:  p.STime - scpu,
 						Real: sim.Duration(p.task.Now() - start),

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"sort"
+
+	"procmig/internal/obs"
+	"procmig/internal/sim"
+)
+
+// Per-request stall attribution: a breach record is an interval
+// [Arrival, Done] on known hosts; the tracer's spans are intervals with a
+// phase name and a host. The phase whose span overlaps the breach longest
+// on one of the breach's hosts gets the blame. Ties break by earliest span
+// start, then lowest span ID — the whole table is a pure function of the
+// (deterministic) run.
+
+// migrationPhases is the span vocabulary attribution recognizes: the
+// migration engine's phases (freeze/dump/final-delta/commit/restart/
+// restart-rpc/spool/precopy), the guardian's (ckpt/recover), and the
+// whole-transaction roots (migration/attempt). A breach no phase overlaps
+// is blamed on "queued" — run-queue contention or plain overload, not a
+// migration.
+var migrationPhases = map[string]bool{
+	"freeze": true, "dump": true, "final-delta": true, "commit": true,
+	"restart": true, "restart-rpc": true, "spool": true, "precopy": true,
+	"ckpt": true, "recover": true,
+}
+
+// PhaseQueued is the blame bucket for breaches with no overlapping
+// migration phase.
+const PhaseQueued = "queued"
+
+// Blame is one row of the attribution table.
+type Blame struct {
+	Phase string       `json:"phase"`
+	Count int64        `json:"count"`    // breaches blamed on this phase
+	Stall sim.Duration `json:"stall_us"` // summed breach∩span overlap
+	Max   sim.Duration `json:"max_us"`   // worst single overlap
+}
+
+// Attribute blames every breach on a phase (writing Breach.Phase in place)
+// and returns the aggregated table, sorted by total stall descending, then
+// phase name — deterministic for a deterministic run.
+func Attribute(breaches []Breach, spans []*obs.Span) []Blame {
+	agg := map[string]*Blame{}
+	for i := range breaches {
+		b := &breaches[i]
+		phase, overlap := attributeOne(b, spans)
+		b.Phase = phase
+		row := agg[phase]
+		if row == nil {
+			row = &Blame{Phase: phase}
+			agg[phase] = row
+		}
+		row.Count++
+		row.Stall += overlap
+		if overlap > row.Max {
+			row.Max = overlap
+		}
+	}
+	out := make([]Blame, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stall != out[j].Stall {
+			return out[i].Stall > out[j].Stall
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// attributeOne finds the best-overlapping migration-phase span for one
+// breach. For PhaseQueued the "overlap" is the whole breach latency.
+func attributeOne(b *Breach, spans []*obs.Span) (string, sim.Duration) {
+	var (
+		best        *obs.Span
+		bestOverlap sim.Duration
+	)
+	for _, sp := range spans {
+		if !migrationPhases[sp.Name] {
+			continue
+		}
+		if sp.Host != b.Host && sp.Host != b.HostStart {
+			continue
+		}
+		stop := sp.Stop
+		if !sp.Ended || stop > b.Done {
+			stop = b.Done // unfinished span: count overlap up to the breach end
+		}
+		start := sp.Start
+		if start < b.Arrival {
+			start = b.Arrival
+		}
+		overlap := sim.Duration(stop - start)
+		if overlap <= 0 {
+			continue
+		}
+		if best == nil || overlap > bestOverlap ||
+			(overlap == bestOverlap && (sp.Start < best.Start ||
+				(sp.Start == best.Start && sp.ID < best.ID))) {
+			best, bestOverlap = sp, overlap
+		}
+	}
+	if best == nil {
+		return PhaseQueued, b.Latency
+	}
+	return best.Name, bestOverlap
+}

@@ -1,0 +1,72 @@
+package load
+
+import (
+	"testing"
+
+	"procmig/internal/obs"
+	"procmig/internal/sim"
+)
+
+func span(id int, name, host string, start, stop sim.Time) *obs.Span {
+	return &obs.Span{ID: id, Name: name, Host: host, Start: start, Stop: stop, Ended: true}
+}
+
+func TestAttributeBlamesLongestOverlap(t *testing.T) {
+	spans := []*obs.Span{
+		span(1, "precopy", "alpha", 100, 5000),
+		span(2, "freeze", "alpha", 5000, 9000),
+		span(3, "restart", "beta", 9000, 9500),
+		span(4, "migration", "alpha", 100, 9500), // root: not a phase, never blamed
+		span(5, "freeze", "gamma", 0, 100000),    // wrong host, never blamed
+	}
+	breaches := []Breach{
+		// Arrived mid-freeze on alpha, finished on beta after restart: the
+		// freeze overlaps 3000µs, the restart only 500µs.
+		{Arrival: 6000, Done: 9500, Latency: 3500, HostStart: "alpha", Host: "beta"},
+		// Entirely outside any phase: falls into the queued bucket.
+		{Arrival: 20000, Done: 21000, Latency: 1000, HostStart: "alpha", Host: "alpha"},
+	}
+	table := Attribute(breaches, spans)
+	if breaches[0].Phase != "freeze" || breaches[1].Phase != PhaseQueued {
+		t.Fatalf("phases = %q, %q", breaches[0].Phase, breaches[1].Phase)
+	}
+	if len(table) != 2 || table[0].Phase != "freeze" || table[0].Stall != 3000 {
+		t.Fatalf("table = %+v", table)
+	}
+	if table[1].Phase != PhaseQueued || table[1].Count != 1 || table[1].Stall != 1000 {
+		t.Fatalf("queued row = %+v", table[1])
+	}
+}
+
+func TestAttributeDeterministicTieBreak(t *testing.T) {
+	// Two phases with identical overlap: earliest start, then lowest ID.
+	spans := []*obs.Span{
+		span(7, "commit", "alpha", 1000, 2000),
+		span(3, "spool", "alpha", 1000, 2000),
+	}
+	b := []Breach{{Arrival: 1000, Done: 2000, Latency: 1000, Host: "alpha"}}
+	Attribute(b, spans)
+	if b[0].Phase != "spool" {
+		t.Fatalf("tie broke to %q, want spool (lower span ID)", b[0].Phase)
+	}
+	// Unfinished spans count overlap up to the breach end.
+	open := []*obs.Span{{ID: 1, Name: "freeze", Host: "alpha", Start: 500}}
+	b2 := []Breach{{Arrival: 1000, Done: 4000, Latency: 3000, Host: "alpha"}}
+	Attribute(b2, open)
+	if b2[0].Phase != "freeze" {
+		t.Fatalf("unfinished span not blamed: %q", b2[0].Phase)
+	}
+}
+
+// The per-breach matching is on the request path's shadow (it runs once
+// per breach over the span list): keep it allocation-free.
+func TestAttributeOneAllocs(t *testing.T) {
+	spans := make([]*obs.Span, 0, 64)
+	for i := 0; i < 64; i++ {
+		spans = append(spans, span(i+1, "freeze", "alpha", sim.Time(i*100), sim.Time(i*100+50)))
+	}
+	b := Breach{Arrival: 0, Done: 10000, Latency: 10000, Host: "alpha"}
+	if n := testing.AllocsPerRun(1000, func() { attributeOne(&b, spans) }); n != 0 {
+		t.Fatalf("attributeOne allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,124 @@
+package load_test
+
+import (
+	"fmt"
+	"testing"
+
+	"procmig/internal/cluster"
+	"procmig/internal/kernel"
+	"procmig/internal/load"
+	"procmig/internal/sim"
+)
+
+// run boots a two-host cluster, aims a generator at a counter process on
+// alpha, optionally migrates it to beta mid-run, and returns the outcome.
+func run(t *testing.T, seed uint64, migrate bool) (load.Stats, []load.Blame, *cluster.Cluster, *load.Lineage) {
+	t.Helper()
+	c, err := cluster.NewSimple("alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallVM("/bin/counter", cluster.TestProgramSrc); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Seed(seed)
+	var g *load.Generator
+	lin := new(load.Lineage)
+	c.Eng.Go("driver", func(tk *sim.Task) {
+		p, err := c.Spawn("alpha", nil, kernel.Creds{}, "/bin/counter")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		machines := []*kernel.Machine{c.Machine("alpha"), c.Machine("beta")}
+		*lin = *load.NewLineage(machines, p)
+		g = load.Start(c.Eng, c.Obs.Scope("lg0"), load.Config{
+			Name:     "lg0",
+			Interval: 10 * sim.Millisecond,
+			Service:  sim.Millisecond,
+			Window:   sim.Second,
+			SLO:      load.SLO{P99: 10 * sim.Millisecond},
+		}, lin.Target())
+		tk.Sleep(2 * sim.Second)
+		if migrate {
+			if _, err := c.Spawn("beta", nil, kernel.Creds{}, "/bin/fmigrate",
+				"-p", fmt.Sprint(p.PID), "-f", "alpha", "-t", "beta", "-s", "-r", "2"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		tk.Sleep(8 * sim.Second)
+		g.Stop()
+		g.AwaitDrained(tk)
+	})
+	if err := c.RunUntil(sim.Time(60 * sim.Second)); err != nil {
+		if _, stalled := err.(*sim.StallError); !stalled {
+			t.Fatal(err)
+		}
+	}
+	if g == nil || !g.Drained() {
+		t.Fatal("generator never drained")
+	}
+	table := load.Attribute(g.Breaches(), c.Obs.Tracer.Spans())
+	return g.Stats(), table, c, lin
+}
+
+// A healthy, idle server: open-loop arrivals all complete quickly, nothing
+// drops, nothing breaches.
+func TestGeneratorSteadyState(t *testing.T) {
+	st, table, _, _ := run(t, 42, false)
+	if st.Submitted < 700 || st.Completed != st.Submitted {
+		t.Fatalf("submitted %d completed %d", st.Submitted, st.Completed)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d on an idle cluster", st.Dropped)
+	}
+	if st.P50 > 5*sim.Millisecond {
+		t.Fatalf("steady-state p50 = %v, want ~service time", st.P50)
+	}
+	if len(table) != 0 && !(len(table) == 1 && table[0].Phase == load.PhaseQueued) {
+		t.Fatalf("breach table on an idle cluster: %+v", table)
+	}
+}
+
+// A streaming migration under load: the client keeps completing requests
+// across the move, the stall shows up in the max latency, the lineage
+// follows the process to beta, and the breach table blames a migration
+// phase rather than the queued bucket.
+func TestGeneratorMigrationStall(t *testing.T) {
+	st, table, _, lin := run(t, 42, true)
+	if st.Completed != st.Submitted || st.Dropped != 0 {
+		t.Fatalf("lost requests across migration: %+v", st)
+	}
+	if cur := lin.Current(); cur == nil || cur.M.Name != "beta" || !cur.Migrated {
+		t.Fatalf("lineage did not follow the migration: %+v", lin.Current())
+	}
+	if st.Max < 10*sim.Millisecond {
+		t.Fatalf("max latency %v shows no migration stall", st.Max)
+	}
+	if st.Breaches == 0 || len(table) == 0 {
+		t.Fatalf("no breaches recorded across a migration: %+v", st)
+	}
+	var migBlamed bool
+	for _, row := range table {
+		if row.Phase != load.PhaseQueued {
+			migBlamed = true
+		}
+	}
+	if !migBlamed {
+		t.Fatalf("no migration phase blamed: %+v", table)
+	}
+}
+
+// Same seed, same everything: the SLI plane is part of the deterministic
+// replay surface.
+func TestGeneratorDeterministic(t *testing.T) {
+	a, ta, _, _ := run(t, 7, true)
+	b, tb, _, _ := run(t, 7, true)
+	if a != b {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", a, b)
+	}
+	if fmt.Sprint(ta) != fmt.Sprint(tb) {
+		t.Fatalf("blame tables differ:\n%+v\n%+v", ta, tb)
+	}
+}

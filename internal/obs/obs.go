@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"procmig/internal/sim"
 )
 
 // Counter is a monotonically increasing value.
@@ -117,6 +119,7 @@ type Scope struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	winds    map[string]*WindowedHDR
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -156,6 +159,21 @@ func (s *Scope) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// Windowed returns the named windowed HDR histogram, creating it with the
+// given window width on first use (later callers get the original regardless
+// of width). This is the latency instrument: all-time quantiles for
+// Snapshot/Totals plus a sealed-window time series for timeline export.
+func (s *Scope) Windowed(name string, width sim.Duration) *WindowedHDR {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	w := s.winds[name]
+	if w == nil {
+		w = NewWindowedHDR(width)
+		s.winds[name] = w
+	}
+	return w
+}
+
 // Host reports which host the scope belongs to.
 func (s *Scope) Host() string { return s.host }
 
@@ -184,6 +202,7 @@ func (r *Registry) Scope(host string) *Scope {
 			counters: map[string]*Counter{},
 			gauges:   map[string]*Gauge{},
 			hists:    map[string]*Histogram{},
+			winds:    map[string]*WindowedHDR{},
 		}
 		r.scopes[host] = s
 	}
@@ -230,6 +249,12 @@ func (r *Registry) Snapshot() []Row {
 				Detail: fmt.Sprintf("n=%d %s", h.n, h.Buckets()),
 			})
 		}
+		for name, w := range s.winds {
+			out = append(out, Row{
+				Host: host, Name: name, Value: w.total.sum,
+				Detail: w.total.Summary(),
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Host != out[j].Host {
@@ -262,21 +287,61 @@ func (r *Registry) CounterRows() []Row {
 	return out
 }
 
-// Totals sums counters and gauges of the same name across hosts (histograms
-// are omitted — summed buckets mislead more than they inform), sorted by
-// name: the cluster-wide view.
+// Totals renders the cluster-wide view, sorted by name: counters and gauges
+// of the same name sum across hosts, and histograms of the same name *merge*
+// — bucket-wise, so the merged quantiles are the quantiles of the union
+// (averaging per-host percentiles would be wrong). Fixed-bucket histograms
+// merge only when their bounds agree (they always do: bounds come from the
+// shared package-level sets).
 func (r *Registry) Totals() []Row {
-	rows := r.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	sums := map[string]int64{}
-	for _, row := range rows {
-		if row.Detail != "" {
-			continue
+	hists := map[string]*Histogram{}
+	hdrs := map[string]*HDR{}
+	for _, s := range r.scopes {
+		for name, c := range s.counters {
+			sums[name] += c.v
 		}
-		sums[row.Name] += row.Value
+		for name, g := range s.gauges {
+			sums[name] += g.v
+		}
+		for name, h := range s.hists {
+			m := hists[name]
+			if m == nil {
+				m = &Histogram{bounds: h.bounds, counts: make([]int64, len(h.counts))}
+				hists[name] = m
+			}
+			if len(m.counts) != len(h.counts) {
+				continue // foreign bounds: leave the row per-host only
+			}
+			for i, c := range h.counts {
+				m.counts[i] += c
+			}
+			m.n += h.n
+			m.sum += h.sum
+		}
+		for name, w := range s.winds {
+			m := hdrs[name]
+			if m == nil {
+				m = &HDR{}
+				hdrs[name] = m
+			}
+			m.Merge(&w.total)
+		}
 	}
-	out := make([]Row, 0, len(sums))
+	out := make([]Row, 0, len(sums)+len(hists)+len(hdrs))
 	for name, v := range sums {
 		out = append(out, Row{Name: name, Value: v})
+	}
+	for name, h := range hists {
+		out = append(out, Row{
+			Name: name, Value: h.sum,
+			Detail: fmt.Sprintf("n=%d %s", h.n, h.Buckets()),
+		})
+	}
+	for name, h := range hdrs {
+		out = append(out, Row{Name: name, Value: h.sum, Detail: h.Summary()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -124,6 +124,80 @@ func TestTracerPlaceholderAndNil(t *testing.T) {
 	nilSpan.EndDetail(10, "ok")
 }
 
+// Two migrations in flight at once, both retried, with their span messages
+// interleaved so each transaction's first span is a child on a *different*
+// host than the client (the reordered-placeholder edge): each txn must still
+// stitch into exactly one root, the late client registration must claim the
+// placeholder in place (same span ID, upgraded name/host/pid), and retry
+// attempts must never bleed between transactions.
+func TestTracerConcurrentRetriedMigrations(t *testing.T) {
+	tr := NewTracer()
+
+	// txn A: destination's spool span lands before the client registers.
+	spoolA := tr.Child(0xA1, "spool", "dstA", 9, 100)
+	// txn B: source's freeze span lands before *its* client registers.
+	freezeB := tr.Child(0xB2, "freeze", "srcB", 4, 105)
+	phA := tr.roots[0xA1]
+	if phA == nil || phA.Name != "txn" || spoolA.Parent != phA.ID {
+		t.Fatalf("txn A placeholder wrong: %+v", phA)
+	}
+
+	// Clients register late, interleaved, each upgrading its own placeholder.
+	rootA := tr.Root(0xA1, "migration", "clientA", 7, 90)
+	rootB := tr.Root(0xB2, "migration", "clientB", 3, 95)
+	if rootA != phA || rootA.ID != spoolA.Parent {
+		t.Fatal("txn A root forked instead of claiming the placeholder")
+	}
+	if rootA.Name != "migration" || rootA.Host != "clientA" || rootA.PID != 7 {
+		t.Fatalf("placeholder not upgraded: %+v", rootA)
+	}
+	if rootA.Start != 90 {
+		t.Fatalf("root A start = %d, want the earliest time seen (90)", rootA.Start)
+	}
+	if rootB.ID != freezeB.Parent || rootB.Host != "clientB" {
+		t.Fatalf("txn B cross-wired: %+v", rootB)
+	}
+
+	// Interleaved retries: A twice, B once. Children record their own txn's
+	// attempt at creation time.
+	tr.Retry(0xA1)
+	c1 := tr.Child(0xB2, "dump", "srcB", 4, 110)
+	tr.Retry(0xB2)
+	tr.Retry(0xA1)
+	c2 := tr.Child(0xA1, "spool", "dstA", 9, 120)
+	c3 := tr.Child(0xB2, "restart", "dstB", 4, 130)
+	if rootA.Attempt != 2 || rootB.Attempt != 1 {
+		t.Fatalf("attempts bled: A=%d B=%d", rootA.Attempt, rootB.Attempt)
+	}
+	if c1.Attempt != 0 || c2.Attempt != 2 || c3.Attempt != 1 {
+		t.Fatalf("child attempts = %d/%d/%d, want 0/2/1", c1.Attempt, c2.Attempt, c3.Attempt)
+	}
+
+	// Exactly one root per txn, ordered by start time; a second Root call
+	// must not re-upgrade or move anything.
+	if again := tr.Root(0xA1, "echo", "elsewhere", 1, 200); again != rootA || rootA.Name != "migration" {
+		t.Fatal("second Root call disturbed the upgraded root")
+	}
+	roots := tr.Roots()
+	if len(roots) != 2 || roots[0] != rootA || roots[1] != rootB {
+		t.Fatalf("roots = %v", roots)
+	}
+	for _, txn := range []uint32{0xA1, 0xB2} {
+		trace := tr.Trace(txn)
+		if trace[0].Parent != 0 {
+			t.Fatalf("txn %x trace not root-first", txn)
+		}
+		for _, sp := range trace[1:] {
+			if sp.Parent != trace[0].ID || sp.Txn != txn {
+				t.Fatalf("txn %x span stitched to wrong root: %+v", txn, sp)
+			}
+		}
+	}
+	if len(tr.Trace(0xA1)) != 3 || len(tr.Trace(0xB2)) != 4 {
+		t.Fatalf("trace sizes = %d/%d, want 3/4", len(tr.Trace(0xA1)), len(tr.Trace(0xB2)))
+	}
+}
+
 func TestWriteTimeline(t *testing.T) {
 	tr := NewTracer()
 	root := tr.Root(7, "migration", "alpha", 5, 100)

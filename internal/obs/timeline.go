@@ -33,27 +33,41 @@ type traceEvent struct {
 // and an "unfinished" arg rather than dropped — a trace that silently
 // hides a hung phase is worse than none.
 func WriteTimeline(w io.Writer, tr *Tracer, hosts []string) error {
+	return WriteTimelineObs(w, nil, tr, hosts)
+}
+
+// WriteTimelineObs is WriteTimeline plus the registry's windowed-histogram
+// time series rendered as counter ("C") events: each sealed latency window
+// becomes one sample on its scope's lane, so the p99 staircase sits directly
+// under the migration spans that caused it. reg may be nil (spans only).
+func WriteTimelineObs(w io.Writer, reg *Registry, tr *Tracer, hosts []string) error {
 	spans := tr.Spans()
+	series := reg.windowSeries()
 
 	pidOf := map[string]int{}
 	order := append([]string(nil), hosts...)
 	var extra []string
+	seen := func(h string) bool {
+		for _, k := range order {
+			if k == h {
+				return true
+			}
+		}
+		for _, k := range extra {
+			if k == h {
+				return true
+			}
+		}
+		return false
+	}
 	for _, sp := range spans {
-		known := false
-		for _, h := range order {
-			if h == sp.Host {
-				known = true
-				break
-			}
-		}
-		for _, h := range extra {
-			if h == sp.Host {
-				known = true
-				break
-			}
-		}
-		if !known {
+		if !seen(sp.Host) {
 			extra = append(extra, sp.Host)
+		}
+	}
+	for _, ws := range series {
+		if !seen(ws.Host) {
+			extra = append(extra, ws.Host)
 		}
 	}
 	sort.Strings(extra)
@@ -92,7 +106,60 @@ func WriteTimeline(w io.Writer, tr *Tracer, hosts []string) error {
 		}
 		events = append(events, ev)
 	}
+	for _, ws := range series {
+		for _, pt := range ws.Points {
+			events = append(events, traceEvent{
+				Name: ws.Name, Ph: "C",
+				TS: int64(pt.Start), PID: pidOf[ws.Host],
+				Args: map[string]any{
+					"p50": pt.P50, "p99": pt.P99, "p999": pt.P999, "n": pt.N,
+				},
+			})
+		}
+	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// hostSeries is one scope's windowed histogram, flattened for export.
+type hostSeries struct {
+	Host   string
+	Name   string
+	Points []WindowPoint
+}
+
+// windowSeries snapshots every windowed histogram's sealed windows plus the
+// in-progress window (peeked, not sealed), sorted by host then name. Nil
+// registry yields nil.
+func (r *Registry) windowSeries() []hostSeries {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []hostSeries
+	for host, s := range r.scopes {
+		for name, wh := range s.winds {
+			pts := append([]WindowPoint(nil), wh.points...)
+			if wh.cur.n > 0 {
+				pts = append(pts, WindowPoint{
+					Start: wh.start, N: wh.cur.n,
+					P50: wh.cur.P50(), P99: wh.cur.P99(),
+					P999: wh.cur.P999(), Max: wh.cur.max,
+				})
+			}
+			if len(pts) == 0 {
+				continue
+			}
+			out = append(out, hostSeries{Host: host, Name: name, Points: pts})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }

@@ -106,6 +106,19 @@ func (tr *Tracer) Root(txn uint32, name, host string, pid int, at sim.Time) *Spa
 
 func (tr *Tracer) rootLocked(txn uint32, name, host string, pid int, at sim.Time) *Span {
 	if sp := tr.roots[txn]; sp != nil {
+		// A real registration reaching a placeholder root (created by a
+		// child that outran the client's message) claims it in place: the
+		// span keeps its ID — children already point at it — and takes the
+		// client's name/host/pid plus the earliest start seen. Concurrent
+		// retried migrations can interleave placeholder creation across
+		// txns in any order; the upgrade is per-txn, so order cannot
+		// cross-wire them.
+		if sp.Name == "txn" && name != "txn" {
+			sp.Name, sp.Host, sp.PID = name, host, pid
+			if at < sp.Start {
+				sp.Start = at
+			}
+		}
 		return sp
 	}
 	sp := &Span{ID: tr.nextID, Txn: txn, Name: name, Host: host, PID: pid, Start: at}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"procmig/internal/kernel"
+	"procmig/internal/load"
 	"procmig/internal/sim"
 )
 
@@ -296,6 +297,43 @@ func (r *runner) checkQuiesce(tk *sim.Task) {
 	}
 	if !inv.SkipReplicas && r.sc.Controller != nil {
 		r.checkReplicas(now)
+	}
+	if len(r.sc.Load) > 0 {
+		r.checkSLO(now)
+	}
+}
+
+// checkSLO fills Result.Load (stats + per-phase blame table for every
+// generator) and enforces each spec's slo block: observed p99 ≤ slo_p99
+// and drops ≤ slo_dropped. A spec with slo_p99 == 0 is measured but not
+// judged. Runs after the generators have drained, so the counts are final.
+func (r *runner) checkSLO(now sim.Time) {
+	if r.res.Load == nil {
+		r.res.Load = map[string]*LoadOutcome{}
+	}
+	spans := r.c.Obs.Tracer.Spans()
+	for _, ls := range r.sc.Load {
+		g := r.gens[ls.Name]
+		st := g.Stats()
+		blame := load.Attribute(g.Breaches(), spans)
+		r.res.Load[ls.Name] = &LoadOutcome{Stats: st, Blame: blame}
+		if r.sc.Invariants.SkipSLO || ls.SLOP99 <= 0 {
+			continue
+		}
+		topPhase := "none"
+		if len(blame) > 0 {
+			topPhase = blame[0].Phase
+		}
+		if st.P99 > ls.SLOP99 {
+			r.violate("slo", -1, now,
+				"load %s: p99 %v breaches slo_p99 %v (%d/%d requests over, top blame: %s)",
+				ls.Name, st.P99, ls.SLOP99, st.Breaches, st.Completed, topPhase)
+		}
+		if st.Dropped > ls.SLODropped {
+			r.violate("slo", -1, now,
+				"load %s: %d dropped requests breach budget %d (top blame: %s)",
+				ls.Name, st.Dropped, ls.SLODropped, topPhase)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"procmig/internal/controller"
 	"procmig/internal/ha"
 	"procmig/internal/kernel"
+	"procmig/internal/load"
 	"procmig/internal/netsim"
 	"procmig/internal/sim"
 	"procmig/internal/vm"
@@ -81,6 +82,9 @@ type runner struct {
 	appOrder []string
 	pending  []pendingMig
 	prevCtr  map[string]int64
+	// gens holds the SLI-plane generators, keyed by LoadSpec name;
+	// iteration always follows sc.Load order.
+	gens map[string]*load.Generator
 }
 
 // Run executes one scenario to quiescence and reports what happened. An
@@ -146,6 +150,7 @@ func Run(sc *Scenario) (*Result, error) {
 		refs:    map[string]*ref{},
 		apps:    map[string]*appRef{},
 		prevCtr: map[string]int64{},
+		gens:    map[string]*load.Generator{},
 	}
 	for _, a := range sc.Apps {
 		r.apps[a.Name] = &appRef{ap: a, pids: map[string]bool{}}
@@ -230,6 +235,22 @@ func validate(sc *Scenario) error {
 			return fmt.Errorf("scenario %q: event %d (%s): unknown app %q", sc.Name, i, ev.Op, ev.App)
 		}
 	}
+	gens := map[string]bool{}
+	for _, ls := range sc.Load {
+		if ls.Name == "" {
+			return fmt.Errorf("scenario %q: load spec without a name", sc.Name)
+		}
+		if gens[ls.Name] || wls[ls.Name] {
+			return fmt.Errorf("scenario %q: duplicate load/workload name %q", sc.Name, ls.Name)
+		}
+		gens[ls.Name] = true
+		if !wls[ls.Workload] {
+			return fmt.Errorf("scenario %q: load %q targets unknown workload %q", sc.Name, ls.Name, ls.Workload)
+		}
+		if ls.Interval <= 0 || ls.Service <= 0 {
+			return fmt.Errorf("scenario %q: load %q needs positive interval and service", sc.Name, ls.Name)
+		}
+	}
 	return nil
 }
 
@@ -272,6 +293,13 @@ var opNeedsApp = map[string]bool{
 func (r *runner) drive(tk *sim.Task) error {
 	c := r.c
 	defer func() {
+		// Generators first: a still-polling client would keep the engine
+		// alive forever once its target is killed below.
+		for _, ls := range r.sc.Load {
+			if g := r.gens[ls.Name]; g != nil {
+				g.Abort()
+			}
+		}
 		c.Net.ClearFaults()
 		c.Net.Heal()
 		if r.sc.Controller != nil {
@@ -297,6 +325,18 @@ func (r *runner) drive(tk *sim.Task) error {
 		}
 		r.wlOrder = append(r.wlOrder, w.Name)
 	}
+	var machines []*kernel.Machine
+	for _, name := range c.Names() {
+		machines = append(machines, c.Machine(name))
+	}
+	for _, ls := range r.sc.Load {
+		lin := load.NewLineage(machines, r.refs[ls.Workload].proc)
+		r.gens[ls.Name] = load.Start(c.Eng, c.Obs.Scope(ls.Name), load.Config{
+			Name: ls.Name, Interval: ls.Interval, Service: ls.Service,
+			Timeout: ls.Timeout, Window: ls.Window,
+			SLO: load.SLO{P99: ls.SLOP99, Dropped: ls.SLODropped},
+		}, lin.Target())
+	}
 	for i, ev := range r.sc.Events {
 		if err := r.exec(tk, ev); err != nil {
 			return fmt.Errorf("scenario %q: event %d (%s): %w", r.sc.Name, i, ev.Op, err)
@@ -309,6 +349,17 @@ func (r *runner) drive(tk *sim.Task) error {
 	}
 	if r.sc.Settle > 0 {
 		tk.Sleep(r.sc.Settle)
+	}
+	// Retire the request generators before the quiesce checks so the SLO
+	// invariant judges a settled count. A backlog that cannot drain (the
+	// target died for good) is force-dropped after a grace period.
+	for _, ls := range r.sc.Load {
+		g := r.gens[ls.Name]
+		g.Stop()
+		if !g.AwaitDrainedFor(tk, 30*sim.Second) {
+			g.Abort()
+			g.AwaitDrained(tk)
+		}
 	}
 	r.checkQuiesce(tk)
 	return nil

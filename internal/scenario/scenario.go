@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"procmig/internal/controller"
+	"procmig/internal/load"
 	"procmig/internal/sim"
 )
 
@@ -43,7 +44,14 @@ type Scenario struct {
 	Apps []App `json:"apps,omitempty"`
 
 	Workloads []Workload `json:"workloads"`
-	Events    []Event    `json:"events"`
+
+	// Load attaches SLI-plane request generators (internal/load) to
+	// workloads: open-loop clients whose completion latency measures what
+	// the fault schedule does to service, checked against each spec's slo
+	// block by the quiesce invariant.
+	Load []LoadSpec `json:"load,omitempty"`
+
+	Events []Event `json:"events"`
 
 	// Settle is slept after the last event, before the quiesce invariant
 	// checks — chaos schedules that end on a revival or heal need the
@@ -122,6 +130,23 @@ type Workload struct {
 	WSBytes    int    `json:"ws_bytes"`
 }
 
+// LoadSpec is one seeded open-loop request generator aimed at a workload's
+// pid lineage: requests arrive every ~Interval (jittered from the engine
+// PRNG), queue while the target is frozen or between incarnations, then
+// charge Service CPU through the target machine's run queue. The slo block
+// (SLOP99 / SLODropped) is checked at quiesce when SLOP99 > 0: observed
+// p99 must be ≤ SLOP99 µs and drops ≤ SLODropped.
+type LoadSpec struct {
+	Name       string       `json:"name"`
+	Workload   string       `json:"workload"`
+	Interval   sim.Duration `json:"interval"`
+	Service    sim.Duration `json:"service"`
+	Timeout    sim.Duration `json:"timeout,omitempty"` // abandon after this (0: never)
+	Window     sim.Duration `json:"window,omitempty"`  // latency series window (0: 1s)
+	SLOP99     sim.Duration `json:"slo_p99,omitempty"`
+	SLODropped int64        `json:"slo_dropped,omitempty"`
+}
+
 // Event is one schedule step, executed in order by the driver task. Op
 // selects the action; the other fields parameterize it (unused ones stay
 // zero). Host fields accept the indirections "@home:<workload>" and
@@ -188,6 +213,7 @@ type Invariants struct {
 	SkipMembership   bool `json:"skip_membership,omitempty"`
 	SkipCounters     bool `json:"skip_counters,omitempty"`
 	SkipReplicas     bool `json:"skip_replicas,omitempty"`
+	SkipSLO          bool `json:"skip_slo,omitempty"`
 }
 
 // Violation is one invariant failure: which invariant, after which event
@@ -244,6 +270,14 @@ type AppOutcome struct {
 	Hosts   map[string]int `json:"hosts,omitempty"` // running copies per host
 }
 
+// LoadOutcome is one generator's client-visible result at quiesce: the
+// cumulative latency/loss stats plus the per-phase blame table for every
+// SLO-breaching request.
+type LoadOutcome struct {
+	load.Stats
+	Blame []load.Blame `json:"blame,omitempty"`
+}
+
 // Result is everything a scenario run produced.
 type Result struct {
 	Name       string                      `json:"name"`
@@ -254,6 +288,7 @@ type Result struct {
 	Recoveries []RecoveryOutcome           `json:"recoveries,omitempty"`
 	Workloads  map[string]*WorkloadOutcome `json:"workloads"`
 	Apps       map[string]*AppOutcome      `json:"apps,omitempty"`
+	Load       map[string]*LoadOutcome     `json:"load,omitempty"`
 }
 
 // Passed reports whether every invariant held.

@@ -1,0 +1,174 @@
+package scenario_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"procmig/internal/scenario"
+	"procmig/internal/sim"
+)
+
+// sloBase: one hog on alpha with a request generator aimed at it.
+func sloBase(name string, ls scenario.LoadSpec) *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:  name,
+		Seed:  9,
+		Hosts: []string{"alpha", "beta"},
+		Workloads: []scenario.Workload{
+			{Name: "hog", Host: "alpha", Prog: "hog", TotalBytes: 64 << 10, WSBytes: 16 << 10},
+		},
+		Load: []scenario.LoadSpec{ls},
+		Events: []scenario.Event{
+			{Op: "await_ready", Workload: "hog"},
+			{Op: "sleep", Dur: 5 * sim.Second},
+			{Op: "migrate", Workload: "hog", Host: "beta", To: "beta", Stream: true, Rounds: "2"},
+			{Op: "sleep", Dur: 5 * sim.Second},
+		},
+		Settle: sim.Second,
+	}
+}
+
+// A generous SLO across a live migration holds, and the result carries the
+// client-side numbers: every submitted request completes (the open-loop
+// client rides out the freeze) and the outcome lands in Result.Load.
+func TestSLOHoldsAcrossMigration(t *testing.T) {
+	sc := sloBase("slo-pass", scenario.LoadSpec{
+		Name: "rq", Workload: "hog",
+		Interval: 20 * sim.Millisecond, Service: sim.Millisecond,
+		SLOP99: 5 * sim.Second, SLODropped: 0,
+	})
+	res, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	lo := res.Load["rq"]
+	if lo == nil || lo.Completed == 0 || lo.Dropped != 0 {
+		t.Fatalf("load outcome = %+v", lo)
+	}
+	if lo.Submitted != lo.Completed {
+		t.Fatalf("submitted %d != completed %d", lo.Submitted, lo.Completed)
+	}
+	if lo.P99 <= 0 || lo.Max < lo.P99 {
+		t.Fatalf("quantiles look wrong: %+v", lo.Stats)
+	}
+}
+
+// The DSL round-trips the slo block: a scenario with load specs survives
+// Encode/Decode bit for bit (DisallowUnknownFields would reject a typo).
+func TestSLOJSONRoundTrip(t *testing.T) {
+	sc := sloBase("slo-json", scenario.LoadSpec{
+		Name: "rq", Workload: "hog",
+		Interval: 10 * sim.Millisecond, Service: sim.Millisecond,
+		Timeout: sim.Second, Window: 500 * sim.Millisecond,
+		SLOP99: 100 * sim.Millisecond, SLODropped: 3,
+	})
+	raw, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", sc, back)
+	}
+}
+
+// The SLO-breach negative test the CI step runs: a deliberately starved
+// scenario — every request needs 5ms of a CPU it shares with a hog, the
+// SLO demands 1ms — must fail the slo invariant at quiesce and emit a
+// replay artifact that reproduces the violation.
+func TestNegativeSLOStarved(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name:  "neg-slo-starved",
+		Seed:  11,
+		Hosts: []string{"alpha"},
+		Workloads: []scenario.Workload{
+			{Name: "hog", Host: "alpha", Prog: "hog", TotalBytes: 32 << 10, WSBytes: 8 << 10},
+		},
+		Load: []scenario.LoadSpec{{
+			Name: "starved", Workload: "hog",
+			Interval: 20 * sim.Millisecond, Service: 5 * sim.Millisecond,
+			SLOP99: sim.Millisecond, SLODropped: 0,
+		}},
+		Events: []scenario.Event{{Op: "sleep", Dur: 10 * sim.Second}},
+	}
+	res, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.FirstViolation()
+	if v == nil || v.Invariant != "slo" || v.EventIndex != -1 {
+		t.Fatalf("violation = %v, want slo at quiesce", v)
+	}
+	lo := res.Load["starved"]
+	if lo == nil || lo.Breaches == 0 {
+		t.Fatalf("no breach records on a starved run: %+v", lo)
+	}
+
+	art := scenario.NewArtifact(sc, res)
+	if art == nil {
+		t.Fatal("slo breach produced no replay artifact")
+	}
+	path := filepath.Join(t.TempDir(), "slo_replay.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := res2.FirstViolation()
+	if v2 == nil || v2.Invariant != "slo" || v2.At != v.At || v2.Detail != v.Detail {
+		t.Fatalf("replayed violation %v, original %v", v2, v)
+	}
+}
+
+// A drop budget is enforced separately from the latency target: requests
+// that outlive their client timeout count against slo_dropped.
+func TestNegativeSLODropBudget(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name:  "neg-slo-drops",
+		Seed:  12,
+		Hosts: []string{"alpha"},
+		Workloads: []scenario.Workload{
+			{Name: "hog", Host: "alpha", Prog: "hog", TotalBytes: 32 << 10, WSBytes: 8 << 10},
+		},
+		Load: []scenario.LoadSpec{{
+			Name: "dropper", Workload: "hog",
+			Interval: 10 * sim.Millisecond, Service: 50 * sim.Millisecond,
+			Timeout: 20 * sim.Millisecond,
+			SLOP99:  60 * sim.Second, SLODropped: 0,
+		}},
+		Events: []scenario.Event{{Op: "sleep", Dur: 10 * sim.Second}},
+	}
+	res, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.FirstViolation()
+	if v == nil || v.Invariant != "slo" {
+		t.Fatalf("violation = %v, want slo (drop budget)", v)
+	}
+	if res.Load["dropper"].Dropped == 0 {
+		t.Fatal("no drops recorded")
+	}
+	// The same scenario with skip_slo measures but does not judge.
+	sc.Invariants.SkipSLO = true
+	res2, err := scenario.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Passed() || res2.Load["dropper"].Dropped == 0 {
+		t.Fatalf("skip_slo run: passed=%v load=%+v", res2.Passed(), res2.Load["dropper"])
+	}
+}
